@@ -1,0 +1,62 @@
+package wytiwyg_test
+
+import (
+	"testing"
+
+	"wytiwyg/internal/bench"
+	"wytiwyg/internal/bench/progs"
+	"wytiwyg/internal/codegen"
+	"wytiwyg/internal/core"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/minicc/gen"
+	"wytiwyg/internal/opt"
+)
+
+// BenchmarkCodegenAblation quantifies the code generator's own design
+// choices (DESIGN.md §5) on real workloads: scaled-index address tiling,
+// the one-instruction EAX forwarding window, and phi-web copy coalescing.
+// Reported metrics are cycle ratios vs the full generator (>= 1.0; higher
+// = that feature mattered more).
+func BenchmarkCodegenAblation(b *testing.B) {
+	// hmmer is tiling-heavy (DP matrix), mcf loop-carried (coalescing).
+	for _, name := range []string{"hmmer", "mcf"} {
+		b.Run(name, func(b *testing.B) {
+			p, ok := progs.ByName(name)
+			if !ok {
+				b.Fatal("missing workload")
+			}
+			p = bench.Scaled(p, benchScale)
+			img, err := gen.Build(p.Src, gen.GCC12O3, p.Name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pl, err := core.LiftBinary(img, p.Inputs())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := pl.Refine(); err != nil {
+				b.Fatal(err)
+			}
+			opt.Pipeline(pl.Mod)
+
+			measure := func(o codegen.Options) uint64 {
+				out, err := codegen.CompileWith(pl.Mod, p.Name+"-cg", o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := machine.Execute(out, p.Ref, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return res.Cycles
+			}
+
+			for i := 0; i < b.N; i++ {
+				full := measure(codegen.Options{})
+				b.ReportMetric(float64(measure(codegen.Options{NoTiles: true}))/float64(full), "no-tiles-ratio")
+				b.ReportMetric(float64(measure(codegen.Options{NoEAXFuse: true}))/float64(full), "no-eaxfuse-ratio")
+				b.ReportMetric(float64(measure(codegen.Options{NoCoalesce: true}))/float64(full), "no-coalesce-ratio")
+			}
+		})
+	}
+}

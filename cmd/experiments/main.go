@@ -1,0 +1,92 @@
+// Command experiments regenerates the paper's evaluation artifacts — Table 1,
+// Figure 6, Figure 7, the §6.1 functionality matrix, and the ablation study
+// — over the reproduction's benchmark suite.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|figure6|figure7|functionality|ablation]
+//	            [-scale N] [-progs bzip2,gcc,...]
+//
+// -scale overrides the benchmarks' ref input size (useful for quick runs);
+// the default -1 uses the full ref datasets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wytiwyg/internal/bench"
+	"wytiwyg/internal/bench/progs"
+	"wytiwyg/internal/minicc/gen"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table1, figure6, figure7, functionality, ablation")
+	scale := flag.Int("scale", -1, "override ref input scale (-1 = full ref datasets)")
+	progList := flag.String("progs", "", "comma-separated benchmark subset (default: all)")
+	flag.Parse()
+
+	selected := progs.All
+	if *progList != "" {
+		selected = nil
+		for _, name := range strings.Split(*progList, ",") {
+			p, ok := progs.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, p)
+		}
+	}
+
+	switch *exp {
+	case "all", "table1", "figure6", "figure7", "functionality":
+		fmt.Fprintf(os.Stderr, "running %d benchmarks x %d configurations...\n",
+			len(selected), len(bench.Configs))
+		rows, err := bench.Suite(selected, int32(*scale))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "suite: %v\n", err)
+			os.Exit(1)
+		}
+		switch *exp {
+		case "table1":
+			bench.Table1(os.Stdout, rows)
+		case "figure6":
+			bench.Figure6(os.Stdout, rows)
+		case "figure7":
+			bench.Figure7(os.Stdout, rows)
+		case "functionality":
+			bench.Functionality(os.Stdout, rows)
+		default:
+			bench.Functionality(os.Stdout, rows)
+			fmt.Println()
+			bench.Table1(os.Stdout, rows)
+			fmt.Println()
+			bench.Figure6(os.Stdout, rows)
+			fmt.Println()
+			bench.Figure7(os.Stdout, rows)
+		}
+	case "ablation":
+		var rows []*bench.AblationRow
+		for _, p := range selected {
+			if *scale > 0 {
+				p = bench.Scaled(p, int32(*scale))
+			}
+			for _, prof := range []gen.Profile{gen.GCC12O0, gen.GCC44O3} {
+				fmt.Fprintf(os.Stderr, "ablation %s/%s...\n", p.Name, prof.Name)
+				row, err := bench.Ablation(p, prof)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ablation %s/%s: %v\n", p.Name, prof.Name, err)
+					os.Exit(1)
+				}
+				rows = append(rows, row)
+			}
+		}
+		bench.AblationReport(os.Stdout, rows)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

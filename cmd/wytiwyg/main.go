@@ -1,0 +1,170 @@
+// Command wytiwyg drives the recompilation pipeline on a single program:
+// compile a mini-C source with a chosen compiler profile, trace it, lift it,
+// run the refinement-lifting sequence, optimize, recompile, and compare the
+// recovered binary against the original.
+//
+// Usage:
+//
+//	wytiwyg -src prog.c [-profile gcc12-O3] [-inputs 3,9] [-emit ir|asm|layout] [-sanitize]
+//	wytiwyg -bench hmmer [-profile gcc44-O3]
+//
+// Steps and outputs mirror the paper's Figure 4: the tool reports the trace
+// size, recovered functions, refined signatures, recovered stack layout and
+// the performance of the recompiled binary.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wytiwyg/internal/bench/progs"
+	"wytiwyg/internal/codegen"
+	"wytiwyg/internal/core"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/minicc/gen"
+	"wytiwyg/internal/opt"
+	"wytiwyg/internal/sanitize"
+	"wytiwyg/internal/symbolize"
+)
+
+func main() {
+	srcPath := flag.String("src", "", "mini-C source file to recompile")
+	benchName := flag.String("bench", "", "built-in benchmark name (alternative to -src)")
+	profName := flag.String("profile", "gcc12-O3", "compiler profile: gcc12-O3, gcc12-O0, clang16-O3, gcc44-O3")
+	inputsFlag := flag.String("inputs", "", "comma-separated integer inputs for tracing/validation")
+	emit := flag.String("emit", "", "additionally print: ir, asm, layout")
+	sanitizeFlag := flag.Bool("sanitize", false, "retrofit stack-bounds checks onto the recompiled binary")
+	flag.Parse()
+
+	prof, ok := gen.ProfileByName(*profName)
+	if !ok {
+		fail("unknown profile %q", *profName)
+	}
+
+	var src string
+	var inputs []machine.Input
+	switch {
+	case *benchName != "":
+		p, ok := progs.ByName(*benchName)
+		if !ok {
+			fail("unknown benchmark %q", *benchName)
+		}
+		src = p.Src
+		inputs = p.Inputs()
+	case *srcPath != "":
+		data, err := os.ReadFile(*srcPath)
+		if err != nil {
+			fail("read source: %v", err)
+		}
+		src = string(data)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *inputsFlag != "" {
+		inputs = nil
+		for _, f := range strings.Split(*inputsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fail("bad input %q", f)
+			}
+			inputs = append(inputs, machine.Input{Ints: []int32{int32(v)}})
+		}
+	}
+	if len(inputs) == 0 {
+		inputs = []machine.Input{{}}
+	}
+
+	img, err := gen.Build(src, prof, "input")
+	if err != nil {
+		fail("compile: %v", err)
+	}
+	fmt.Printf("input binary: %d instructions, profile %s\n", len(img.Code), prof.Name)
+
+	var nativeOut bytes.Buffer
+	nat, err := machine.Execute(img, inputs[len(inputs)-1], &nativeOut)
+	if err != nil {
+		fail("native run: %v", err)
+	}
+	fmt.Printf("native run: exit=%d cycles=%d\n", nat.ExitCode, nat.Cycles)
+
+	p, err := core.LiftBinary(img, inputs)
+	if err != nil {
+		fail("lift: %v", err)
+	}
+	fmt.Printf("trace: %d instructions covered, %d functions recovered, %d tail calls\n",
+		len(p.Trace.Executed), len(p.Rec.Funcs), len(p.Rec.TailCalls))
+
+	if err := p.Refine(); err != nil {
+		fail("refinement lifting: %v", err)
+	}
+	fmt.Printf("refined: emulated stack removed, %d functions symbolized\n", len(p.Mod.Funcs))
+	for _, f := range p.Mod.Funcs {
+		fmt.Printf("  %-20s %2d params (%d from the stack)\n", f.Name, len(f.Params), f.StackArgs)
+	}
+
+	if *sanitizeFlag {
+		checks := sanitize.Apply(p.Mod)
+		fmt.Printf("sanitizer: %d stack-bounds checks inserted\n", checks)
+	}
+	opt.Pipeline(p.Mod)
+
+	if *emit == "layout" || *emit == "ir" {
+		if *emit == "ir" {
+			fmt.Println(p.Mod)
+		}
+		rec := symbolize.RecoveredLayout(p.Mod)
+		fmt.Println("recovered stack layouts (post-optimization):")
+		for _, name := range rec.FuncNames() {
+			fr := rec.Frame(name)
+			if len(fr.Vars) > 0 {
+				fmt.Printf("  %s\n", fr)
+			}
+		}
+		if img.Truth != nil {
+			fmt.Println("compiler ground truth:")
+			for _, name := range img.Truth.FuncNames() {
+				fr := img.Truth.Frame(name)
+				if len(fr.Vars) > 0 && p.Mod.FuncByName(name) != nil {
+					fmt.Printf("  %s\n", fr)
+				}
+			}
+		}
+	}
+
+	out, err := codegen.Compile(p.Mod, "recovered")
+	if err != nil {
+		fail("recompile: %v", err)
+	}
+	fmt.Printf("recovered binary: %d instructions\n", len(out.Code))
+	if *emit == "asm" {
+		for i, in := range out.Code {
+			fmt.Printf("%6x: %s\n", i*16+0x1000, in.String())
+		}
+	}
+
+	var recOut bytes.Buffer
+	rec, err := machine.Execute(out, inputs[len(inputs)-1], &recOut)
+	if err != nil {
+		fail("recovered run: %v", err)
+	}
+	status := "MATCH"
+	if recOut.String() != nativeOut.String() || rec.ExitCode != nat.ExitCode {
+		status = "MISMATCH"
+	}
+	fmt.Printf("recovered run: exit=%d cycles=%d  functionality: %s\n", rec.ExitCode, rec.Cycles, status)
+	fmt.Printf("normalized runtime: %.3f (recovered / input)\n",
+		float64(rec.Cycles)/float64(nat.Cycles))
+	if status != "MATCH" {
+		os.Exit(1)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wytiwyg: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module wytiwyg
+
+go 1.22

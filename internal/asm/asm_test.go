@@ -1,0 +1,238 @@
+package asm
+
+import (
+	"testing"
+
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/obj"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder("t")
+	b.Func("main")
+	b.MovI(isa.EAX, 42)
+	b.Halt()
+	img, err := b.Link("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Entry != isa.CodeBase {
+		t.Errorf("entry = %#x", img.Entry)
+	}
+	if len(img.Code) != 2 {
+		t.Fatalf("len(code) = %d", len(img.Code))
+	}
+	if img.Code[0].Op != isa.MOVI || img.Code[0].Imm != 42 {
+		t.Errorf("instr 0 = %v", img.Code[0])
+	}
+	if n, ok := img.SymName(isa.CodeBase); !ok || n != "main" {
+		t.Errorf("symbol lookup: %q %v", n, ok)
+	}
+}
+
+func TestBuilderLabelsAndBranches(t *testing.T) {
+	b := NewBuilder("t")
+	b.Func("main")
+	b.Jmp("target") // forward reference
+	b.MovI(isa.EAX, 1)
+	b.Label("target")
+	b.Halt()
+	img, err := b.Link("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint32(img.Code[0].Imm) != obj.AddrOf(2) {
+		t.Errorf("jump target = %#x, want %#x", uint32(img.Code[0].Imm), obj.AddrOf(2))
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Func("main")
+	b.Jmp("nowhere")
+	b.Halt()
+	if _, err := b.Link("main"); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}
+
+func TestBuilderDuplicateLabelPanics(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate label did not panic")
+		}
+	}()
+	b.Label("x")
+}
+
+func TestBuilderData(t *testing.T) {
+	b := NewBuilder("t")
+	b.Asciz("msg", "hi")
+	addr := b.Space("buf", 16, 8)
+	if addr%8 != 0 {
+		t.Errorf("buf not aligned: %#x", addr)
+	}
+	b.Words("w", 1, 2, 3)
+	b.Func("main")
+	b.MovDataAddr(isa.EAX, "msg", 0)
+	b.LeaSym(isa.ECX, "buf", 4)
+	b.Halt()
+	img, err := b.Link("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgAddr, _ := b.DataAddr("msg")
+	if uint32(img.Code[0].Imm) != msgAddr {
+		t.Errorf("movi data fixup wrong: %#x want %#x", uint32(img.Code[0].Imm), msgAddr)
+	}
+	bufAddr, _ := b.DataAddr("buf")
+	if uint32(img.Code[1].Mem.Disp) != bufAddr+4 {
+		t.Errorf("lea fixup wrong")
+	}
+	if img.Data[0] != 'h' || img.Data[1] != 'i' || img.Data[2] != 0 {
+		t.Errorf("data = %v", img.Data[:3])
+	}
+}
+
+func TestBuilderJumpTable(t *testing.T) {
+	b := NewBuilder("t")
+	b.Func("main")
+	b.Jmp("c1")
+	b.Label("c0")
+	b.Halt()
+	b.Label("c1")
+	b.Halt()
+	b.JumpTable("tbl", "c0", "c1")
+	img, err := b.Link("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got0 := uint32(img.Data[0]) | uint32(img.Data[1])<<8 | uint32(img.Data[2])<<16 | uint32(img.Data[3])<<24
+	if got0 != obj.AddrOf(1) {
+		t.Errorf("table[0] = %#x, want %#x", got0, obj.AddrOf(1))
+	}
+}
+
+func TestBuilderExtern(t *testing.T) {
+	b := NewBuilder("t")
+	b.Func("main")
+	b.CallExt("printf")
+	b.CallExt("printf") // same address both times
+	b.CallExt("puts")
+	b.Halt()
+	img, err := b.Link("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Code[0].Imm != img.Code[1].Imm {
+		t.Error("extern address not stable")
+	}
+	if img.Code[0].Imm == img.Code[2].Imm {
+		t.Error("distinct externs share an address")
+	}
+	name, ok := img.ExtName(uint32(img.Code[0].Imm))
+	if !ok || name != "printf" {
+		t.Errorf("ExtName = %q, %v", name, ok)
+	}
+	if a, ok := img.ExtAddr("puts"); !ok || a != uint32(img.Code[2].Imm) {
+		t.Errorf("ExtAddr(puts) = %#x, %v", a, ok)
+	}
+}
+
+func TestAssembleText(t *testing.T) {
+	src := `
+; a tiny program
+.data
+msg: .asciz "x"
+buf: .space 8
+.text
+main:
+    movi eax, 10
+    push ebp
+    mov ebp, esp
+    subi esp, 16
+    store4 [ebp-4], eax
+    load4 ecx, [ebp-4]
+    lea edx, [ebp+ecx*4-8]
+    lea ebx, [buf+4]
+    cmpi ecx, 10
+    jne .bad
+    movi eax, 0
+    halt
+.bad:
+    movi eax, 1
+    halt
+`
+	img, err := Assemble("t", src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Code) != 14 {
+		t.Errorf("code len = %d", len(img.Code))
+	}
+	// lea with scaled index parsed correctly
+	in := img.Code[6]
+	if in.Op != isa.LEA || in.Mem.Base != isa.EBP || in.Mem.Index != isa.ECX ||
+		in.Mem.Scale != 4 || in.Mem.Disp != -8 {
+		t.Errorf("lea parsed as %v", in)
+	}
+	// .bad is a local label: not in symbol table
+	if _, ok := img.SymAddr(".bad"); ok {
+		t.Error("local label leaked into symbol table")
+	}
+	if _, ok := img.SymAddr("main"); !ok {
+		t.Error("main symbol missing")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"main:\n  bogus eax\n  halt",
+		"main:\n  movi\n  halt",
+		"main:\n  load4 eax, ebp\n  halt",
+		"main:\n  jmp\n  halt",
+		".data\nx: .space zz\n.text\nmain:\n  halt",
+		"main:\n  mov eax, qqq\n  halt",
+	}
+	for _, src := range bad {
+		if _, err := Assemble("t", src, ""); err == nil {
+			t.Errorf("accepted bad program %q", src)
+		}
+	}
+	if _, err := Assemble("t", "f:\n  halt", ""); err == nil {
+		t.Error("missing main accepted")
+	}
+}
+
+func TestParseMemForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want isa.MemRef
+		sym  string
+	}{
+		{"[ebp-20]", isa.MemRef{Base: isa.EBP, Index: isa.NoReg, Disp: -20}, ""},
+		{"[ebp+eax*8-44]", isa.MemRef{Base: isa.EBP, Index: isa.EAX, Scale: 8, Disp: -44}, ""},
+		{"[esp]", isa.MemRef{Base: isa.ESP, Index: isa.NoReg}, ""},
+		{"[msg]", isa.MemRef{Base: isa.NoReg, Index: isa.NoReg}, "msg"},
+		{"[buf+12]", isa.MemRef{Base: isa.NoReg, Index: isa.NoReg, Disp: 12}, "buf"},
+		{"[eax+ecx]", isa.MemRef{Base: isa.EAX, Index: isa.ECX, Scale: 1}, ""},
+		{"[4096]", isa.MemRef{Base: isa.NoReg, Index: isa.NoReg, Disp: 4096}, ""},
+	}
+	for _, tc := range cases {
+		mo, err := parseMem(tc.in)
+		if err != nil {
+			t.Errorf("parseMem(%q): %v", tc.in, err)
+			continue
+		}
+		if mo.mem != tc.want || mo.sym != tc.sym {
+			t.Errorf("parseMem(%q) = %+v/%q, want %+v/%q", tc.in, mo.mem, mo.sym, tc.want, tc.sym)
+		}
+	}
+	for _, bad := range []string{"ebp", "[ebp", "[-eax]", "[eax*z]", "[a+b]", "[eax+ebx+ecx]"} {
+		if _, err := parseMem(bad); err == nil {
+			t.Errorf("parseMem(%q) accepted", bad)
+		}
+	}
+}

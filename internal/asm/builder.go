@@ -1,0 +1,406 @@
+// Package asm provides two ways to construct binary images: a programmatic
+// Builder (used by the mini-C code generator and by tests) and a small
+// textual assembler (used by examples and by tests that transcribe the
+// paper's x86 listings, such as Figure 2's f1).
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/layout"
+	"wytiwyg/internal/obj"
+)
+
+type fixupKind uint8
+
+const (
+	fixImm      fixupKind = iota // code label -> Imm (branch/call targets)
+	fixImmCode                   // code label -> Imm (address materialization)
+	fixImmData                   // data symbol -> Imm (+addend)
+	fixDispData                  // data symbol -> Mem.Disp (+addend)
+	fixWord                      // code label -> 32-bit data word (jump tables)
+)
+
+type fixup struct {
+	kind   fixupKind
+	instr  int // instruction index (fixImm/fixImmData/fixDispData)
+	off    uint32
+	name   string
+	addend int32
+}
+
+// Builder assembles an image incrementally.
+type Builder struct {
+	code    []isa.Instr
+	labels  map[string]int
+	fixups  []fixup
+	data    []byte
+	dataSym map[string]uint32
+	externs map[string]uint32
+	nextExt uint32
+	syms    []obj.Symbol
+	truth   *layout.Program
+	name    string
+
+	// pendingDataLabel holds a data-section label awaiting its directive
+	// (textual assembler only).
+	pendingDataLabel string
+}
+
+// NewBuilder returns an empty builder for an image with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		labels:  make(map[string]int),
+		dataSym: make(map[string]uint32),
+		externs: make(map[string]uint32),
+		nextExt: isa.ExtBase,
+		truth:   layout.NewProgram(),
+		name:    name,
+	}
+}
+
+// PC returns the address the next emitted instruction will have.
+func (b *Builder) PC() uint32 { return obj.AddrOf(len(b.code)) }
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.code) }
+
+// Label binds a name to the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic("asm: duplicate label " + name)
+	}
+	b.labels[name] = len(b.code)
+}
+
+// Func binds a label and records a symbol for it.
+func (b *Builder) Func(name string) {
+	b.Label(name)
+	b.syms = append(b.syms, obj.Symbol{Name: name, Addr: b.PC()})
+}
+
+// Truth records the ground-truth frame layout for a function.
+func (b *Builder) Truth(f *layout.Frame) { b.truth.Add(f) }
+
+// Emit appends a raw instruction and returns its index.
+func (b *Builder) Emit(in isa.Instr) int {
+	b.code = append(b.code, in)
+	return len(b.code) - 1
+}
+
+// Extern returns the PLT address for an external function, assigning one on
+// first use.
+func (b *Builder) Extern(name string) uint32 {
+	if a, ok := b.externs[name]; ok {
+		return a
+	}
+	a := b.nextExt
+	b.nextExt += isa.InstrSize
+	b.externs[name] = a
+	return a
+}
+
+// --- data section ---
+
+func (b *Builder) align(n uint32) {
+	for uint32(len(b.data))%n != 0 {
+		b.data = append(b.data, 0)
+	}
+}
+
+// Space reserves size zeroed bytes of data under name and returns its
+// address.
+func (b *Builder) Space(name string, size uint32, alignTo uint32) uint32 {
+	if alignTo == 0 {
+		alignTo = 4
+	}
+	b.align(alignTo)
+	addr := isa.DataBase + uint32(len(b.data))
+	b.data = append(b.data, make([]byte, size)...)
+	if name != "" {
+		b.dataSym[name] = addr
+	}
+	return addr
+}
+
+// Bytes places raw bytes in the data section under name.
+func (b *Builder) Bytes(name string, data []byte) uint32 {
+	addr := isa.DataBase + uint32(len(b.data))
+	b.data = append(b.data, data...)
+	if name != "" {
+		b.dataSym[name] = addr
+	}
+	return addr
+}
+
+// Asciz places a NUL-terminated string and returns its address.
+func (b *Builder) Asciz(name, s string) uint32 {
+	return b.Bytes(name, append([]byte(s), 0))
+}
+
+// Words places 32-bit little-endian values.
+func (b *Builder) Words(name string, vals ...uint32) uint32 {
+	b.align(4)
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], v)
+	}
+	return b.Bytes(name, buf)
+}
+
+// JumpTable places a table of code-label addresses; entries are fixed up at
+// Link time.
+func (b *Builder) JumpTable(name string, codeLabels ...string) uint32 {
+	b.align(4)
+	addr := isa.DataBase + uint32(len(b.data))
+	for _, l := range codeLabels {
+		b.fixups = append(b.fixups, fixup{kind: fixWord, off: uint32(len(b.data)), name: l})
+		b.data = append(b.data, 0, 0, 0, 0)
+	}
+	if name != "" {
+		b.dataSym[name] = addr
+	}
+	return addr
+}
+
+// DataAddr returns the address of a previously placed data symbol.
+func (b *Builder) DataAddr(name string) (uint32, bool) {
+	a, ok := b.dataSym[name]
+	return a, ok
+}
+
+// --- instruction helpers ---
+
+// Mem builds a memory operand.
+func Mem(base isa.Reg, disp int32) isa.MemRef {
+	return isa.MemRef{Base: base, Index: isa.NoReg, Disp: disp}
+}
+
+// MemIdx builds a scaled-index memory operand.
+func MemIdx(base, index isa.Reg, scale uint8, disp int32) isa.MemRef {
+	return isa.MemRef{Base: base, Index: index, Scale: scale, Disp: disp}
+}
+
+// MemAbs builds an absolute (no register) memory operand.
+func MemAbs(addr uint32) isa.MemRef {
+	return isa.MemRef{Base: isa.NoReg, Index: isa.NoReg, Disp: int32(addr)}
+}
+
+// Mov emits dst = src.
+func (b *Builder) Mov(dst, src isa.Reg) { b.Emit(isa.Instr{Op: isa.MOV, Dst: dst, Src: src}) }
+
+// MovI emits dst = imm.
+func (b *Builder) MovI(dst isa.Reg, imm int32) {
+	b.Emit(isa.Instr{Op: isa.MOVI, Dst: dst, Imm: imm})
+}
+
+// MovDataAddr emits dst = address of data symbol + addend (fixed up at
+// link).
+func (b *Builder) MovDataAddr(dst isa.Reg, sym string, addend int32) {
+	i := b.Emit(isa.Instr{Op: isa.MOVI, Dst: dst})
+	b.fixups = append(b.fixups, fixup{kind: fixImmData, instr: i, name: sym, addend: addend})
+}
+
+// MovLabelAddr emits dst = address of a code label (function pointers).
+func (b *Builder) MovLabelAddr(dst isa.Reg, label string) {
+	i := b.Emit(isa.Instr{Op: isa.MOVI, Dst: dst})
+	b.fixups = append(b.fixups, fixup{kind: fixImmCode, instr: i, name: label})
+}
+
+// FixDataDisp registers a link-time fixup adding a data symbol's address
+// (plus addend) to the memory displacement of an already-emitted
+// instruction. Used for scaled accesses into global arrays.
+func (b *Builder) FixDataDisp(instr int, sym string, addend int32) {
+	b.fixups = append(b.fixups, fixup{kind: fixDispData, instr: instr, name: sym, addend: addend})
+}
+
+// Load emits dst = mem[size].
+func (b *Builder) Load(dst isa.Reg, m isa.MemRef, size uint8, signed bool) {
+	b.Emit(isa.Instr{Op: isa.LOAD, Dst: dst, Mem: m, Size: size, Signed: signed})
+}
+
+// LoadSym emits dst = mem[data symbol + addend].
+func (b *Builder) LoadSym(dst isa.Reg, sym string, addend int32, size uint8, signed bool) {
+	i := b.Emit(isa.Instr{Op: isa.LOAD, Dst: dst, Mem: isa.MemRef{Base: isa.NoReg, Index: isa.NoReg}, Size: size, Signed: signed})
+	b.fixups = append(b.fixups, fixup{kind: fixDispData, instr: i, name: sym, addend: addend})
+}
+
+// Store emits mem[size] = src.
+func (b *Builder) Store(m isa.MemRef, src isa.Reg, size uint8) {
+	b.Emit(isa.Instr{Op: isa.STORE, Src: src, Mem: m, Size: size})
+}
+
+// StoreSym emits mem[data symbol + addend] = src.
+func (b *Builder) StoreSym(sym string, addend int32, src isa.Reg, size uint8) {
+	i := b.Emit(isa.Instr{Op: isa.STORE, Src: src, Mem: isa.MemRef{Base: isa.NoReg, Index: isa.NoReg}, Size: size})
+	b.fixups = append(b.fixups, fixup{kind: fixDispData, instr: i, name: sym, addend: addend})
+}
+
+// StoreI emits mem[size] = imm.
+func (b *Builder) StoreI(m isa.MemRef, imm int32, size uint8) {
+	b.Emit(isa.Instr{Op: isa.STOREI, Imm: imm, Mem: m, Size: size})
+}
+
+// Lea emits dst = effective address.
+func (b *Builder) Lea(dst isa.Reg, m isa.MemRef) {
+	b.Emit(isa.Instr{Op: isa.LEA, Dst: dst, Mem: m})
+}
+
+// LeaSym emits dst = address of data symbol + addend.
+func (b *Builder) LeaSym(dst isa.Reg, sym string, addend int32) {
+	i := b.Emit(isa.Instr{Op: isa.LEA, Dst: dst, Mem: isa.MemRef{Base: isa.NoReg, Index: isa.NoReg}})
+	b.fixups = append(b.fixups, fixup{kind: fixDispData, instr: i, name: sym, addend: addend})
+}
+
+// Bin emits dst = dst op src for a register ALU op.
+func (b *Builder) Bin(op isa.Op, dst, src isa.Reg) {
+	if !op.IsBinOpReg() {
+		panic("asm: Bin with non-ALU op " + op.String())
+	}
+	b.Emit(isa.Instr{Op: op, Dst: dst, Src: src})
+}
+
+// BinI emits dst = dst op imm for an immediate ALU op.
+func (b *Builder) BinI(op isa.Op, dst isa.Reg, imm int32) {
+	if !op.IsBinOpImm() {
+		panic("asm: BinI with non-ALU-imm op " + op.String())
+	}
+	b.Emit(isa.Instr{Op: op, Dst: dst, Imm: imm})
+}
+
+// Neg emits dst = -dst.
+func (b *Builder) Neg(dst isa.Reg) { b.Emit(isa.Instr{Op: isa.NEG, Dst: dst}) }
+
+// Not emits dst = ^dst.
+func (b *Builder) Not(dst isa.Reg) { b.Emit(isa.Instr{Op: isa.NOT, Dst: dst}) }
+
+// Cmp emits flags <- a - b.
+func (b *Builder) Cmp(a, bb isa.Reg) { b.Emit(isa.Instr{Op: isa.CMP, Dst: a, Src: bb}) }
+
+// CmpI emits flags <- a - imm.
+func (b *Builder) CmpI(a isa.Reg, imm int32) {
+	b.Emit(isa.Instr{Op: isa.CMPI, Dst: a, Imm: imm})
+}
+
+// Test emits flags <- a & b.
+func (b *Builder) Test(a, bb isa.Reg) { b.Emit(isa.Instr{Op: isa.TEST, Dst: a, Src: bb}) }
+
+// Set emits dst = cond ? 1 : 0.
+func (b *Builder) Set(c isa.Cond, dst isa.Reg) {
+	b.Emit(isa.Instr{Op: isa.SET, Cond: c, Dst: dst})
+}
+
+// Push emits a register push.
+func (b *Builder) Push(src isa.Reg) { b.Emit(isa.Instr{Op: isa.PUSH, Src: src}) }
+
+// PushI emits an immediate push.
+func (b *Builder) PushI(imm int32) { b.Emit(isa.Instr{Op: isa.PUSHI, Imm: imm}) }
+
+// Pop emits a pop into dst.
+func (b *Builder) Pop(dst isa.Reg) { b.Emit(isa.Instr{Op: isa.POP, Dst: dst}) }
+
+// MovLo8 emits dst = (dst &^ 0xFF) | (src & 0xFF).
+func (b *Builder) MovLo8(dst, src isa.Reg) {
+	b.Emit(isa.Instr{Op: isa.MOVLO8, Dst: dst, Src: src})
+}
+
+// LoadLo8 emits a sub-register byte load.
+func (b *Builder) LoadLo8(dst isa.Reg, m isa.MemRef) {
+	b.Emit(isa.Instr{Op: isa.LOADLO8, Dst: dst, Mem: m})
+}
+
+// Jmp emits an unconditional jump to a label.
+func (b *Builder) Jmp(label string) {
+	i := b.Emit(isa.Instr{Op: isa.JMP})
+	b.fixups = append(b.fixups, fixup{kind: fixImm, instr: i, name: label})
+}
+
+// Jcc emits a conditional jump to a label.
+func (b *Builder) Jcc(c isa.Cond, label string) {
+	i := b.Emit(isa.Instr{Op: isa.JCC, Cond: c})
+	b.fixups = append(b.fixups, fixup{kind: fixImm, instr: i, name: label})
+}
+
+// JmpR emits an indirect jump through a register.
+func (b *Builder) JmpR(src isa.Reg) { b.Emit(isa.Instr{Op: isa.JMPR, Src: src}) }
+
+// Call emits a direct call to a code label.
+func (b *Builder) Call(label string) {
+	i := b.Emit(isa.Instr{Op: isa.CALL})
+	b.fixups = append(b.fixups, fixup{kind: fixImm, instr: i, name: label})
+}
+
+// CallExt emits a call to an external function.
+func (b *Builder) CallExt(name string) {
+	addr := b.Extern(name)
+	b.Emit(isa.Instr{Op: isa.CALL, Imm: int32(addr)})
+}
+
+// CallR emits an indirect call through a register.
+func (b *Builder) CallR(src isa.Reg) { b.Emit(isa.Instr{Op: isa.CALLR, Src: src}) }
+
+// Ret emits a return.
+func (b *Builder) Ret() { b.Emit(isa.Instr{Op: isa.RET}) }
+
+// Halt emits a machine halt.
+func (b *Builder) Halt() { b.Emit(isa.Instr{Op: isa.HALT}) }
+
+// Sys emits a syscall.
+func (b *Builder) Sys(num int32) { b.Emit(isa.Instr{Op: isa.SYS, Imm: num}) }
+
+// Link resolves fixups and produces the final image. entry names the label
+// execution starts at.
+func (b *Builder) Link(entry string) (*obj.Image, error) {
+	ei, ok := b.labels[entry]
+	if !ok {
+		return nil, fmt.Errorf("asm: undefined entry label %q", entry)
+	}
+	for _, f := range b.fixups {
+		switch f.kind {
+		case fixImm, fixImmCode:
+			idx, ok := b.labels[f.name]
+			if !ok {
+				return nil, fmt.Errorf("asm: undefined label %q", f.name)
+			}
+			b.code[f.instr].Imm = int32(obj.AddrOf(idx))
+		case fixImmData:
+			a, ok := b.dataSym[f.name]
+			if !ok {
+				return nil, fmt.Errorf("asm: undefined data symbol %q", f.name)
+			}
+			b.code[f.instr].Imm = int32(a) + f.addend
+		case fixDispData:
+			a, ok := b.dataSym[f.name]
+			if !ok {
+				return nil, fmt.Errorf("asm: undefined data symbol %q", f.name)
+			}
+			b.code[f.instr].Mem.Disp = int32(a) + f.addend
+		case fixWord:
+			idx, ok := b.labels[f.name]
+			if !ok {
+				return nil, fmt.Errorf("asm: undefined label %q in jump table", f.name)
+			}
+			binary.LittleEndian.PutUint32(b.data[f.off:], obj.AddrOf(idx))
+		}
+	}
+	externs := make(map[uint32]string, len(b.externs))
+	for n, a := range b.externs {
+		externs[a] = n
+	}
+	img := &obj.Image{
+		Code:    b.code,
+		Entry:   obj.AddrOf(ei),
+		Data:    b.data,
+		Externs: externs,
+		Syms:    b.syms,
+		Truth:   b.truth,
+		Name:    b.name,
+	}
+	img.SortSyms()
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	return img, nil
+}

@@ -1,0 +1,177 @@
+package asm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"wytiwyg/internal/asm"
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/layout"
+	"wytiwyg/internal/machine"
+)
+
+// A whole-API smoke test: build a program that exercises every Builder
+// emitter — ALU, memory, stack, control flow, data symbols, jump tables,
+// externals — link it and run it to a checked exit code.
+func TestBuilderFullAPI(t *testing.T) {
+	b := asm.NewBuilder("api")
+	if b.Len() != 0 {
+		t.Fatalf("fresh builder has %d instructions", b.Len())
+	}
+
+	b.Words("counter", 5)
+	b.Asciz("greet", "hi")
+	b.Space("scratch", 16, 4)
+	b.JumpTable("jt", "case0", "case1")
+
+	b.Func("main")
+	b.Truth(&layout.Frame{Func: "main", Vars: []layout.Var{{Name: "local", Offset: -4, Size: 4}}})
+
+	// ALU + mov forms: eax = (((5 | 8) & 13) ^ 1) => 12; edx = eax*2 - 4 => 20
+	b.MovI(isa.EAX, 5)
+	b.MovI(isa.ECX, 8)
+	b.Bin(isa.OR, isa.EAX, isa.ECX)
+	b.BinI(isa.ANDI, isa.EAX, 13)
+	b.BinI(isa.XORI, isa.EAX, 1)
+	b.Mov(isa.EDX, isa.EAX)
+	b.BinI(isa.SHLI, isa.EDX, 1)
+	b.BinI(isa.SUBI, isa.EDX, 4)
+
+	// Neg/Not round trips: neg(neg(x)) == x; not(not(x)) == x.
+	b.Neg(isa.EDX)
+	b.Neg(isa.EDX)
+	b.Not(isa.EDX)
+	b.Not(isa.EDX)
+
+	// Memory: store edx to the scratch global, load it back into ebx.
+	b.StoreSym("scratch", 0, isa.EDX, 4)
+	b.LoadSym(isa.EBX, "scratch", 0, 4, false)
+
+	// LeaSym + Load through a register-based operand.
+	b.LeaSym(isa.ESI, "counter", 0)
+	b.Load(isa.EDI, asm.Mem(isa.ESI, 0), 4, false) // edi = 5
+
+	// Scaled-index addressing: scratch[1]*4 via MemIdx.
+	b.MovI(isa.ECX, 1)
+	b.LeaSym(isa.ESI, "scratch", 0)
+	b.StoreI(asm.MemIdx(isa.ESI, isa.ECX, 4, 0), 7, 4) // scratch[1] = 7
+	b.Load(isa.EAX, asm.MemIdx(isa.ESI, isa.ECX, 4, 0), 4, false)
+
+	// Stack ops.
+	b.Push(isa.EAX)                  // 7
+	b.PushI(3)                       // 3
+	b.Pop(isa.ECX)                   // ecx = 3
+	b.Pop(isa.EAX)                   // eax = 7
+	b.Bin(isa.ADD, isa.EAX, isa.ECX) // 10
+
+	// Sub-register ops: eax = (eax &^ 0xFF) | (edi & 0xFF) = 5.
+	b.MovLo8(isa.EAX, isa.EDI)
+	b.LeaSym(isa.ESI, "greet", 0)
+	b.LoadLo8(isa.EDX, asm.Mem(isa.ESI, 0)) // edx low byte = 'h'
+
+	// Compare / set / branch.
+	b.CmpI(isa.EAX, 5)
+	b.Set(isa.CondEQ, isa.EBX) // ebx = 1
+	b.Cmp(isa.EBX, isa.EAX)
+	b.Jcc(isa.CondLT, "less")
+	b.Jmp("fail")
+
+	b.Label("less")
+	// Jump table dispatch: select case1 via jt[1].
+	b.MovDataAddr(isa.ESI, "jt", 0)
+	b.Load(isa.ESI, asm.Mem(isa.ESI, 4), 4, false)
+	b.JmpR(isa.ESI)
+
+	b.Label("case0")
+	b.Jmp("fail")
+
+	b.Label("case1")
+	// Indirect call through a code-label address.
+	b.MovLabelAddr(isa.EDI, "ok_fn")
+	b.CallR(isa.EDI)
+	// Direct call.
+	b.Call("bump")
+	// eax = 41 + 1 = 42 now; print then exit with it.
+	b.Push(isa.EAX)
+	b.CallExt("putint")
+	b.CallExt("exit")
+	b.Halt()
+
+	b.Label("fail")
+	b.PushI(99)
+	b.CallExt("exit")
+	b.Halt()
+
+	b.Func("ok_fn")
+	b.MovI(isa.EAX, 41)
+	b.Ret()
+
+	b.Func("bump")
+	b.BinI(isa.ADDI, isa.EAX, 1)
+	b.Ret()
+
+	if _, ok := b.DataAddr("greet"); !ok {
+		t.Error("greet data symbol not recorded")
+	}
+	if _, ok := b.DataAddr("nope"); ok {
+		t.Error("phantom data symbol resolved")
+	}
+
+	img, err := b.Link("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Truth == nil || img.Truth.Frames["main"] == nil {
+		t.Error("ground-truth side-table not propagated")
+	}
+	var out bytes.Buffer
+	res, err := machine.Execute(img, machine.Input{}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 42 {
+		t.Fatalf("exit = %d, want 42 (output %q)", res.ExitCode, out.String())
+	}
+	if out.String() != "42" {
+		t.Errorf("output = %q, want \"42\"", out.String())
+	}
+}
+
+// Link must fail cleanly on dangling references.
+func TestLinkErrors(t *testing.T) {
+	b := asm.NewBuilder("bad")
+	b.Func("main")
+	b.Jmp("nowhere")
+	b.Halt()
+	if _, err := b.Link("main"); err == nil {
+		t.Error("undefined label linked")
+	}
+
+	b2 := asm.NewBuilder("bad2")
+	b2.Func("main")
+	b2.Halt()
+	if _, err := b2.Link("absent"); err == nil {
+		t.Error("undefined entry label linked")
+	}
+
+	b3 := asm.NewBuilder("bad3")
+	b3.Func("main")
+	b3.MovDataAddr(isa.EAX, "ghost", 0)
+	b3.Halt()
+	if _, err := b3.Link("main"); err == nil {
+		t.Error("undefined data symbol linked")
+	}
+}
+
+// Bin/BinI reject non-ALU opcodes by panicking — programmer error, caught
+// in development.
+func TestBinRejectsNonALU(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bin(JMP) did not panic")
+		}
+	}()
+	b := asm.NewBuilder("p")
+	b.Func("main")
+	b.Bin(isa.JMP, isa.EAX, isa.ECX)
+}

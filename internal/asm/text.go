@@ -1,0 +1,625 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/obj"
+)
+
+// Assemble parses textual assembly and links it into an image. The syntax
+// is destination-first with bracketed memory operands:
+//
+//	; comment (# also works)
+//	.data
+//	buf:  .space 64
+//	msg:  .asciz "count=%d\n"
+//	tbl:  .table case0, case1      ; jump table of code labels
+//	vals: .word 1, 2, 3
+//	.text
+//	main:
+//	    push ebp
+//	    mov ebp, esp
+//	    subi esp, 24
+//	    movi eax, 5
+//	    store4 [ebp-4], eax
+//	    load4 ecx, [ebp+eax*4-8]
+//	    lea edx, [msg]
+//	    push eax
+//	    call @printf        ; @name calls an external
+//	    addi esp, 4
+//	    cmpi eax, 3
+//	    jlt less
+//	    halt
+//
+// Labels starting with '.' are local (branch targets); all others are
+// recorded in the image's symbol table as functions. Entry defaults to the
+// label "main" unless entry is non-empty.
+func Assemble(name, src, entry string) (*obj.Image, error) {
+	if entry == "" {
+		entry = "main"
+	}
+	b := NewBuilder(name)
+	inData := false
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by a directive/instruction on the same
+		// line).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t\"[") {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			switch {
+			case inData:
+				b.pendingDataLabel = label
+			case strings.HasPrefix(label, "."):
+				b.Label(label)
+			default:
+				b.Func(label)
+			}
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		switch {
+		case line == ".data":
+			inData = true
+			continue
+		case line == ".text":
+			inData = false
+			continue
+		}
+		var err error
+		if inData {
+			err = b.parseDataDirective(line)
+		} else {
+			err = b.parseInstr(line)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("asm: line %d: %q: %w", ln+1, raw, err)
+		}
+	}
+	return b.Link(entry)
+}
+
+func (b *Builder) takeDataLabel() string {
+	l := b.pendingDataLabel
+	b.pendingDataLabel = ""
+	return l
+}
+
+func (b *Builder) parseDataDirective(line string) error {
+	label := b.takeDataLabel()
+	dir, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch dir {
+	case ".space":
+		n, err := strconv.ParseUint(rest, 0, 32)
+		if err != nil {
+			return fmt.Errorf("bad .space size: %w", err)
+		}
+		b.Space(label, uint32(n), 4)
+	case ".asciz":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return fmt.Errorf("bad .asciz string: %w", err)
+		}
+		b.Asciz(label, s)
+	case ".word":
+		var vals []uint32
+		for _, f := range strings.Split(rest, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(f), 0, 64)
+			if err != nil {
+				return fmt.Errorf("bad .word value: %w", err)
+			}
+			vals = append(vals, uint32(v))
+		}
+		b.Words(label, vals...)
+	case ".table":
+		var labels []string
+		for _, f := range strings.Split(rest, ",") {
+			labels = append(labels, strings.TrimSpace(f))
+		}
+		b.JumpTable(label, labels...)
+	default:
+		return fmt.Errorf("unknown data directive %q", dir)
+	}
+	return nil
+}
+
+// memOperand is a parsed bracket operand.
+type memOperand struct {
+	mem    isa.MemRef
+	sym    string // data symbol, if any
+	addend int32  // symbol addend
+}
+
+func parseMem(s string) (memOperand, error) {
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return memOperand{}, fmt.Errorf("bad memory operand %q", s)
+	}
+	body := s[1 : len(s)-1]
+	out := memOperand{mem: isa.MemRef{Base: isa.NoReg, Index: isa.NoReg}}
+	// Split into signed terms.
+	var terms []string
+	cur := strings.Builder{}
+	for i, c := range body {
+		if (c == '+' || c == '-') && i > 0 {
+			terms = append(terms, cur.String())
+			cur.Reset()
+			if c == '-' {
+				cur.WriteByte('-')
+			}
+			continue
+		}
+		cur.WriteRune(c)
+	}
+	terms = append(terms, cur.String())
+	for _, t := range terms {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		neg := strings.HasPrefix(t, "-")
+		body := strings.TrimPrefix(t, "-")
+		if base, idx, ok := strings.Cut(body, "*"); ok {
+			// index*scale
+			r, rok := isa.RegByName(strings.TrimSpace(base))
+			sc, err := strconv.Atoi(strings.TrimSpace(idx))
+			if !rok || err != nil || neg {
+				return memOperand{}, fmt.Errorf("bad scaled index %q", t)
+			}
+			out.mem.Index = r
+			out.mem.Scale = uint8(sc)
+			continue
+		}
+		if r, ok := isa.RegByName(body); ok {
+			if neg {
+				return memOperand{}, fmt.Errorf("negated register %q", t)
+			}
+			if !out.mem.HasBase() {
+				out.mem.Base = r
+			} else if !out.mem.HasIndex() {
+				out.mem.Index = r
+				out.mem.Scale = 1
+			} else {
+				return memOperand{}, fmt.Errorf("too many registers in %q", body)
+			}
+			continue
+		}
+		if v, err := strconv.ParseInt(body, 0, 64); err == nil {
+			d := int32(v)
+			if neg {
+				d = -d
+			}
+			out.mem.Disp += d
+			continue
+		}
+		// Data symbol.
+		if out.sym != "" || neg {
+			return memOperand{}, fmt.Errorf("bad term %q", t)
+		}
+		out.sym = body
+	}
+	return out, nil
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	cur := strings.Builder{}
+	for _, c := range s {
+		switch {
+		case c == '[':
+			depth++
+			cur.WriteRune(c)
+		case c == ']':
+			depth--
+			cur.WriteRune(c)
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteRune(c)
+		}
+	}
+	if t := strings.TrimSpace(cur.String()); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	r, ok := isa.RegByName(s)
+	if !ok {
+		return isa.NoReg, fmt.Errorf("bad register %q", s)
+	}
+	return r, nil
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return int32(v), nil
+}
+
+var condByName = map[string]isa.Cond{
+	"eq": isa.CondEQ, "ne": isa.CondNE, "lt": isa.CondLT, "le": isa.CondLE,
+	"gt": isa.CondGT, "ge": isa.CondGE, "b": isa.CondB, "be": isa.CondBE,
+	"a": isa.CondA, "ae": isa.CondAE,
+}
+
+var binRegOps = map[string]isa.Op{
+	"add": isa.ADD, "sub": isa.SUB, "and": isa.AND, "or": isa.OR, "xor": isa.XOR,
+	"shl": isa.SHL, "shr": isa.SHR, "sar": isa.SAR, "mul": isa.MUL, "div": isa.DIV,
+	"mod": isa.MOD,
+}
+
+var binImmOps = map[string]isa.Op{
+	"addi": isa.ADDI, "subi": isa.SUBI, "andi": isa.ANDI, "ori": isa.ORI,
+	"xori": isa.XORI, "shli": isa.SHLI, "shri": isa.SHRI, "sari": isa.SARI,
+	"muli": isa.MULI, "divi": isa.DIVI, "modi": isa.MODI,
+}
+
+func (b *Builder) parseInstr(line string) error {
+	mn, rest, _ := strings.Cut(line, " ")
+	mn = strings.ToLower(mn)
+	ops := splitOperands(strings.TrimSpace(rest))
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", mn, n, len(ops))
+		}
+		return nil
+	}
+	// Size-suffixed loads/stores: load4, load2s, store1, storei4, ...
+	switch {
+	case strings.HasPrefix(mn, "load") && mn != "loadlo8":
+		suffix := mn[4:]
+		signed := strings.HasSuffix(suffix, "s")
+		suffix = strings.TrimSuffix(suffix, "s")
+		size, err := strconv.Atoi(suffix)
+		if err != nil {
+			return fmt.Errorf("bad load mnemonic %q", mn)
+		}
+		if err := need(2); err != nil {
+			return err
+		}
+		dst, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		mo, err := parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		if mo.sym != "" {
+			i := b.Emit(isa.Instr{Op: isa.LOAD, Dst: dst, Mem: mo.mem, Size: uint8(size), Signed: signed})
+			b.fixups = append(b.fixups, fixup{kind: fixDispData, instr: i, name: mo.sym, addend: mo.mem.Disp})
+			b.code[i].Mem.Disp = 0
+			return nil
+		}
+		b.Load(dst, mo.mem, uint8(size), signed)
+		return nil
+	case strings.HasPrefix(mn, "storei"):
+		size, err := strconv.Atoi(mn[6:])
+		if err != nil {
+			return fmt.Errorf("bad storei mnemonic %q", mn)
+		}
+		if err := need(2); err != nil {
+			return err
+		}
+		mo, err := parseMem(ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(ops[1])
+		if err != nil {
+			return err
+		}
+		i := b.Emit(isa.Instr{Op: isa.STOREI, Imm: imm, Mem: mo.mem, Size: uint8(size)})
+		if mo.sym != "" {
+			b.fixups = append(b.fixups, fixup{kind: fixDispData, instr: i, name: mo.sym, addend: mo.mem.Disp})
+			b.code[i].Mem.Disp = 0
+		}
+		return nil
+	case strings.HasPrefix(mn, "store"):
+		size, err := strconv.Atoi(mn[5:])
+		if err != nil {
+			return fmt.Errorf("bad store mnemonic %q", mn)
+		}
+		if err := need(2); err != nil {
+			return err
+		}
+		mo, err := parseMem(ops[0])
+		if err != nil {
+			return err
+		}
+		src, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		i := b.Emit(isa.Instr{Op: isa.STORE, Src: src, Mem: mo.mem, Size: uint8(size)})
+		if mo.sym != "" {
+			b.fixups = append(b.fixups, fixup{kind: fixDispData, instr: i, name: mo.sym, addend: mo.mem.Disp})
+			b.code[i].Mem.Disp = 0
+		}
+		return nil
+	}
+	if op, ok := binRegOps[mn]; ok {
+		if err := need(2); err != nil {
+			return err
+		}
+		dst, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		src, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Bin(op, dst, src)
+		return nil
+	}
+	if op, ok := binImmOps[mn]; ok {
+		if err := need(2); err != nil {
+			return err
+		}
+		dst, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(ops[1])
+		if err != nil {
+			return err
+		}
+		b.BinI(op, dst, imm)
+		return nil
+	}
+	if c, ok := condByName[strings.TrimPrefix(mn, "j")]; ok && strings.HasPrefix(mn, "j") && mn != "jmp" && mn != "jmpr" {
+		if err := need(1); err != nil {
+			return err
+		}
+		b.Jcc(c, ops[0])
+		return nil
+	}
+	if c, ok := condByName[strings.TrimPrefix(mn, "set")]; ok && strings.HasPrefix(mn, "set") {
+		if err := need(1); err != nil {
+			return err
+		}
+		dst, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		b.Set(c, dst)
+		return nil
+	}
+	switch mn {
+	case "nop":
+		b.Emit(isa.Instr{Op: isa.NOP})
+	case "mov":
+		if err := need(2); err != nil {
+			return err
+		}
+		dst, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		src, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Mov(dst, src)
+	case "movi":
+		if err := need(2); err != nil {
+			return err
+		}
+		dst, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		if imm, err := parseImm(ops[1]); err == nil {
+			b.MovI(dst, imm)
+		} else {
+			// movi dst, symbol — address of a data symbol.
+			b.MovDataAddr(dst, ops[1], 0)
+		}
+	case "movlo8":
+		if err := need(2); err != nil {
+			return err
+		}
+		dst, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		src, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.MovLo8(dst, src)
+	case "loadlo8":
+		if err := need(2); err != nil {
+			return err
+		}
+		dst, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		mo, err := parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		if mo.sym != "" {
+			i := b.Emit(isa.Instr{Op: isa.LOADLO8, Dst: dst, Mem: mo.mem})
+			b.fixups = append(b.fixups, fixup{kind: fixDispData, instr: i, name: mo.sym, addend: mo.mem.Disp})
+			b.code[i].Mem.Disp = 0
+			return nil
+		}
+		b.LoadLo8(dst, mo.mem)
+	case "lea":
+		if err := need(2); err != nil {
+			return err
+		}
+		dst, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		mo, err := parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		if mo.sym != "" {
+			i := b.Emit(isa.Instr{Op: isa.LEA, Dst: dst, Mem: mo.mem})
+			b.fixups = append(b.fixups, fixup{kind: fixDispData, instr: i, name: mo.sym, addend: mo.mem.Disp})
+			b.code[i].Mem.Disp = 0
+			return nil
+		}
+		b.Lea(dst, mo.mem)
+	case "neg", "not":
+		if err := need(1); err != nil {
+			return err
+		}
+		dst, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		if mn == "neg" {
+			b.Neg(dst)
+		} else {
+			b.Not(dst)
+		}
+	case "cmp":
+		if err := need(2); err != nil {
+			return err
+		}
+		a, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		bb, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Cmp(a, bb)
+	case "cmpi":
+		if err := need(2); err != nil {
+			return err
+		}
+		a, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(ops[1])
+		if err != nil {
+			return err
+		}
+		b.CmpI(a, imm)
+	case "test":
+		if err := need(2); err != nil {
+			return err
+		}
+		a, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		bb, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Test(a, bb)
+	case "push":
+		if err := need(1); err != nil {
+			return err
+		}
+		src, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		b.Push(src)
+	case "pushi":
+		if err := need(1); err != nil {
+			return err
+		}
+		if imm, err := parseImm(ops[0]); err == nil {
+			b.PushI(imm)
+		} else {
+			// pushi symbol — push a data symbol's address.
+			i := b.Emit(isa.Instr{Op: isa.PUSHI})
+			b.fixups = append(b.fixups, fixup{kind: fixImmData, instr: i, name: ops[0]})
+		}
+	case "pop":
+		if err := need(1); err != nil {
+			return err
+		}
+		dst, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		b.Pop(dst)
+	case "jmp":
+		if err := need(1); err != nil {
+			return err
+		}
+		b.Jmp(ops[0])
+	case "jmpr":
+		if err := need(1); err != nil {
+			return err
+		}
+		src, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		b.JmpR(src)
+	case "call":
+		if err := need(1); err != nil {
+			return err
+		}
+		if strings.HasPrefix(ops[0], "@") {
+			b.CallExt(ops[0][1:])
+		} else {
+			b.Call(ops[0])
+		}
+	case "callr":
+		if err := need(1); err != nil {
+			return err
+		}
+		src, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		b.CallR(src)
+	case "ret":
+		b.Ret()
+	case "halt":
+		b.Halt()
+	case "sys":
+		if err := need(1); err != nil {
+			return err
+		}
+		imm, err := parseImm(ops[0])
+		if err != nil {
+			return err
+		}
+		b.Sys(imm)
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	return nil
+}

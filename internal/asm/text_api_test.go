@@ -1,0 +1,219 @@
+package asm_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wytiwyg/internal/asm"
+	"wytiwyg/internal/machine"
+)
+
+// One program through the textual assembler that touches every mnemonic
+// family and data directive, then runs to a checked exit code and output.
+func TestAssembleFullSyntax(t *testing.T) {
+	src := `
+; comment with semicolon
+# comment with hash
+.data
+msg:    .asciz "ok"
+nums:   .word 3, 5, 7
+buf:    .space 16
+jtab:   .table .case0, .case1
+
+.text
+main:
+    nop
+    movi eax, 6
+    movi ecx, 3
+    add eax, ecx          ; 9
+    sub eax, ecx          ; 6
+    mul eax, ecx          ; 18
+    div eax, ecx          ; 6
+    mod eax, ecx          ; 0
+    or  eax, ecx          ; 3
+    and eax, ecx          ; 3
+    xor eax, ecx          ; 0
+    addi eax, 40          ; 40
+    subi eax, 8           ; 32
+    shli eax, 1           ; 64
+    shri eax, 2           ; 16
+    sari eax, 1           ; 8
+    muli eax, 3           ; 24
+    divi eax, 2           ; 12
+    modi eax, 7           ; 5
+    ori  eax, 8           ; 13
+    andi eax, 12          ; 12
+    xori eax, 1           ; 13
+    movi ecx, 1
+    shl eax, ecx          ; 26
+    shr eax, ecx          ; 13
+    sar eax, ecx          ; 6
+    neg eax
+    neg eax               ; back to 6
+    not eax
+    not eax               ; back to 6
+
+    ; symbol + scaled-index memory operands
+    movi ecx, 2
+    load4 edx, [nums+ecx*4]   ; nums[2] = 7
+    add eax, edx              ; 13
+    store4 [buf], eax
+    storei4 [buf+4], 29
+    load4 ebx, [buf+4]        ; 29
+    add eax, ebx              ; 42
+
+    ; byte-granularity ops
+    loadlo8 edx, [msg]        ; low byte = 'o'... actually 'o' is msg[0]? 'o'=0x6F? msg="ok", msg[0]='o'
+    movlo8 ebx, edx
+
+    ; lea through a register operand
+    lea esi, [buf+8]
+    storei4 [esi], 1
+    load4 edi, [buf+8]        ; 1
+
+    ; compares, conditional jumps, setcc
+    cmpi edi, 1
+    jeq .eq
+    jmp .fail
+.eq:
+    test edi, edi
+    jne .nz
+    jmp .fail
+.nz:
+    cmp edi, eax
+    jlt .less                 ; 1 < 42 signed
+    jmp .fail
+.less:
+    setbe ecx                 ; 1 <= 42 unsigned -> 1
+    cmpi ecx, 1
+    jge .go
+    jmp .fail
+.go:
+    ; jump-table dispatch through jmpr
+    movi esi, jtab
+    load4 esi, [esi+4]
+    jmpr esi
+
+.case0:
+    jmp .fail
+
+.case1:
+    ; stack + internal call: helper returns arg+1
+    store4 [buf+12], eax      ; save 42
+    push eax
+    call helper
+    addi esp, 4
+    cmpi eax, 43
+    jeq .done
+    jmp .fail
+
+.done:
+    load4 eax, [buf+12]       ; restore 42
+    push eax
+    call @putint
+    addi esp, 4
+    pushi msg
+    call @puts
+    addi esp, 4
+    load4 eax, [buf+12]       ; ext calls clobber eax with their return value
+    push eax
+    call @exit
+    halt
+
+.fail:
+    pushi 99
+    call @exit
+    halt
+
+helper:
+    load4 eax, [esp+4]
+    addi eax, 1
+    ret
+`
+	img, err := asm.Assemble("full", src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	res, err := machine.Execute(img, machine.Input{}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 42 {
+		t.Fatalf("exit = %d, want 42 (output %q)", res.ExitCode, out.String())
+	}
+	if out.String() != "42ok\n" {
+		t.Errorf("output = %q, want %q", out.String(), "42ok\n")
+	}
+}
+
+// Signed sub-word loads sign-extend; unsigned ones zero-extend.
+func TestAssembleSignedLoads(t *testing.T) {
+	src := `
+.data
+b:  .word 0xFFFFFF85
+
+.text
+main:
+    load1s eax, [b]        ; 0x85 sign-extended = -123
+    neg eax                ; 123
+    load2 ecx, [b]         ; 0xFF85 zero-extended
+    shri ecx, 8            ; 0xFF = 255
+    sub ecx, eax           ; 132
+    push ecx
+    call @exit
+    halt
+`
+	img, err := asm.Assemble("signed", src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machine.Execute(img, machine.Input{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 132 {
+		t.Errorf("exit = %d, want 132", res.ExitCode)
+	}
+}
+
+// Malformed assembly must produce location-bearing errors.
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown-mnemonic", "main:\n\tfrobnicate eax\n\thalt\n", "unknown mnemonic"},
+		{"bad-reg", "main:\n\tmov exx, eax\n\thalt\n", ""},
+		{"bad-mem", "main:\n\tload4 eax, nums\n\thalt\n", "memory operand"},
+		{"operand-count", "main:\n\tadd eax\n\thalt\n", "operands"},
+		{"bad-load-size", "main:\n\tloadq eax, [esp]\n\thalt\n", "load"},
+		{"bad-directive", ".data\nx: .quad 3\n.text\nmain:\n\thalt\n", "directive"},
+		{"bad-word", ".data\nx: .word zap\n.text\nmain:\n\thalt\n", "word"},
+		{"bad-space", ".data\nx: .space hello\n.text\nmain:\n\thalt\n", "space"},
+		{"bad-asciz", ".data\nx: .asciz noquotes\n.text\nmain:\n\thalt\n", "asciz"},
+		{"undefined-label", "main:\n\tjmp .nowhere\n\thalt\n", "undefined"},
+		{"negated-register", "main:\n\tload4 eax, [-esp]\n\thalt\n", ""},
+		{"three-registers", "main:\n\tload4 eax, [eax+ecx+edx]\n\thalt\n", ""},
+		{"bad-scale-reg", "main:\n\tload4 eax, [zz*4]\n\thalt\n", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := asm.Assemble("bad", c.src, "")
+			if err == nil {
+				t.Fatalf("assembled malformed source:\n%s", c.src)
+			}
+			if c.want != "" && !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+// The sys mnemonic assembles (its runtime behaviour is the machine's
+// concern, not the assembler's).
+func TestAssembleSys(t *testing.T) {
+	if _, err := asm.Assemble("s", "main:\n\tsys 1\n\thalt\n", ""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"wytiwyg/internal/bench/progs"
+	"wytiwyg/internal/codegen"
+	"wytiwyg/internal/core"
+	"wytiwyg/internal/minicc/gen"
+	"wytiwyg/internal/opt"
+)
+
+// AblationRow measures which parts of the stack contribute the speedup the
+// paper attributes to fine-grained symbolization (§6.2's analysis): the
+// same refined module compiled with optimizer passes selectively disabled.
+type AblationRow struct {
+	Program string
+	Config  string
+	Native  uint64
+	// Cycles per variant.
+	NoSym      uint64 // unsymbolized recompile (full optimizer)
+	SymNoMem   uint64 // symbolized, but no mem2reg/forwarding (alias info unused)
+	SymNoLICM  uint64 // symbolized, no loop-invariant motion
+	SymFull    uint64 // symbolized, full optimizer
+	StaticOnly uint64 // static (SecondWrite-like) symbolization, 0 if failed
+}
+
+// Ablation runs the variants for one benchmark/configuration.
+func Ablation(p progs.Program, prof gen.Profile) (*AblationRow, error) {
+	row := &AblationRow{Program: p.Name, Config: prof.Name}
+	img, err := gen.Build(p.Src, prof, p.Name)
+	if err != nil {
+		return nil, err
+	}
+	nat, err := measure(img, p.Ref)
+	if err != nil {
+		return nil, err
+	}
+	row.Native = nat.Cycles
+
+	run := func(refine bool, o opt.PipelineOpts) (uint64, error) {
+		pl, err := core.LiftBinary(img, p.Inputs())
+		if err != nil {
+			return 0, err
+		}
+		if refine {
+			if err := pl.Refine(); err != nil {
+				return 0, err
+			}
+		}
+		opt.PipelineWith(pl.Mod, o)
+		out, err := codegen.Compile(pl.Mod, p.Name)
+		if err != nil {
+			return 0, err
+		}
+		m, err := measure(out, p.Ref)
+		if err != nil {
+			return 0, err
+		}
+		if m.Output != nat.Output || m.ExitCode != nat.ExitCode {
+			return 0, fmt.Errorf("ablation: %s: behaviour mismatch", p.Name)
+		}
+		return m.Cycles, nil
+	}
+	if row.NoSym, err = run(false, opt.PipelineOpts{}); err != nil {
+		return nil, err
+	}
+	if row.SymNoMem, err = run(true, opt.PipelineOpts{NoMem2Reg: true, NoMemOpt: true}); err != nil {
+		return nil, err
+	}
+	if row.SymNoLICM, err = run(true, opt.PipelineOpts{NoLICM: true}); err != nil {
+		return nil, err
+	}
+	if row.SymFull, err = run(true, opt.PipelineOpts{}); err != nil {
+		return nil, err
+	}
+	if sw := runStatic(img, p); !sw.Failed {
+		row.StaticOnly = sw.Cycles
+	}
+	return row, nil
+}
+
+// AblationReport renders the ablation table.
+func AblationReport(w io.Writer, rows []*AblationRow) {
+	fmt.Fprintln(w, "Ablation: normalized runtime vs the input binary (lower is better)")
+	fmt.Fprintln(w, "  no-sym      : recompiled without symbolization (BinRec baseline)")
+	fmt.Fprintln(w, "  sym-no-mem  : symbolized, but mem2reg/store-forwarding disabled")
+	fmt.Fprintln(w, "  sym-no-licm : symbolized, loop-invariant motion disabled")
+	fmt.Fprintln(w, "  sym-full    : the complete WYTIWYG pipeline")
+	fmt.Fprintln(w, "  static      : SecondWrite-like static symbolization (— on failure)")
+	fmt.Fprintf(w, "%-12s %-10s %8s %12s %12s %9s %8s\n",
+		"benchmark", "config", "no-sym", "sym-no-mem", "sym-no-licm", "sym-full", "static")
+	rat := func(c uint64, n uint64) string {
+		if c == 0 || n == 0 {
+			return "—"
+		}
+		return fmt.Sprintf("%.2f", float64(c)/float64(n))
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-10s %8s %12s %12s %9s %8s\n",
+			r.Program, r.Config,
+			rat(r.NoSym, r.Native), rat(r.SymNoMem, r.Native),
+			rat(r.SymNoLICM, r.Native), rat(r.SymFull, r.Native),
+			rat(r.StaticOnly, r.Native))
+	}
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"testing"
+
+	"wytiwyg/internal/bench/progs"
+	"wytiwyg/internal/layout"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/minicc/gen"
+)
+
+// Every benchmark must compile and run natively under every profile, with
+// identical behaviour across profiles (the programs are profile-independent
+// C).
+func TestProgramsRunNatively(t *testing.T) {
+	for _, p := range progs.All {
+		small := Scaled(p, 2)
+		var want Measurement
+		for pi, prof := range gen.Profiles {
+			img, err := gen.Build(small.Src, prof, p.Name)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, prof.Name, err)
+			}
+			m, err := measure(img, small.Ref)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.Name, prof.Name, err)
+			}
+			if m.Output == "" {
+				t.Errorf("%s/%s: no output", p.Name, prof.Name)
+			}
+			if pi == 0 {
+				want = m
+			} else if m.Output != want.Output || m.ExitCode != want.ExitCode {
+				t.Errorf("%s/%s: behaviour differs across profiles: %q/%d vs %q/%d",
+					p.Name, prof.Name, m.Output, m.ExitCode, want.Output, want.ExitCode)
+			}
+		}
+	}
+}
+
+// E1 (functionality) at reduced scale: the full pipeline must hold for
+// every benchmark; run one modern and one legacy profile to bound time.
+func TestFunctionalitySmall(t *testing.T) {
+	for _, p := range progs.All {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			small := Scaled(p, 3)
+			for _, prof := range []gen.Profile{gen.GCC12O3, gen.GCC44O3} {
+				row, err := RunProgram(small, prof)
+				if err != nil {
+					t.Fatalf("%s: %v", prof.Name, err)
+				}
+				// RunProgram already asserts functionality; sanity-check the
+				// measurements exist.
+				if row.Sym.Cycles == 0 || row.NoSym.Cycles == 0 {
+					t.Errorf("%s: zero cycle measurement", prof.Name)
+				}
+				// Symbolization must not be slower than the raw recompile.
+				if row.Sym.Cycles > row.NoSym.Cycles {
+					t.Errorf("%s: sym %d cycles > nosym %d", prof.Name,
+						row.Sym.Cycles, row.NoSym.Cycles)
+				}
+			}
+		})
+	}
+}
+
+// Figure 7 shape at small scale: accuracy dominated by matched+oversized.
+func TestAccuracyShape(t *testing.T) {
+	var agg layout.Accuracy
+	for _, p := range progs.All {
+		p := p
+		small := Scaled(p, 3)
+		row, err := RunProgram(small, gen.GCC12O0)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		agg.Add(row.Accuracy)
+	}
+	if agg.TruthTotal == 0 {
+		t.Fatal("no ground-truth objects compared")
+	}
+	rec := agg.Recall()
+	prec := agg.Precision()
+	t.Logf("aggregate precision=%.3f recall=%.3f counts=%v (of %d)",
+		prec, rec, agg.Counts, agg.TruthTotal)
+	if rec < 0.6 {
+		t.Errorf("recall %.3f too low", rec)
+	}
+	if prec < 0.6 {
+		t.Errorf("precision %.3f too low", prec)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); g < 3.99 || g > 4.01 {
+		t.Errorf("Geomean = %v", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("empty Geomean = %v", g)
+	}
+	if g := Geomean([]float64{0, 5}); g != 5 {
+		t.Errorf("Geomean skipping zeros = %v", g)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := progs.All[0]
+	s := Scaled(p, 9)
+	if len(s.Ref.Ints) != 1 || s.Ref.Ints[0] != 9 {
+		t.Errorf("Scaled ref = %v", s.Ref)
+	}
+	if p.Ref.Ints[0] == 9 {
+		t.Error("Scaled mutated the original")
+	}
+	if _, ok := progs.ByName("hmmer"); !ok {
+		t.Error("ByName failed")
+	}
+	if _, ok := progs.ByName("nope"); ok {
+		t.Error("ByName found a ghost")
+	}
+}
+
+var _ = machine.Input{}

@@ -1,0 +1,916 @@
+// Package progs contains the reproduction's benchmark suite: ten mini-C
+// workloads named after and motif-matched to the SPECint 2006 programs the
+// paper evaluates (§6). Each is a real, loop-and-pointer-heavy computation
+// with deterministic output; the `train` input drives extra trace coverage
+// and `ref` is the measured dataset, mirroring the paper's use of the SPEC
+// ref inputs for both tracing and validation.
+package progs
+
+import "wytiwyg/internal/machine"
+
+// Program is one benchmark.
+type Program struct {
+	Name string
+	// Motif documents which SPEC behaviour the workload recreates.
+	Motif string
+	Src   string
+	// Train is an additional coverage input; Ref is the measured input.
+	Train machine.Input
+	Ref   machine.Input
+}
+
+// Inputs returns the trace inputs (train + ref).
+func (p Program) Inputs() []machine.Input {
+	return []machine.Input{p.Train, p.Ref}
+}
+
+// All lists the suite in the paper's Table 1 row order.
+var All = []Program{
+	{
+		Name:  "bzip2",
+		Motif: "block compression: run-length + move-to-front + order-0 model",
+		Src:   bzip2Src,
+		Train: machine.Input{Ints: []int32{6}},
+		Ref:   machine.Input{Ints: []int32{26}},
+	},
+	{
+		Name:  "gcc",
+		Motif: "compiler: tokenizer + recursive-descent parser + constant folder",
+		Src:   gccSrc,
+		Train: machine.Input{Ints: []int32{4}},
+		Ref:   machine.Input{Ints: []int32{18}},
+	},
+	{
+		Name:  "mcf",
+		Motif: "network optimization: Bellman-Ford relaxation over arc arrays",
+		Src:   mcfSrc,
+		Train: machine.Input{Ints: []int32{8}},
+		Ref:   machine.Input{Ints: []int32{26}},
+	},
+	{
+		Name:  "gobmk",
+		Motif: "board game: flood-fill liberty counting and greedy play",
+		Src:   gobmkSrc,
+		Train: machine.Input{Ints: []int32{4}},
+		Ref:   machine.Input{Ints: []int32{12}},
+	},
+	{
+		Name:  "hmmer",
+		Motif: "profile HMM: Viterbi-style dynamic-programming matrix fill",
+		Src:   hmmerSrc,
+		Train: machine.Input{Ints: []int32{6}},
+		Ref:   machine.Input{Ints: []int32{34}},
+	},
+	{
+		Name:  "sjeng",
+		Motif: "game tree: alpha-beta search with evaluation and move ordering",
+		Src:   sjengSrc,
+		Train: machine.Input{Ints: []int32{5}},
+		Ref:   machine.Input{Ints: []int32{9}},
+	},
+	{
+		Name:  "libquantum",
+		Motif: "quantum simulation: gate sweeps over an amplitude register",
+		Src:   libquantumSrc,
+		Train: machine.Input{Ints: []int32{6}},
+		Ref:   machine.Input{Ints: []int32{40}},
+	},
+	{
+		Name:  "h264ref",
+		Motif: "video coding: 4x4 integer transform + SAD motion search",
+		Src:   h264refSrc,
+		Train: machine.Input{Ints: []int32{3}},
+		Ref:   machine.Input{Ints: []int32{12}},
+	},
+	{
+		Name:  "astar",
+		Motif: "pathfinding: A* over a weighted grid with an open list",
+		Src:   astarSrc,
+		Train: machine.Input{Ints: []int32{7}},
+		Ref:   machine.Input{Ints: []int32{19}},
+	},
+	{
+		Name:  "xalancbmk",
+		Motif: "document transform: token tree build + fnptr-dispatched rendering",
+		Src:   xalancbmkSrc,
+		Train: machine.Input{Ints: []int32{4}},
+		Ref:   machine.Input{Ints: []int32{14}},
+	},
+}
+
+// ByName finds a benchmark.
+func ByName(name string) (Program, bool) {
+	for _, p := range All {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}
+
+const bzip2Src = `
+extern int printf(char *fmt, ...);
+extern int input_int(int i);
+
+int seed = 12345;
+char raw[4096];
+char rle[8192];
+char mtf[8192];
+int freq[256];
+
+int nextRand() {
+	seed = seed * 1103515245 + 12345;
+	int v = (seed >> 16) % 32768;
+	if (v < 0) v = -v;
+	return v;
+}
+
+int generate(int n) {
+	int i, run = 0;
+	char c = 'a';
+	for (i = 0; i < n; i++) {
+		if (run == 0) {
+			c = (char)('a' + nextRand() % 16);
+			run = 1 + nextRand() % 9;
+		}
+		raw[i] = c;
+		run--;
+	}
+	return n;
+}
+
+/* run-length encode raw[0..n) into rle, returning its length */
+int runLength(int n) {
+	int i = 0, out = 0;
+	while (i < n) {
+		char c = raw[i];
+		int run = 0;
+		while (i + run < n && raw[i + run] == c && run < 255) run++;
+		rle[out] = c;
+		rle[out + 1] = (char)run;
+		out += 2;
+		i += run;
+	}
+	return out;
+}
+
+/* move-to-front transform of rle[0..n) into mtf */
+int moveToFront(int n) {
+	char order[256];
+	int i, j;
+	for (i = 0; i < 256; i++) order[i] = (char)i;
+	for (i = 0; i < n; i++) {
+		char c = rle[i];
+		j = 0;
+		while (order[j] != c) j++;
+		mtf[i] = (char)j;
+		while (j > 0) {
+			order[j] = order[j - 1];
+			j--;
+		}
+		order[0] = c;
+	}
+	return n;
+}
+
+/* order-0 frequency model cost, scaled */
+int entropyCost(int n) {
+	int i, cost = 0;
+	for (i = 0; i < 256; i++) freq[i] = 0;
+	for (i = 0; i < n; i++) {
+		int b = mtf[i];
+		if (b < 0) b += 256;
+		freq[b]++;
+	}
+	for (i = 0; i < 256; i++) {
+		int f = freq[i];
+		int bits = 8;
+		while (f > 0) { bits--; f = f / 2; }
+		if (bits < 1) bits = 1;
+		cost += freq[i] * bits;
+	}
+	return cost;
+}
+
+int main() {
+	int scale = input_int(0);
+	int n = 128 * scale;
+	if (n > 4096) n = 4096;
+	int total = 0, block;
+	for (block = 0; block < 4; block++) {
+		generate(n);
+		int r = runLength(n);
+		moveToFront(r);
+		total += entropyCost(r) + r;
+	}
+	printf("bzip2 checksum=%d\n", total);
+	return total % 251;
+}
+`
+
+const gccSrc = `
+extern int printf(char *fmt, ...);
+extern int sprintf(char *dst, char *fmt, ...);
+extern int input_int(int i);
+
+int seed = 99;
+char srcbuf[512];
+int pos = 0;
+
+/* expression node pool */
+int nkind[512];
+int nval[512];
+int nleft[512];
+int nright[512];
+int nodes = 0;
+
+int nextRand() {
+	seed = seed * 1103515245 + 12345;
+	int v = (seed >> 16) % 32768;
+	if (v < 0) v = -v;
+	return v;
+}
+
+/* generate a random arithmetic expression string */
+int emit(int depth, int at) {
+	if (depth <= 0 || at > 480) {
+		return at + sprintf(&srcbuf[at], "%d", 1 + nextRand() % 97);
+	}
+	int op = nextRand() % 4;
+	char c = '+';
+	if (op == 1) c = '-';
+	if (op == 2) c = '*';
+	if (op == 3) c = '+';
+	srcbuf[at] = '(';
+	at++;
+	at = emit(depth - 1, at);
+	srcbuf[at] = c;
+	at++;
+	at = emit(depth - 1, at);
+	srcbuf[at] = ')';
+	return at + 1;
+}
+
+int peek() { return srcbuf[pos]; }
+
+int newNode(int kind, int val, int l, int r) {
+	nkind[nodes] = kind;
+	nval[nodes] = val;
+	nleft[nodes] = l;
+	nright[nodes] = r;
+	nodes++;
+	return nodes - 1;
+}
+
+int parseExpr();
+
+int parsePrimary() {
+	if (peek() == '(') {
+		pos++;
+		int e = parseExpr();
+		pos++; /* ')' */
+		return e;
+	}
+	int v = 0;
+	while (peek() >= '0' && peek() <= '9') {
+		v = v * 10 + (peek() - '0');
+		pos++;
+	}
+	return newNode(0, v, -1, -1);
+}
+
+int parseExpr() {
+	int l = parsePrimary();
+	while (peek() == '+' || peek() == '-' || peek() == '*') {
+		int op = peek();
+		pos++;
+		int r = parsePrimary();
+		int kind = 1;
+		if (op == '-') kind = 2;
+		if (op == '*') kind = 3;
+		l = newNode(kind, 0, l, r);
+	}
+	return l;
+}
+
+/* constant folding pass over the tree */
+int fold(int n) {
+	switch (nkind[n]) {
+	case 0: return nval[n];
+	case 1: return fold(nleft[n]) + fold(nright[n]);
+	case 2: return fold(nleft[n]) - fold(nright[n]);
+	case 3: return fold(nleft[n]) * fold(nright[n]);
+	default: return 0;
+	}
+}
+
+int main() {
+	int scale = input_int(0);
+	int total = 0, i;
+	for (i = 0; i < scale; i++) {
+		pos = 0;
+		nodes = 0;
+		int end = emit(4, 0);
+		srcbuf[end] = 0;
+		int root = parseExpr();
+		int v = fold(root);
+		total += (v % 9973) + nodes;
+	}
+	printf("gcc checksum=%d nodes=%d\n", total, nodes);
+	return total % 251;
+}
+`
+
+const mcfSrc = `
+extern int printf(char *fmt, ...);
+extern int input_int(int i);
+
+int seed = 7;
+int arcFrom[2048];
+int arcTo[2048];
+int arcCost[2048];
+int dist[256];
+
+int nextRand() {
+	seed = seed * 1103515245 + 12345;
+	int v = (seed >> 16) % 32768;
+	if (v < 0) v = -v;
+	return v;
+}
+
+int main() {
+	int scale = input_int(0);
+	int nodes = 16 + scale * 4;
+	if (nodes > 256) nodes = 256;
+	int arcs = nodes * 6;
+	if (arcs > 2048) arcs = 2048;
+
+	int i, r;
+	for (i = 0; i < arcs; i++) {
+		arcFrom[i] = nextRand() % nodes;
+		arcTo[i] = nextRand() % nodes;
+		arcCost[i] = 1 + nextRand() % 97;
+	}
+	for (i = 0; i < nodes; i++) dist[i] = 1000000;
+	dist[0] = 0;
+
+	/* Bellman-Ford relaxations: the mcf-style pointer-chasing sweep */
+	int changed = 1;
+	for (r = 0; r < nodes && changed; r++) {
+		changed = 0;
+		for (i = 0; i < arcs; i++) {
+			int f = arcFrom[i];
+			int t = arcTo[i];
+			int nd = dist[f] + arcCost[i];
+			if (nd < dist[t]) {
+				dist[t] = nd;
+				changed = 1;
+			}
+		}
+	}
+	int total = 0;
+	for (i = 0; i < nodes; i++) {
+		if (dist[i] < 1000000) total += dist[i];
+	}
+	printf("mcf checksum=%d rounds=%d\n", total, r);
+	return total % 251;
+}
+`
+
+const gobmkSrc = `
+extern int printf(char *fmt, ...);
+extern int input_int(int i);
+
+int seed = 31;
+char board[196]; /* 14x14 max */
+char mark[196];
+int size = 9;
+
+int nextRand() {
+	seed = seed * 1103515245 + 12345;
+	int v = (seed >> 16) % 32768;
+	if (v < 0) v = -v;
+	return v;
+}
+
+/* flood-fill the group at (x,y) counting liberties */
+int liberties(int x, int y, char color) {
+	if (x < 0 || y < 0 || x >= size || y >= size) return 0;
+	int at = y * size + x;
+	if (mark[at]) return 0;
+	mark[at] = 1;
+	char c = board[at];
+	if (c == 0) return 1;
+	if (c != color) return 0;
+	return liberties(x - 1, y, color) + liberties(x + 1, y, color) +
+		liberties(x, y - 1, color) + liberties(x, y + 1, color);
+}
+
+int clearMarks() {
+	int i;
+	for (i = 0; i < size * size; i++) mark[i] = 0;
+	return 0;
+}
+
+int main() {
+	int scale = input_int(0);
+	size = 7 + scale / 4;
+	if (size > 13) size = 13;
+	int moves = scale * 12;
+	int i, total = 0;
+	for (i = 0; i < size * size; i++) board[i] = 0;
+
+	char color = 1;
+	for (i = 0; i < moves; i++) {
+		/* greedy: try a few random spots, keep the one with most liberties */
+		int best = -1, bestLib = -1, t;
+		for (t = 0; t < 6; t++) {
+			int at = nextRand() % (size * size);
+			if (board[at] != 0) continue;
+			board[at] = color;
+			clearMarks();
+			int lib = liberties(at % size, at / size, color);
+			board[at] = 0;
+			if (lib > bestLib) { bestLib = lib; best = at; }
+		}
+		if (best >= 0) {
+			board[best] = color;
+			total += bestLib;
+		}
+		if (color == 1) color = 2;
+		else color = 1;
+	}
+	printf("gobmk checksum=%d size=%d\n", total, size);
+	return total % 251;
+}
+`
+
+const hmmerSrc = `
+extern int printf(char *fmt, ...);
+extern int input_int(int i);
+
+int seed = 5;
+int match[32][8];
+int insert[32][8];
+int vit[33][8];
+char sequence[512];
+
+int nextRand() {
+	seed = seed * 1103515245 + 12345;
+	int v = (seed >> 16) % 32768;
+	if (v < 0) v = -v;
+	return v;
+}
+
+int max2(int a, int b) { if (a > b) return a; return b; }
+
+int main() {
+	int scale = input_int(0);
+	int seqLen = 32 + scale * 12;
+	if (seqLen > 512) seqLen = 512;
+	int states = 8;
+	int i, j, k;
+
+	for (i = 0; i < 32; i++) {
+		for (j = 0; j < states; j++) {
+			match[i][j] = nextRand() % 32 - 16;
+			insert[i][j] = nextRand() % 16 - 8;
+		}
+	}
+	for (i = 0; i < seqLen; i++) sequence[i] = (char)(nextRand() % 32);
+
+	/* Viterbi-like fill: the hmmer hot loop */
+	int total = 0, pass;
+	for (pass = 0; pass < 4; pass++) {
+		for (j = 0; j < states; j++) vit[0][j] = 0;
+		for (i = 1; i <= seqLen; i++) {
+			int row = i % 33;
+			int prev = (i - 1) % 33;
+			int sym = sequence[i - 1];
+			for (j = 0; j < states; j++) {
+				int m = vit[prev][j] + match[sym % 32][j];
+				int ins = 0;
+				if (j > 0) ins = vit[row][j - 1] + insert[sym % 32][j];
+				int diag = 0;
+				if (j > 0) diag = vit[prev][j - 1] + match[sym % 32][j] + 2;
+				vit[row][j] = max2(m, max2(ins, diag));
+			}
+		}
+		k = (seqLen) % 33;
+		for (j = 0; j < states; j++) total += vit[k][j];
+	}
+	printf("hmmer checksum=%d len=%d\n", total, seqLen);
+	return total % 251;
+}
+`
+
+const sjengSrc = `
+extern int printf(char *fmt, ...);
+extern int input_int(int i);
+
+int seed = 77;
+int pile[8];
+int nodesVisited = 0;
+
+int nextRand() {
+	seed = seed * 1103515245 + 12345;
+	int v = (seed >> 16) % 32768;
+	if (v < 0) v = -v;
+	return v;
+}
+
+int evaluate() {
+	int i, v = 0;
+	for (i = 0; i < 8; i++) v += pile[i] * (i + 1);
+	return v % 64 - 32;
+}
+
+/* alpha-beta over a take-away game */
+int search(int depth, int alpha, int beta, int side) {
+	nodesVisited++;
+	if (depth == 0) {
+		if (side == 1) return evaluate();
+		return -evaluate();
+	}
+	int i, take;
+	int any = 0;
+	for (i = 0; i < 8; i++) {
+		for (take = 1; take <= 3 && take <= pile[i]; take++) {
+			any = 1;
+			pile[i] -= take;
+			int score = -search(depth - 1, -beta, -alpha, -side);
+			pile[i] += take;
+			if (score >= beta) return beta;
+			if (score > alpha) alpha = score;
+		}
+	}
+	if (!any) return -100 + depth;
+	return alpha;
+}
+
+int main() {
+	int scale = input_int(0);
+	int depth = 3 + scale / 4;
+	if (depth > 6) depth = 6;
+	int game, total = 0;
+	for (game = 0; game < 3; game++) {
+		int i;
+		for (i = 0; i < 8; i++) pile[i] = 1 + nextRand() % 3;
+		total += search(depth, -1000, 1000, 1);
+	}
+	printf("sjeng checksum=%d nodes=%d\n", total, nodesVisited);
+	return (total + nodesVisited) % 251;
+}
+`
+
+const libquantumSrc = `
+extern int printf(char *fmt, ...);
+extern int input_int(int i);
+
+int reg[1024];
+int scratch[1024];
+
+int main() {
+	int scale = input_int(0);
+	int qubits = 8;
+	int n = 1 << qubits; /* 256 amplitudes */
+	int sweeps = scale * 4;
+	int i, s;
+
+	for (i = 0; i < n; i++) reg[i] = i * 2654435761;
+
+	/* gate sweeps: the libquantum array-walk signature */
+	for (s = 0; s < sweeps; s++) {
+		int target = s % qubits;
+		int bit = 1 << target;
+		/* controlled-not sweep */
+		for (i = 0; i < n; i++) {
+			if (i & bit) scratch[i] = reg[i ^ bit];
+			else scratch[i] = reg[i];
+		}
+		/* phase-ish mixing sweep */
+		for (i = 0; i < n; i++) {
+			reg[i] = scratch[i] + (scratch[i ^ bit] >> 3) + s;
+		}
+	}
+	int total = 0;
+	for (i = 0; i < n; i++) total ^= reg[i];
+	if (total < 0) total = -total;
+	printf("libquantum checksum=%d sweeps=%d\n", total, sweeps);
+	return total % 251;
+}
+`
+
+const h264refSrc = `
+extern int printf(char *fmt, ...);
+extern int input_int(int i);
+
+int seed = 3;
+char frame[4096];  /* 64x64 reference */
+char cur[256];     /* 16x16 current macroblock */
+int blockA[4][4];
+int blockB[4][4];
+
+int nextRand() {
+	seed = seed * 1103515245 + 12345;
+	int v = (seed >> 16) % 32768;
+	if (v < 0) v = -v;
+	return v;
+}
+
+int absInt(int v) { if (v < 0) return -v; return v; }
+
+/* 4x4 integer transform, H.264 style */
+int transform4x4() {
+	int i, j;
+	for (i = 0; i < 4; i++) {
+		int s0 = blockA[i][0] + blockA[i][3];
+		int s1 = blockA[i][1] + blockA[i][2];
+		int d0 = blockA[i][0] - blockA[i][3];
+		int d1 = blockA[i][1] - blockA[i][2];
+		blockB[i][0] = s0 + s1;
+		blockB[i][1] = 2 * d0 + d1;
+		blockB[i][2] = s0 - s1;
+		blockB[i][3] = d0 - 2 * d1;
+	}
+	int acc = 0;
+	for (j = 0; j < 4; j++) {
+		int s0 = blockB[0][j] + blockB[3][j];
+		int s1 = blockB[1][j] + blockB[2][j];
+		acc += s0 + s1;
+	}
+	return acc;
+}
+
+/* sum of absolute differences for motion search */
+int sad(int ox, int oy) {
+	int x, y, acc = 0;
+	for (y = 0; y < 16; y++) {
+		for (x = 0; x < 16; x++) {
+			int fx = ox + x;
+			int fy = oy + y;
+			acc += absInt(cur[y * 16 + x] - frame[fy * 64 + fx]);
+		}
+	}
+	return acc;
+}
+
+int main() {
+	int scale = input_int(0);
+	int i, j, mb, total = 0;
+	for (i = 0; i < 4096; i++) frame[i] = (char)(nextRand() % 64);
+	for (i = 0; i < 256; i++) cur[i] = (char)(nextRand() % 64);
+
+	int macroblocks = scale * 2;
+	for (mb = 0; mb < macroblocks; mb++) {
+		/* diamond-ish motion search */
+		int bestX = 24, bestY = 24;
+		int best = sad(bestX, bestY);
+		int step;
+		for (step = 8; step > 0; step = step / 2) {
+			int dx, dy, improved = 1;
+			while (improved) {
+				improved = 0;
+				for (dy = -1; dy <= 1; dy++) {
+					for (dx = -1; dx <= 1; dx++) {
+						int nx = bestX + dx * step;
+						int ny = bestY + dy * step;
+						if (nx < 0 || ny < 0 || nx > 47 || ny > 47) continue;
+						int s = sad(nx, ny);
+						if (s < best) {
+							best = s;
+							bestX = nx;
+							bestY = ny;
+							improved = 1;
+						}
+					}
+				}
+			}
+		}
+		/* transform the residual corner block */
+		for (i = 0; i < 4; i++) {
+			for (j = 0; j < 4; j++) {
+				blockA[i][j] = cur[i * 16 + j] - frame[(bestY + i) * 64 + bestX + j];
+			}
+		}
+		total += transform4x4() + best;
+		cur[mb % 256] = (char)(total % 61);
+	}
+	printf("h264ref checksum=%d\n", total);
+	return total % 251;
+}
+`
+
+const astarSrc = `
+extern int printf(char *fmt, ...);
+extern int input_int(int i);
+
+int seed = 17;
+int cost[1024];   /* 32x32 grid */
+int gScore[1024];
+int openList[1024];
+int openCount = 0;
+char closed[1024];
+int W = 32;
+
+int nextRand() {
+	seed = seed * 1103515245 + 12345;
+	int v = (seed >> 16) % 32768;
+	if (v < 0) v = -v;
+	return v;
+}
+
+int heuristic(int at, int goal) {
+	int ax = at % W, ay = at / W;
+	int gx = goal % W, gy = goal / W;
+	int dx = ax - gx, dy = ay - gy;
+	if (dx < 0) dx = -dx;
+	if (dy < 0) dy = -dy;
+	return dx + dy;
+}
+
+int pushOpen(int at) {
+	openList[openCount] = at;
+	openCount++;
+	return openCount;
+}
+
+/* pop the open node with the least g+h (linear scan priority queue) */
+int popBest(int goal) {
+	int best = 0, i;
+	for (i = 1; i < openCount; i++) {
+		int a = openList[i];
+		int b = openList[best];
+		if (gScore[a] + heuristic(a, goal) < gScore[b] + heuristic(b, goal)) {
+			best = i;
+		}
+	}
+	int at = openList[best];
+	openList[best] = openList[openCount - 1];
+	openCount--;
+	return at;
+}
+
+int neighbors(int at, int *out) {
+	int n = 0;
+	int x = at % W, y = at / W;
+	if (x > 0) { out[n] = at - 1; n++; }
+	if (x < W - 1) { out[n] = at + 1; n++; }
+	if (y > 0) { out[n] = at - W; n++; }
+	if (y < W - 1) { out[n] = at + W; n++; }
+	return n;
+}
+
+int main() {
+	int scale = input_int(0);
+	int i, q, total = 0;
+	int queries = scale;
+	for (i = 0; i < W * W; i++) cost[i] = 1 + nextRand() % 9;
+
+	for (q = 0; q < queries; q++) {
+		int start = nextRand() % (W * W);
+		int goal = nextRand() % (W * W);
+		for (i = 0; i < W * W; i++) {
+			gScore[i] = 1000000;
+			closed[i] = 0;
+		}
+		openCount = 0;
+		gScore[start] = 0;
+		pushOpen(start);
+		int found = 0;
+		while (openCount > 0 && !found) {
+			int at = popBest(goal);
+			if (at == goal) { found = 1; break; }
+			if (closed[at]) continue;
+			closed[at] = 1;
+			int nb[4];
+			int n = neighbors(at, nb);
+			for (i = 0; i < n; i++) {
+				int next = nb[i];
+				int ng = gScore[at] + cost[next];
+				if (ng < gScore[next]) {
+					gScore[next] = ng;
+					pushOpen(next);
+				}
+			}
+		}
+		total += gScore[goal] % 1000;
+	}
+	printf("astar checksum=%d\n", total);
+	return total % 251;
+}
+`
+
+const xalancbmkSrc = `
+extern int printf(char *fmt, ...);
+extern int sprintf(char *dst, char *fmt, ...);
+extern int strlen(char *s);
+extern int strcmp(char *a, char *b);
+extern int input_int(int i);
+
+int seed = 21;
+
+/* document node pool: a tiny DOM */
+int kind[256];     /* 0=text 1=elem 2=attr */
+int value[256];
+int firstChild[256];
+int nextSib[256];
+int nodeCount = 0;
+
+char outbuf[4096];
+int outLen = 0;
+
+int nextRand() {
+	seed = seed * 1103515245 + 12345;
+	int v = (seed >> 16) % 32768;
+	if (v < 0) v = -v;
+	return v;
+}
+
+int newNode(int k, int v) {
+	kind[nodeCount] = k;
+	value[nodeCount] = v;
+	firstChild[nodeCount] = -1;
+	nextSib[nodeCount] = -1;
+	nodeCount++;
+	return nodeCount - 1;
+}
+
+int addChild(int parent, int child) {
+	if (firstChild[parent] < 0) {
+		firstChild[parent] = child;
+		return child;
+	}
+	int c = firstChild[parent];
+	while (nextSib[c] >= 0) c = nextSib[c];
+	nextSib[c] = child;
+	return child;
+}
+
+/* build a random document tree */
+int build(int depth) {
+	int n = newNode(1, nextRand() % 12);
+	if (depth <= 0) return n;
+	int kids = 1 + nextRand() % 3;
+	int i;
+	for (i = 0; i < kids && nodeCount < 250; i++) {
+		int k = nextRand() % 3;
+		if (k == 0) addChild(n, newNode(0, nextRand() % 100));
+		else if (k == 2) addChild(n, newNode(2, nextRand() % 50));
+		else addChild(n, build(depth - 1));
+	}
+	return n;
+}
+
+int renderText(int n);
+int renderElem(int n);
+int renderAttr(int n);
+
+/* render dispatch through function pointers: the virtual-call motif */
+int render(int n) {
+	fnptr table[3];
+	table[0] = &renderText;
+	table[1] = &renderElem;
+	table[2] = &renderAttr;
+	fnptr f = table[kind[n]];
+	return f(n);
+}
+
+int renderText(int n) {
+	outLen += sprintf(&outbuf[outLen], "t%d", value[n]);
+	return 1;
+}
+
+int renderAttr(int n) {
+	outLen += sprintf(&outbuf[outLen], "@%d", value[n]);
+	return 1;
+}
+
+int renderElem(int n) {
+	int count = 1;
+	outLen += sprintf(&outbuf[outLen], "<e%d>", value[n]);
+	int c = firstChild[n];
+	while (c >= 0 && outLen < 3900) {
+		count += render(c);
+		c = nextSib[c];
+	}
+	outLen += sprintf(&outbuf[outLen], "</e%d>", value[n]);
+	return count;
+}
+
+int main() {
+	int scale = input_int(0);
+	int doc, total = 0;
+	for (doc = 0; doc < scale; doc++) {
+		nodeCount = 0;
+		outLen = 0;
+		int root = build(3);
+		int rendered = render(root);
+		outbuf[outLen] = 0;
+		total += rendered + strlen(outbuf) % 97;
+		if (strcmp(outbuf, "") == 0) total -= 1000; /* never: sanity check */
+	}
+	printf("xalancbmk checksum=%d nodes=%d\n", total, nodeCount);
+	return total % 251;
+}
+`

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"wytiwyg/internal/bench/progs"
+	"wytiwyg/internal/layout"
+)
+
+// Report renderers: each prints the same rows/series as the corresponding
+// table or figure in the paper.
+
+// byProgram groups rows preserving suite order.
+func byProgram(rows []*Row) ([]string, map[string]map[string]*Row) {
+	var names []string
+	seen := map[string]bool{}
+	grid := map[string]map[string]*Row{}
+	for _, r := range rows {
+		if !seen[r.Program] {
+			seen[r.Program] = true
+			names = append(names, r.Program)
+		}
+		if grid[r.Program] == nil {
+			grid[r.Program] = map[string]*Row{}
+		}
+		grid[r.Program][r.Config] = r
+	}
+	return names, grid
+}
+
+func cell(v float64) string {
+	if v == 0 {
+		return "   — "
+	}
+	return fmt.Sprintf("%5.2f", v)
+}
+
+// Table1 renders the paper's Table 1: normalized runtime of recompiled
+// binaries relative to their input binary, per configuration, without and
+// with symbolization, plus the SecondWrite column (GCC 4.4 -O3 only, as in
+// the paper).
+func Table1(w io.Writer, rows []*Row) {
+	names, grid := byProgram(rows)
+	configs := []string{"gcc12-O3", "gcc12-O0", "clang16-O3", "gcc44-O3"}
+
+	fmt.Fprintln(w, "Table 1. Normalized runtime of recompiled binaries relative to their input binary")
+	fmt.Fprintln(w, "(sym ✓ = WYTIWYG stack symbolization; SW = SecondWrite-like static symbolizer)")
+	fmt.Fprintf(w, "%-12s %-4s %10s %10s %10s %10s %8s\n",
+		"benchmark", "sym", "GCC12 -O3", "GCC12 -O0", "Clang16-O3", "GCC4.4-O3", "SW(4.4)")
+	geo := map[string][]float64{}
+	geoSym := map[string][]float64{}
+	var geoSW []float64
+	for _, name := range names {
+		noSym := make([]string, len(configs))
+		sym := make([]string, len(configs))
+		var sw string
+		for i, cfg := range configs {
+			r := grid[name][cfg]
+			if r == nil {
+				noSym[i], sym[i] = "   — ", "   — "
+				continue
+			}
+			noSym[i] = cell(r.NoSymRatio())
+			sym[i] = cell(r.SymRatio())
+			geo[cfg] = append(geo[cfg], r.NoSymRatio())
+			geoSym[cfg] = append(geoSym[cfg], r.SymRatio())
+			if cfg == "gcc44-O3" {
+				sw = cell(r.SWRatio())
+				if v := r.SWRatio(); v > 0 {
+					geoSW = append(geoSW, v)
+				}
+			}
+		}
+		fmt.Fprintf(w, "%-12s %-4s %10s %10s %10s %10s %8s\n",
+			name, "", noSym[0], noSym[1], noSym[2], noSym[3], "")
+		fmt.Fprintf(w, "%-12s %-4s %10s %10s %10s %10s %8s\n",
+			"", "✓", sym[0], sym[1], sym[2], sym[3], sw)
+	}
+	fmt.Fprintf(w, "%-12s %-4s %10s %10s %10s %10s %8s\n", "Geomean", "",
+		cell(Geomean(geo["gcc12-O3"])), cell(Geomean(geo["gcc12-O0"])),
+		cell(Geomean(geo["clang16-O3"])), cell(Geomean(geo["gcc44-O3"])), "")
+	fmt.Fprintf(w, "%-12s %-4s %10s %10s %10s %10s %8s\n", "", "✓",
+		cell(Geomean(geoSym["gcc12-O3"])), cell(Geomean(geoSym["gcc12-O0"])),
+		cell(Geomean(geoSym["clang16-O3"])), cell(Geomean(geoSym["gcc44-O3"])),
+		cell(Geomean(geoSW)))
+}
+
+// Figure6 renders the paper's Figure 6: runtimes of the input binaries (*)
+// and the WYTIWYG-recompiled binaries (†) normalized to the native GCC 12.2
+// -O3 binary of each benchmark, plus the SecondWrite series (‡).
+func Figure6(w io.Writer, rows []*Row) {
+	names, grid := byProgram(rows)
+	fmt.Fprintln(w, "Figure 6. Runtime normalized to the native GCC 12.2 -O3 binary")
+	fmt.Fprintln(w, "(* = input binary, † = WYTIWYG-recompiled, ‡ = SecondWrite-recompiled)")
+	series := []struct {
+		label string
+		get   func(r *Row, base uint64) float64
+		cfg   string
+	}{
+		{"GCC12 -O3 *", func(r *Row, b uint64) float64 { return f64(r.Native.Cycles, b) }, "gcc12-O3"},
+		{"GCC12 -O3 †", func(r *Row, b uint64) float64 { return f64(r.Sym.Cycles, b) }, "gcc12-O3"},
+		{"GCC12 -O0 *", func(r *Row, b uint64) float64 { return f64(r.Native.Cycles, b) }, "gcc12-O0"},
+		{"GCC12 -O0 †", func(r *Row, b uint64) float64 { return f64(r.Sym.Cycles, b) }, "gcc12-O0"},
+		{"Clang16-O3 *", func(r *Row, b uint64) float64 { return f64(r.Native.Cycles, b) }, "clang16-O3"},
+		{"Clang16-O3 †", func(r *Row, b uint64) float64 { return f64(r.Sym.Cycles, b) }, "clang16-O3"},
+		{"GCC4.4-O3 *", func(r *Row, b uint64) float64 { return f64(r.Native.Cycles, b) }, "gcc44-O3"},
+		{"GCC4.4-O3 †", func(r *Row, b uint64) float64 { return f64(r.Sym.Cycles, b) }, "gcc44-O3"},
+		{"GCC4.4-O3 ‡", func(r *Row, b uint64) float64 {
+			if r.SW.Failed {
+				return 0
+			}
+			return f64(r.SW.Cycles, b)
+		}, "gcc44-O3"},
+	}
+	fmt.Fprintf(w, "%-14s", "series")
+	for _, n := range names {
+		fmt.Fprintf(w, " %9s", truncate(n, 9))
+	}
+	fmt.Fprintf(w, " %9s\n", "GEOMEAN")
+	for _, s := range series {
+		fmt.Fprintf(w, "%-14s", s.label)
+		var vals []float64
+		for _, n := range names {
+			base := grid[n]["gcc12-O3"]
+			r := grid[n][s.cfg]
+			if base == nil || r == nil {
+				fmt.Fprintf(w, " %9s", "—")
+				continue
+			}
+			v := s.get(r, base.Native.Cycles)
+			if v == 0 {
+				fmt.Fprintf(w, " %9s", "—")
+				continue
+			}
+			vals = append(vals, v)
+			fmt.Fprintf(w, " %9.2f", v)
+		}
+		fmt.Fprintf(w, " %9.2f\n", Geomean(vals))
+	}
+}
+
+func f64(c, base uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(c) / float64(base)
+}
+
+func truncate(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+// Figure7 renders the accuracy figure: per-benchmark ratios of ground-truth
+// stack objects that were matched / oversized / undersized / missed, and
+// the aggregate precision/recall the paper reports (94.4% / 87.6%).
+func Figure7(w io.Writer, rows []*Row) {
+	// Use the gcc12-O0 configuration (everything stack-resident) like the
+	// paper's source-compiled ground truth comparison.
+	fmt.Fprintln(w, "Figure 7. Accuracy of recovered stack layouts vs compiler ground truth")
+	fmt.Fprintf(w, "%-12s %8s %9s %10s %7s %7s\n",
+		"benchmark", "matched", "oversized", "undersized", "missed", "objects")
+	var agg layout.Accuracy
+	names, grid := byProgram(rows)
+	for _, name := range names {
+		var r *Row
+		for _, cfg := range []string{"gcc12-O0", "gcc12-O3", "clang16-O3", "gcc44-O3"} {
+			if grid[name][cfg] != nil {
+				r = grid[name][cfg]
+				break
+			}
+		}
+		if r == nil {
+			continue
+		}
+		a := r.Accuracy
+		agg.Add(a)
+		fmt.Fprintf(w, "%-12s %8.2f %9.2f %10.2f %7.2f %7d\n", name,
+			a.Ratio(layout.Matched), a.Ratio(layout.Oversized),
+			a.Ratio(layout.Undersized), a.Ratio(layout.Missed), a.TruthTotal)
+	}
+	fmt.Fprintf(w, "%-12s %8.2f %9.2f %10.2f %7.2f %7d\n", "ALL",
+		agg.Ratio(layout.Matched), agg.Ratio(layout.Oversized),
+		agg.Ratio(layout.Undersized), agg.Ratio(layout.Missed), agg.TruthTotal)
+	fmt.Fprintf(w, "precision = %.1f%%  recall = %.1f%%  (paper: 94.4%% / 87.6%%)\n",
+		agg.Precision()*100, agg.Recall()*100)
+}
+
+// Functionality renders the §6.1 verification matrix.
+func Functionality(w io.Writer, rows []*Row) {
+	fmt.Fprintln(w, "Functionality (§6.1): recompiled output == input-binary output on the ref input")
+	names, grid := byProgram(rows)
+	var cfgs []string
+	for _, r := range rows {
+		found := false
+		for _, c := range cfgs {
+			if c == r.Config {
+				found = true
+			}
+		}
+		if !found {
+			cfgs = append(cfgs, r.Config)
+		}
+	}
+	sort.Strings(cfgs)
+	fmt.Fprintf(w, "%-12s", "benchmark")
+	for _, c := range cfgs {
+		fmt.Fprintf(w, " %12s", c)
+	}
+	fmt.Fprintln(w)
+	for _, n := range names {
+		fmt.Fprintf(w, "%-12s", n)
+		for _, c := range cfgs {
+			r := grid[n][c]
+			status := "—"
+			if r != nil {
+				// RunProgram fails hard on mismatch, so reaching here means
+				// both recompilers passed; report SecondWrite status.
+				status = "ok"
+				if r.SW.Failed {
+					status = "ok (SW —)"
+				}
+			}
+			fmt.Fprintf(w, " %12s", status)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 40))
+	fmt.Fprintln(w, "WYTIWYG lifted and recompiled every binary with no manual intervention.")
+}
+
+var _ = progs.All

@@ -1,0 +1,77 @@
+package codegen_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wytiwyg/internal/codegen"
+	"wytiwyg/internal/irexec"
+	"wytiwyg/internal/machine"
+)
+
+// Every feature-ablation combination must still compile correct code: the
+// options trade speed, never behaviour. Uses the random module generator,
+// whose graphs exercise tiling, fusion and coalescing heavily.
+func TestCodegenOptionsPreserveBehaviour(t *testing.T) {
+	optSets := []codegen.Options{
+		{NoTiles: true},
+		{NoEAXFuse: true},
+		{NoCoalesce: true},
+		{NoTiles: true, NoEAXFuse: true, NoCoalesce: true},
+	}
+	for seed := int64(101); seed <= 120; seed++ {
+		m := buildRandomModule(seed, int32(seed*3), int32(100-seed))
+		want, err := irexec.Run(m, machine.Input{}, nil, nil)
+		if err != nil {
+			t.Fatalf("seed %d: irexec: %v", seed, err)
+		}
+		for _, o := range optSets {
+			o := o
+			t.Run(fmt.Sprintf("seed%d_%+v", seed, o), func(t *testing.T) {
+				img, err := codegen.CompileWith(m, "abl", o)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				got, err := machine.Execute(img, machine.Input{}, nil)
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if got.ExitCode != want.ExitCode {
+					t.Errorf("exit = %d, want %d", got.ExitCode, want.ExitCode)
+				}
+			})
+		}
+	}
+}
+
+// Disabling a feature must never make code faster: the full generator is
+// the lower envelope (cycles measured on the deterministic machine).
+func TestCodegenOptionsNeverFaster(t *testing.T) {
+	m := buildRandomModule(7, 100, 200)
+	full, err := codegen.Compile(m, "full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := machine.Execute(full, machine.Input{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []codegen.Options{
+		{NoTiles: true},
+		{NoEAXFuse: true},
+		{NoCoalesce: true},
+	} {
+		img, err := codegen.CompileWith(m, "abl", o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := machine.Execute(img, machine.Input{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles < base.Cycles {
+			t.Errorf("%+v beat the full generator: %d < %d cycles",
+				o, res.Cycles, base.Cycles)
+		}
+	}
+}

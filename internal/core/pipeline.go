@@ -1,0 +1,169 @@
+// Package core drives WYTIWYG's end-to-end recompilation pipeline
+// (Figure 4 of the paper): trace the input binary under the provided
+// inputs, recover its CFG and functions, lift to IR, and then run the
+// refinement-lifting loop — each refinement instrumenting the current IR,
+// re-executing the inputs, and transforming the IR with the analysis
+// results — until the program is fully symbolized and can be recompiled.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"wytiwyg/internal/funcrec"
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/irexec"
+	"wytiwyg/internal/layout"
+	"wytiwyg/internal/lifter"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/obj"
+	"wytiwyg/internal/regsave"
+	"wytiwyg/internal/stackref"
+	"wytiwyg/internal/symbolize"
+	"wytiwyg/internal/tracer"
+	"wytiwyg/internal/varargs"
+	"wytiwyg/internal/vartrack"
+)
+
+// Pipeline carries the state of one recompilation.
+type Pipeline struct {
+	Img    *obj.Image
+	Inputs []machine.Input
+
+	Trace *tracer.Trace
+	CFG   *tracer.CFG
+	Rec   *funcrec.Result
+	Mod   *ir.Module
+
+	// RegClasses is the saved-register classification after the first
+	// refinement.
+	RegClasses regsave.Classes
+	// SPOffsets holds each function's direct stack references after the
+	// stack-reference refinement.
+	SPOffsets map[*ir.Func]stackref.Offsets
+	// VarResult is the raw object-bounds analysis output.
+	VarResult *vartrack.Result
+	// Recovered is the symbolized stack layout (Figure 7's subject).
+	Recovered *layout.Program
+}
+
+// LiftBinary performs the front half of the pipeline: dynamic tracing, CFG
+// merge, function recovery, and lifting to IR.
+func LiftBinary(img *obj.Image, inputs []machine.Input) (*Pipeline, error) {
+	if len(inputs) == 0 {
+		inputs = []machine.Input{{}}
+	}
+	p := &Pipeline{Img: img, Inputs: inputs}
+	p.Trace = tracer.New(img)
+	if err := p.Trace.RunAll(inputs, io.Discard); err != nil {
+		return nil, fmt.Errorf("core: tracing: %w", err)
+	}
+	cfg, err := p.Trace.BuildCFG()
+	if err != nil {
+		return nil, fmt.Errorf("core: cfg: %w", err)
+	}
+	p.CFG = cfg
+	rec, err := funcrec.Recover(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: function recovery: %w", err)
+	}
+	p.Rec = rec
+	mod, err := lifter.Lift(img, cfg, rec)
+	if err != nil {
+		return nil, fmt.Errorf("core: lifting: %w", err)
+	}
+	p.Mod = mod
+	return p, nil
+}
+
+// runAll executes the current module under every input with a tracer
+// attached, discarding program output. Tracers that need interpreter access
+// (memory inspection) implement Bind.
+func (p *Pipeline) runAll(tr irexec.Tracer) error {
+	for i, input := range p.Inputs {
+		ip, err := irexec.New(p.Mod, input, io.Discard)
+		if err != nil {
+			return fmt.Errorf("core: refinement run, input %d: %w", i, err)
+		}
+		ip.Tr = tr
+		if b, ok := tr.(interface{ Bind(*irexec.Interp) }); ok {
+			b.Bind(ip)
+		}
+		if _, err := ip.Run(); err != nil {
+			return fmt.Errorf("core: refinement run, input %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RefineRegSave runs the saved-register refinement (§4.1): dynamic
+// classification followed by the signature rewrite.
+func (p *Pipeline) RefineRegSave() error {
+	tr := regsave.NewTracer()
+	if err := p.runAll(tr); err != nil {
+		return err
+	}
+	p.RegClasses = tr.Classify(p.Mod)
+	if err := regsave.Apply(p.Mod, p.RegClasses); err != nil {
+		return fmt.Errorf("core: regsave: %w", err)
+	}
+	return nil
+}
+
+// RefineVarArgs recovers exact signatures for variadic library call sites
+// (§5.2) and lifts them to explicit arguments.
+func (p *Pipeline) RefineVarArgs() error {
+	tr := varargs.NewTracer()
+	if err := p.runAll(tr); err != nil {
+		return err
+	}
+	if err := varargs.Apply(p.Mod, tr.Counts); err != nil {
+		return fmt.Errorf("core: varargs: %w", err)
+	}
+	return nil
+}
+
+// RefineStackRef folds constant stack displacements into canonical
+// sp0+offset form (the static part of §4.1).
+func (p *Pipeline) RefineStackRef() error {
+	offs, err := stackref.Apply(p.Mod)
+	if err != nil {
+		return fmt.Errorf("core: stackref: %w", err)
+	}
+	p.SPOffsets = offs
+	return nil
+}
+
+// RefineSymbolize runs the object-bounds refinement (§4.2): the vartrack
+// runtime observes every input, then symbolization replaces the emulated
+// stack with explicit stack objects. It returns the recovered layout.
+func (p *Pipeline) RefineSymbolize() (*layout.Program, error) {
+	tr := vartrack.NewTracer(p.SPOffsets)
+	if err := p.runAll(tr); err != nil {
+		return nil, err
+	}
+	p.VarResult = tr.Result()
+	prog, err := symbolize.Apply(p.Mod, p.SPOffsets, p.VarResult)
+	if err != nil {
+		return nil, fmt.Errorf("core: symbolize: %w", err)
+	}
+	p.Recovered = prog
+	return prog, nil
+}
+
+// Refine runs the complete refinement-lifting sequence on a lifted module.
+func (p *Pipeline) Refine() error {
+	if err := p.RefineRegSave(); err != nil {
+		return err
+	}
+	if err := p.RefineVarArgs(); err != nil {
+		return err
+	}
+	if err := p.RefineStackRef(); err != nil {
+		return err
+	}
+	if _, err := p.RefineSymbolize(); err != nil {
+		return err
+	}
+	return nil
+}

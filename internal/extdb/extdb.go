@@ -1,0 +1,107 @@
+// Package extdb is the database of known external (library) functions:
+// their signatures and the constraints describing their effects on pointers
+// (§5.3 of the paper). The lifter uses the signatures to lift calls to
+// external functions with explicit arguments; the tracing runtime translates
+// the constraints into tracking operations; the varargs refinement uses
+// FormatStr to recover exact per-call-site signatures (§5.2).
+package extdb
+
+// EffectKind enumerates the constraint forms of §5.3.
+type EffectKind uint8
+
+// Constraint kinds. Argument slots refer to call argument indices; Ret
+// refers to the return value.
+const (
+	// ObjectSize: the object at arg A is at least args B*C bytes (C == -1
+	// means 1).
+	ObjectSize EffectKind = iota
+	// ZeroTerminated: the data arg A points to is NUL-terminated; the
+	// object extends at least to the terminator.
+	ZeroTerminated
+	// DeriveRet: the returned pointer refers to the same object as arg A.
+	DeriveRet
+	// Clear: the function overwrites the object at arg A (dropping any
+	// stored stack references); B is the size argument index or -1 for
+	// "through the terminator".
+	Clear
+	// Copy: the function copies the object at arg B into arg A; C is the
+	// size argument index or -1.
+	Copy
+	// FormatStr: arg A is a printf-style format string describing the
+	// following variadic arguments.
+	FormatStr
+)
+
+// Effect is one constraint instance.
+type Effect struct {
+	Kind    EffectKind
+	A, B, C int
+}
+
+// Sig describes an external function.
+type Sig struct {
+	Name     string
+	Params   int
+	Variadic bool
+	// RetPtr notes that the return value may be a pointer into program
+	// memory (heap or derived).
+	RetPtr  bool
+	Effects []Effect
+}
+
+// DB holds the signature database, keyed by function name. It covers every
+// function the simulated libc provides.
+var DB = map[string]Sig{
+	"exit":    {Name: "exit", Params: 1},
+	"putint":  {Name: "putint", Params: 1},
+	"putchar": {Name: "putchar", Params: 1},
+	"puts": {Name: "puts", Params: 1,
+		Effects: []Effect{{Kind: ZeroTerminated, A: 0}}},
+	"printf": {Name: "printf", Params: 1, Variadic: true,
+		Effects: []Effect{{Kind: FormatStr, A: 0}}},
+	"sprintf": {Name: "sprintf", Params: 2, Variadic: true,
+		Effects: []Effect{{Kind: FormatStr, A: 1}, {Kind: Clear, A: 0, B: -1}}},
+	"malloc": {Name: "malloc", Params: 1, RetPtr: true},
+	"free":   {Name: "free", Params: 1},
+	"memset": {Name: "memset", Params: 3, RetPtr: true,
+		Effects: []Effect{
+			{Kind: ObjectSize, A: 0, B: 2, C: -1},
+			{Kind: Clear, A: 0, B: 2},
+			{Kind: DeriveRet, A: 0},
+		}},
+	"memcpy": {Name: "memcpy", Params: 3, RetPtr: true,
+		Effects: []Effect{
+			{Kind: ObjectSize, A: 0, B: 2, C: -1},
+			{Kind: ObjectSize, A: 1, B: 2, C: -1},
+			{Kind: Copy, A: 0, B: 1, C: 2},
+			{Kind: DeriveRet, A: 0},
+		}},
+	"strlen": {Name: "strlen", Params: 1,
+		Effects: []Effect{{Kind: ZeroTerminated, A: 0}}},
+	"strcmp": {Name: "strcmp", Params: 2,
+		Effects: []Effect{{Kind: ZeroTerminated, A: 0}, {Kind: ZeroTerminated, A: 1}}},
+	"strcpy": {Name: "strcpy", Params: 2, RetPtr: true,
+		Effects: []Effect{
+			{Kind: ZeroTerminated, A: 1},
+			{Kind: Copy, A: 0, B: 1, C: -1},
+			{Kind: DeriveRet, A: 0},
+		}},
+	"strtok": {Name: "strtok", Params: 2, RetPtr: true,
+		Effects: []Effect{
+			{Kind: ZeroTerminated, A: 1},
+			{Kind: DeriveRet, A: 0},
+		}},
+	"atoi": {Name: "atoi", Params: 1,
+		Effects: []Effect{{Kind: ZeroTerminated, A: 0}}},
+	"abs":       {Name: "abs", Params: 1},
+	"rand":      {Name: "rand", Params: 0},
+	"srand":     {Name: "srand", Params: 1},
+	"input_int": {Name: "input_int", Params: 1},
+	"input_str": {Name: "input_str", Params: 1, RetPtr: true},
+}
+
+// Lookup returns the signature for an external function.
+func Lookup(name string) (Sig, bool) {
+	s, ok := DB[name]
+	return s, ok
+}

@@ -1,0 +1,102 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module as readable text (for debugging and golden
+// tests).
+func (m *Module) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (emustack=%d)\n", m.Name, m.EmuStackSize)
+	for _, f := range m.Funcs {
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// String renders one function.
+func (f *Func) String() string {
+	var b strings.Builder
+	var params []string
+	for _, p := range f.Params {
+		params = append(params, p.describe())
+	}
+	fmt.Fprintf(&b, "func %s(%s) -> %d @0x%x {\n", f.Name, strings.Join(params, ", "), f.NumRet, f.Addr)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "b%d:", blk.ID)
+		if len(blk.Preds) > 0 {
+			var ps []string
+			for _, p := range blk.Preds {
+				ps = append(ps, fmt.Sprintf("b%d", p.ID))
+			}
+			fmt.Fprintf(&b, " ; preds %s", strings.Join(ps, " "))
+		}
+		b.WriteString("\n")
+		for _, v := range blk.Phis {
+			fmt.Fprintf(&b, "  %s\n", v.describe())
+		}
+		for _, v := range blk.Insts {
+			fmt.Fprintf(&b, "  %s\n", v.describe())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func (v *Value) describe() string {
+	var b strings.Builder
+	if v.Op.HasResult() {
+		fmt.Fprintf(&b, "%s = ", v)
+	}
+	fmt.Fprintf(&b, "%s", v.Op)
+	switch v.Op {
+	case OpParam:
+		fmt.Fprintf(&b, " %s(#%d)", v.RegHint, v.Idx)
+		if v.Name != "" {
+			fmt.Fprintf(&b, " %q", v.Name)
+		}
+		return b.String()
+	case OpConst:
+		fmt.Fprintf(&b, " %d", v.Const)
+		return b.String()
+	case OpCmp:
+		fmt.Fprintf(&b, ".%s", v.Cond)
+	case OpLoad, OpStore, OpSext, OpZext:
+		fmt.Fprintf(&b, "%d", v.Size)
+		if v.Signed {
+			b.WriteString("s")
+		}
+	case OpAlloca:
+		fmt.Fprintf(&b, " %q size=%d align=%d", v.Name, v.AllocSize, v.Align)
+		return b.String()
+	case OpCall:
+		fmt.Fprintf(&b, " %s", v.Callee.Name)
+	case OpCallExt, OpCallExtRaw:
+		fmt.Fprintf(&b, " %s", v.Sym)
+	case OpExtract:
+		fmt.Fprintf(&b, ".%d", v.Idx)
+	}
+	for i, a := range v.Args {
+		if i == 0 {
+			b.WriteString(" ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	if v.Op == OpSwitch {
+		for i, c := range v.Cases {
+			fmt.Fprintf(&b, " [0x%x->b%d]", c.Val, v.Block.Succs[i].ID)
+		}
+		fmt.Fprintf(&b, " [default->b%d]", v.Block.Succs[len(v.Cases)].ID)
+	}
+	if v.Op == OpJmp {
+		fmt.Fprintf(&b, " b%d", v.Block.Succs[0].ID)
+	}
+	if v.Op == OpBr {
+		fmt.Fprintf(&b, " b%d, b%d", v.Block.Succs[0].ID, v.Block.Succs[1].ID)
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural invariants of a module: every block ends in
+// exactly one terminator, successor/predecessor edges are symmetric, phi
+// arity matches predecessors, arguments belong to the same function, and
+// parameter/return counts are consistent at call sites.
+func Verify(m *Module) error {
+	for _, f := range m.Funcs {
+		if err := verifyFunc(f); err != nil {
+			return fmt.Errorf("ir: func %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func verifyFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	owned := map[*Value]bool{}
+	for _, p := range f.Params {
+		if p.Op != OpParam {
+			return fmt.Errorf("param %s has op %s", p, p.Op)
+		}
+		owned[p] = true
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Phis {
+			owned[v] = true
+		}
+		for _, v := range b.Insts {
+			owned[v] = true
+		}
+	}
+	for _, b := range f.Blocks {
+		if b.Func != f {
+			return fmt.Errorf("block b%d has wrong func", b.ID)
+		}
+		t := b.Term()
+		if t == nil {
+			return fmt.Errorf("block b%d lacks a terminator", b.ID)
+		}
+		for i, v := range b.Insts {
+			if v.Op.IsTerm() && i != len(b.Insts)-1 {
+				return fmt.Errorf("block b%d: terminator %s mid-block", b.ID, v)
+			}
+			if v.Block != b {
+				return fmt.Errorf("block b%d: %s has wrong block", b.ID, v)
+			}
+		}
+		switch t.Op {
+		case OpJmp:
+			if len(b.Succs) != 1 {
+				return fmt.Errorf("block b%d: jmp with %d succs", b.ID, len(b.Succs))
+			}
+		case OpBr:
+			if len(b.Succs) != 2 {
+				return fmt.Errorf("block b%d: br with %d succs", b.ID, len(b.Succs))
+			}
+			if len(t.Args) != 1 {
+				return fmt.Errorf("block b%d: br with %d args", b.ID, len(t.Args))
+			}
+		case OpSwitch:
+			if len(b.Succs) != len(t.Cases)+1 {
+				return fmt.Errorf("block b%d: switch with %d cases but %d succs",
+					b.ID, len(t.Cases), len(b.Succs))
+			}
+		case OpRet:
+			if len(t.Args) != f.NumRet {
+				return fmt.Errorf("block b%d: ret with %d values, func returns %d",
+					b.ID, len(t.Args), f.NumRet)
+			}
+			if len(b.Succs) != 0 {
+				return fmt.Errorf("block b%d: ret with successors", b.ID)
+			}
+		case OpTrap:
+			if len(b.Succs) != 0 {
+				return fmt.Errorf("block b%d: trap with successors", b.ID)
+			}
+		}
+		for _, s := range b.Succs {
+			if !hasBlock(s.Preds, b) {
+				return fmt.Errorf("edge b%d->b%d missing pred backlink", b.ID, s.ID)
+			}
+		}
+		for _, p := range b.Preds {
+			if !hasBlock(p.Succs, b) {
+				return fmt.Errorf("edge b%d<-b%d missing succ link", b.ID, p.ID)
+			}
+		}
+		for _, v := range b.Phis {
+			if v.Op != OpPhi {
+				return fmt.Errorf("block b%d: non-phi %s in phi list", b.ID, v)
+			}
+			if len(v.Args) != len(b.Preds) {
+				return fmt.Errorf("block b%d: phi %s has %d args for %d preds",
+					b.ID, v, len(v.Args), len(b.Preds))
+			}
+		}
+		check := func(v *Value) error {
+			for _, a := range v.Args {
+				if a == nil {
+					return fmt.Errorf("block b%d: %s(%s) has nil arg", b.ID, v, v.Op)
+				}
+				if !owned[a] {
+					return fmt.Errorf("block b%d: %s(%s) uses foreign value %s(%s)",
+						b.ID, v, v.Op, a, a.Op)
+				}
+			}
+			switch v.Op {
+			case OpCall:
+				if v.Callee == nil {
+					return fmt.Errorf("call %s without callee", v)
+				}
+				if len(v.Args) != len(v.Callee.Params) {
+					return fmt.Errorf("call %s to %s with %d args, want %d",
+						v, v.Callee.Name, len(v.Args), len(v.Callee.Params))
+				}
+				if v.NumRet != v.Callee.NumRet {
+					return fmt.Errorf("call %s: NumRet %d != callee %d",
+						v, v.NumRet, v.Callee.NumRet)
+				}
+			case OpExtract:
+				if len(v.Args) != 1 {
+					return fmt.Errorf("extract %s arity", v)
+				}
+				if v.Idx >= v.Args[0].NumRet {
+					return fmt.Errorf("extract %s index %d out of %d", v, v.Idx, v.Args[0].NumRet)
+				}
+			case OpLoad:
+				if len(v.Args) != 1 {
+					return fmt.Errorf("load %s arity", v)
+				}
+			case OpStore:
+				if len(v.Args) != 2 {
+					return fmt.Errorf("store %s arity", v)
+				}
+			}
+			return nil
+		}
+		for _, v := range b.Phis {
+			if err := check(v); err != nil {
+				return err
+			}
+		}
+		for _, v := range b.Insts {
+			if err := check(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func hasBlock(list []*Block, b *Block) bool {
+	for _, x := range list {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

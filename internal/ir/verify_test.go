@@ -1,0 +1,205 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/isa"
+)
+
+// valid returns a minimal well-formed module: _start with a const and a
+// trap, plus a one-param callee, wired for call-site checks.
+func valid() (*ir.Module, *ir.Func, *ir.Block) {
+	m := ir.NewModule("v")
+	callee := m.NewFunc("callee", 0x2000)
+	callee.NumRet = 1
+	callee.NewParam(isa.EAX, "a")
+	cb := callee.NewBlock(0)
+	k := callee.NewValue(ir.OpConst)
+	k.Const = 1
+	cb.Append(k)
+	cb.Append(callee.NewValue(ir.OpRet, k))
+
+	f := m.NewFunc("_start", 0x1000)
+	b := f.NewBlock(0)
+	b.Append(f.NewValue(ir.OpTrap))
+	m.Entry = f
+	return m, f, b
+}
+
+func TestVerifyAcceptsValid(t *testing.T) {
+	m, _, _ := valid()
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("valid module rejected: %v", err)
+	}
+}
+
+// Every structural violation class must be caught with a recognizable
+// message.
+func TestVerifyViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(m *ir.Module, f *ir.Func, b *ir.Block)
+		want string
+	}{
+		{"no-blocks", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			f.Blocks = nil
+		}, "no blocks"},
+		{"missing-terminator", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			b.Insts = nil
+		}, "terminator"},
+		{"terminator-mid-block", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			tr := f.NewValue(ir.OpTrap)
+			tr.Block = b
+			b.Insts = append([]*ir.Value{tr}, b.Insts...)
+		}, "mid-block"},
+		{"wrong-block-backptr", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			k := f.NewValue(ir.OpConst)
+			k.Block = nil // lie about ownership
+			b.Insts = append([]*ir.Value{k}, b.Insts...)
+		}, "wrong block"},
+		{"jmp-succ-count", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			b.Insts = b.Insts[:0]
+			j := f.NewValue(ir.OpJmp)
+			j.Block = b
+			b.Insts = append(b.Insts, j) // no successors
+		}, "jmp with"},
+		{"br-succ-count", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			k := f.NewValue(ir.OpConst)
+			b.Insts = b.Insts[:0]
+			b.Append(k)
+			br := f.NewValue(ir.OpBr, k)
+			b.Append(br)
+			b.Succs = []*ir.Block{b} // one succ, br needs two
+		}, "br with"},
+		{"br-arity", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			b2 := f.NewBlock(0)
+			b2.Preds = []*ir.Block{b, b}
+			tr := f.NewValue(ir.OpTrap)
+			b2.Append(tr)
+			b.Insts = b.Insts[:0]
+			br := f.NewValue(ir.OpBr) // no condition arg
+			b.Append(br)
+			b.Succs = []*ir.Block{b2, b2}
+		}, "br with"},
+		{"switch-succ-mismatch", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			k := f.NewValue(ir.OpConst)
+			b.Insts = b.Insts[:0]
+			b.Append(k)
+			sw := f.NewValue(ir.OpSwitch, k)
+			sw.Cases = []ir.SwitchCase{{Val: 1}}
+			b.Append(sw)
+			b.Succs = nil // needs 2
+		}, "switch with"},
+		{"ret-arity", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			b.Insts = b.Insts[:0]
+			r := f.NewValue(ir.OpRet) // _start has NumRet 0, so make it 1
+			b.Append(r)
+			f.NumRet = 1
+		}, "ret with"},
+		{"ret-with-succs", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			b.Insts = b.Insts[:0]
+			b.Append(f.NewValue(ir.OpRet))
+			b.Succs = []*ir.Block{b}
+		}, "ret with successors"},
+		{"trap-with-succs", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			b.Succs = []*ir.Block{b}
+			b.Preds = []*ir.Block{b}
+		}, "trap with successors"},
+		{"asymmetric-edge", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			b2 := f.NewBlock(0)
+			b2.Append(f.NewValue(ir.OpTrap))
+			b.Insts = b.Insts[:0]
+			b.Append(f.NewValue(ir.OpJmp))
+			b.Succs = []*ir.Block{b2} // b2.Preds not updated
+		}, "backlink"},
+		{"asymmetric-pred", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			b2 := f.NewBlock(0)
+			b2.Append(f.NewValue(ir.OpTrap))
+			b2.Preds = []*ir.Block{b} // b.Succs not updated
+		}, "succ link"},
+		{"phi-arity", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			k := f.NewValue(ir.OpConst)
+			b.Insts = append([]*ir.Value{k}, b.Insts...)
+			k.Block = b
+			phi := f.NewValue(ir.OpPhi, k) // 1 arg, 0 preds
+			b.AddPhi(phi)
+		}, "phi"},
+		{"non-phi-in-phis", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			k := f.NewValue(ir.OpConst)
+			k.Block = b
+			b.Phis = append(b.Phis, k)
+		}, "non-phi"},
+		{"nil-arg", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			v := f.NewValue(ir.OpNeg, nil)
+			v.Block = b
+			b.Insts = append([]*ir.Value{v}, b.Insts...)
+		}, "nil arg"},
+		{"foreign-value", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			other := m.FuncByName("callee")
+			foreign := other.Blocks[0].Insts[0] // callee's const
+			v := f.NewValue(ir.OpNeg, foreign)
+			v.Block = b
+			b.Insts = append([]*ir.Value{v}, b.Insts...)
+		}, "foreign"},
+		{"call-no-callee", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			c := f.NewValue(ir.OpCall)
+			c.Block = b
+			b.Insts = append([]*ir.Value{c}, b.Insts...)
+		}, "without callee"},
+		{"call-arity", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			c := f.NewValue(ir.OpCall) // callee wants 1 arg
+			c.Callee = m.FuncByName("callee")
+			c.NumRet = 1
+			c.Block = b
+			b.Insts = append([]*ir.Value{c}, b.Insts...)
+		}, "args"},
+		{"call-numret", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			k := f.NewValue(ir.OpConst)
+			k.Block = b
+			c := f.NewValue(ir.OpCall, k)
+			c.Callee = m.FuncByName("callee")
+			c.NumRet = 5
+			c.Block = b
+			b.Insts = append([]*ir.Value{k, c}, b.Insts...)
+		}, "NumRet"},
+		{"extract-oob", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			k := f.NewValue(ir.OpConst)
+			k.Block = b
+			c := f.NewValue(ir.OpCall, k)
+			c.Callee = m.FuncByName("callee")
+			c.NumRet = 1
+			c.Block = b
+			e := f.NewValue(ir.OpExtract, c)
+			e.Idx = 2
+			e.Block = b
+			b.Insts = append([]*ir.Value{k, c, e}, b.Insts...)
+		}, "out of"},
+		{"load-arity", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			v := f.NewValue(ir.OpLoad)
+			v.Block = b
+			b.Insts = append([]*ir.Value{v}, b.Insts...)
+		}, "load"},
+		{"store-arity", func(m *ir.Module, f *ir.Func, b *ir.Block) {
+			k := f.NewValue(ir.OpConst)
+			k.Block = b
+			v := f.NewValue(ir.OpStore, k)
+			v.Block = b
+			b.Insts = append([]*ir.Value{k, v}, b.Insts...)
+		}, "store"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, f, b := valid()
+			c.mut(m, f, b)
+			err := ir.Verify(m)
+			if err == nil {
+				t.Fatal("verifier accepted broken module")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,460 @@
+// Package irexec interprets lifted IR modules. It plays the role of
+// compiling and running the instrumented lifted program in the paper's
+// refinement loop (Figure 4): the Tracer hook receives every executed
+// instruction together with its operand values, which is how the dynamic
+// analyses (saved-register identification, stack-variable tracking) observe
+// the program. Library calls dispatch into the exact same simulated libc
+// the machine uses, so behaviour matches the original binary bit for bit.
+package irexec
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/machine"
+)
+
+// NativeStackTop is where the interpreter's native-stack region (used by
+// Alloca values after symbolization) begins, growing downward. It is
+// disjoint from the emulated-stack region under isa.StackTop.
+const NativeStackTop uint32 = 0xDFFF_FF00
+
+// Frame is one activation of a lifted function.
+type Frame struct {
+	Fn       *ir.Func
+	Caller   *Frame
+	CallSite *ir.Value // the OpCall/OpCallInd in the caller, nil for entry
+	// SP0 is the virtual stack pointer at entry (while the lifted
+	// signature still carries ESP; 0 afterwards).
+	SP0 uint32
+	// Meta carries tracer-owned per-value metadata.
+	Meta map[*ir.Value]any
+
+	vals     map[*ir.Value]uint32
+	tuples   map[*ir.Value][]uint32
+	nativeSP uint32
+}
+
+// Get returns the current value of an SSA value in this frame. Constants
+// evaluate positionally-independently (passes may move their uses above
+// their definition point).
+func (fr *Frame) Get(v *ir.Value) uint32 {
+	if v.Op == ir.OpConst {
+		return uint32(v.Const)
+	}
+	return fr.vals[v]
+}
+
+// Tuple returns the results of a call value.
+func (fr *Frame) Tuple(v *ir.Value) []uint32 { return fr.tuples[v] }
+
+// Tracer observes execution. All methods may be no-ops.
+type Tracer interface {
+	// FnEnter fires after parameters are bound.
+	FnEnter(fr *Frame)
+	// FnExit fires just before the frame is popped, with the OpRet
+	// instruction and the return values.
+	FnExit(fr *Frame, ret *ir.Value, rets []uint32)
+	// Phi fires for each phi when control enters a block, with the selected
+	// incoming SSA value and its runtime value.
+	Phi(fr *Frame, phi *ir.Value, incoming *ir.Value, val uint32)
+	// CallPre fires before an internal call (OpCall/OpCallInd) transfers
+	// control, with the evaluated arguments; FnEnter for the callee follows
+	// immediately.
+	CallPre(fr *Frame, call *ir.Value, args []uint32)
+	// Exec fires after an instruction computed its result. For calls, args
+	// holds the evaluated arguments and result the first return value.
+	Exec(fr *Frame, v *ir.Value, args []uint32, result uint32)
+}
+
+// Interp executes a module.
+type Interp struct {
+	Mod *ir.Module
+	Mem *machine.Memory
+	Lib *machine.LibState
+	Tr  Tracer
+
+	Steps    uint64
+	MaxSteps uint64
+
+	nativeSP uint32
+}
+
+// Result of a complete run.
+type Result struct {
+	ExitCode int32
+	Steps    uint64
+}
+
+var errHalted = errors.New("halted")
+
+// ErrTrap is returned when execution reaches an untraced path.
+var ErrTrap = errors.New("irexec: trap: input exercised an untraced path")
+
+// New prepares an interpreter over fresh memory.
+func New(mod *ir.Module, input machine.Input, out io.Writer) (*Interp, error) {
+	mem := machine.NewMemory()
+	if err := mem.WriteBytes(isa.DataBase, mod.Data); err != nil {
+		return nil, err
+	}
+	lib, err := machine.NewLibState(mem, input, out)
+	if err != nil {
+		return nil, err
+	}
+	return &Interp{
+		Mod:      mod,
+		Mem:      mem,
+		Lib:      lib,
+		MaxSteps: 4_000_000_000,
+		nativeSP: NativeStackTop,
+	}, nil
+}
+
+// Run executes a module under one input.
+func Run(mod *ir.Module, input machine.Input, out io.Writer, tr Tracer) (Result, error) {
+	ip, err := New(mod, input, out)
+	if err != nil {
+		return Result{}, err
+	}
+	ip.Tr = tr
+	return ip.Run()
+}
+
+// Run executes from the module entry until exit.
+func (ip *Interp) Run() (Result, error) {
+	args := make([]uint32, len(ip.Mod.Entry.Params))
+	for i, p := range ip.Mod.Entry.Params {
+		if p.RegHint == isa.ESP {
+			args[i] = isa.StackTop
+		}
+	}
+	_, err := ip.call(ip.Mod.Entry, args, nil, nil)
+	if err != nil && !errors.Is(err, errHalted) {
+		return Result{}, err
+	}
+	if !ip.Lib.Halted {
+		return Result{}, fmt.Errorf("irexec: program finished without exiting")
+	}
+	return Result{ExitCode: ip.Lib.ExitCode, Steps: ip.Steps}, nil
+}
+
+func (ip *Interp) call(f *ir.Func, args []uint32, caller *Frame, site *ir.Value) ([]uint32, error) {
+	if len(args) != len(f.Params) {
+		return nil, fmt.Errorf("irexec: call to %s with %d args, want %d", f.Name, len(args), len(f.Params))
+	}
+	fr := &Frame{
+		Fn:       f,
+		Caller:   caller,
+		CallSite: site,
+		vals:     make(map[*ir.Value]uint32, 64),
+		nativeSP: ip.nativeSP,
+	}
+	for i, p := range f.Params {
+		fr.vals[p] = args[i]
+		if p.RegHint == isa.ESP {
+			fr.SP0 = args[i]
+		}
+	}
+	savedNative := ip.nativeSP
+	defer func() { ip.nativeSP = savedNative }()
+
+	if ip.Tr != nil {
+		ip.Tr.FnEnter(fr)
+	}
+
+	cur := f.Entry()
+	var prev *ir.Block
+	for {
+		// Phis evaluate simultaneously against the incoming edge.
+		if len(cur.Phis) > 0 {
+			idx := -1
+			for i, p := range cur.Preds {
+				if p == prev {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("irexec: %s: edge b%d->b%d unknown", f.Name, blockID(prev), cur.ID)
+			}
+			tmp := make([]uint32, len(cur.Phis))
+			for i, phi := range cur.Phis {
+				if phi.Args[idx] == nil {
+					return nil, fmt.Errorf("irexec: %s: phi %s missing arg %d", f.Name, phi, idx)
+				}
+				tmp[i] = fr.Get(phi.Args[idx])
+			}
+			for i, phi := range cur.Phis {
+				fr.vals[phi] = tmp[i]
+				if ip.Tr != nil {
+					ip.Tr.Phi(fr, phi, phi.Args[idx], tmp[i])
+				}
+			}
+		}
+		for _, v := range cur.Insts {
+			ip.Steps++
+			if ip.Steps > ip.MaxSteps {
+				return nil, fmt.Errorf("irexec: step budget exceeded in %s", f.Name)
+			}
+			switch v.Op {
+			case ir.OpJmp:
+				prev, cur = cur, cur.Succs[0]
+			case ir.OpBr:
+				if fr.Get(v.Args[0]) != 0 {
+					prev, cur = cur, cur.Succs[0]
+				} else {
+					prev, cur = cur, cur.Succs[1]
+				}
+			case ir.OpSwitch:
+				sel := fr.Get(v.Args[0])
+				next := cur.Succs[len(v.Cases)]
+				for i, c := range v.Cases {
+					if c.Val == sel {
+						next = cur.Succs[i]
+						break
+					}
+				}
+				prev, cur = cur, next
+			case ir.OpRet:
+				rets := make([]uint32, len(v.Args))
+				for i, a := range v.Args {
+					rets[i] = fr.Get(a)
+				}
+				if ip.Tr != nil {
+					ip.Tr.FnExit(fr, v, rets)
+				}
+				return rets, nil
+			case ir.OpTrap:
+				return nil, fmt.Errorf("%w (in %s)", ErrTrap, f.Name)
+			default:
+				if err := ip.exec(fr, v); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break // control transferred
+		}
+	}
+}
+
+func blockID(b *ir.Block) int {
+	if b == nil {
+		return -1
+	}
+	return b.ID
+}
+
+func (ip *Interp) exec(fr *Frame, v *ir.Value) error {
+	argv := make([]uint32, len(v.Args))
+	for i, a := range v.Args {
+		argv[i] = fr.Get(a)
+	}
+	var res uint32
+	switch v.Op {
+	case ir.OpConst:
+		res = uint32(v.Const)
+	case ir.OpSP0:
+		res = fr.SP0
+	case ir.OpAdd:
+		res = argv[0] + argv[1]
+	case ir.OpSub:
+		res = argv[0] - argv[1]
+	case ir.OpMul:
+		res = argv[0] * argv[1]
+	case ir.OpDiv:
+		if argv[1] == 0 {
+			return fmt.Errorf("irexec: division by zero in %s", fr.Fn.Name)
+		}
+		res = uint32(int32(argv[0]) / int32(argv[1]))
+	case ir.OpMod:
+		if argv[1] == 0 {
+			return fmt.Errorf("irexec: division by zero in %s", fr.Fn.Name)
+		}
+		res = uint32(int32(argv[0]) % int32(argv[1]))
+	case ir.OpAnd:
+		res = argv[0] & argv[1]
+	case ir.OpOr:
+		res = argv[0] | argv[1]
+	case ir.OpXor:
+		res = argv[0] ^ argv[1]
+	case ir.OpShl:
+		res = argv[0] << (argv[1] & 31)
+	case ir.OpShr:
+		res = argv[0] >> (argv[1] & 31)
+	case ir.OpSar:
+		res = uint32(int32(argv[0]) >> (argv[1] & 31))
+	case ir.OpNeg:
+		res = -argv[0]
+	case ir.OpNot:
+		res = ^argv[0]
+	case ir.OpSubreg8:
+		res = argv[0]&^0xFF | argv[1]&0xFF
+	case ir.OpSext:
+		switch v.Size {
+		case 1:
+			res = uint32(int32(int8(argv[0])))
+		case 2:
+			res = uint32(int32(int16(argv[0])))
+		default:
+			res = argv[0]
+		}
+	case ir.OpZext:
+		switch v.Size {
+		case 1:
+			res = argv[0] & 0xFF
+		case 2:
+			res = argv[0] & 0xFFFF
+		default:
+			res = argv[0]
+		}
+	case ir.OpCmp:
+		if evalCond(v.Cond, argv[0], argv[1]) {
+			res = 1
+		}
+	case ir.OpLoad:
+		lv, err := ip.Mem.Load(argv[0], v.Size)
+		if err != nil {
+			return fmt.Errorf("irexec: %s: %w", fr.Fn.Name, err)
+		}
+		if v.Signed {
+			switch v.Size {
+			case 1:
+				lv = uint32(int32(int8(lv)))
+			case 2:
+				lv = uint32(int32(int16(lv)))
+			}
+		}
+		res = lv
+	case ir.OpStore:
+		if err := ip.Mem.Store(argv[0], argv[1], v.Size); err != nil {
+			return fmt.Errorf("irexec: %s: %w", fr.Fn.Name, err)
+		}
+	case ir.OpAlloca:
+		sz := (v.AllocSize + 3) &^ 3
+		al := v.Align
+		if al < 4 {
+			al = 4
+		}
+		ip.nativeSP = (ip.nativeSP - sz) &^ (al - 1)
+		res = ip.nativeSP
+	case ir.OpCall:
+		if ip.Tr != nil {
+			ip.Tr.CallPre(fr, v, argv)
+		}
+		rets, err := ip.call(v.Callee, argv, fr, v)
+		if err != nil {
+			return err
+		}
+		if fr.tuples == nil {
+			fr.tuples = make(map[*ir.Value][]uint32)
+		}
+		fr.tuples[v] = rets
+		if len(rets) > 0 {
+			res = rets[0]
+		}
+	case ir.OpCallInd:
+		target := ip.Mod.FuncAt(argv[0])
+		if target == nil {
+			return fmt.Errorf("irexec: %s: indirect call to unknown 0x%x", fr.Fn.Name, argv[0])
+		}
+		if ip.Tr != nil {
+			ip.Tr.CallPre(fr, v, argv)
+		}
+		rets, err := ip.call(target, argv[1:], fr, v)
+		if err != nil {
+			return err
+		}
+		if fr.tuples == nil {
+			fr.tuples = make(map[*ir.Value][]uint32)
+		}
+		fr.tuples[v] = rets
+		if len(rets) > 0 {
+			res = rets[0]
+		}
+	case ir.OpCallExt:
+		arg := func(i int) (uint32, error) {
+			if i >= len(argv) {
+				return 0, fmt.Errorf("irexec: %s: %s reads arg %d beyond %d",
+					fr.Fn.Name, v.Sym, i, len(argv))
+			}
+			return argv[i], nil
+		}
+		ret, err := ip.Lib.Call(v.Sym, arg)
+		if err != nil {
+			return err
+		}
+		if fr.tuples == nil {
+			fr.tuples = make(map[*ir.Value][]uint32)
+		}
+		fr.tuples[v] = []uint32{ret}
+		res = ret
+		if ip.Lib.Halted {
+			if ip.Tr != nil {
+				ip.Tr.Exec(fr, v, argv, res)
+			}
+			return errHalted
+		}
+	case ir.OpCallExtRaw:
+		base := argv[0]
+		arg := func(i int) (uint32, error) {
+			return ip.Mem.Load(base+uint32(4*i), 4)
+		}
+		ret, err := ip.Lib.Call(v.Sym, arg)
+		if err != nil {
+			return err
+		}
+		if fr.tuples == nil {
+			fr.tuples = make(map[*ir.Value][]uint32)
+		}
+		fr.tuples[v] = []uint32{ret}
+		res = ret
+		if ip.Lib.Halted {
+			if ip.Tr != nil {
+				ip.Tr.Exec(fr, v, argv, res)
+			}
+			return errHalted
+		}
+	case ir.OpExtract:
+		tup := fr.tuples[v.Args[0]]
+		if v.Idx >= len(tup) {
+			return fmt.Errorf("irexec: %s: extract %d of %d-tuple", fr.Fn.Name, v.Idx, len(tup))
+		}
+		res = tup[v.Idx]
+	default:
+		return fmt.Errorf("irexec: %s: cannot execute %s", fr.Fn.Name, v.Op)
+	}
+	fr.vals[v] = res
+	if ip.Tr != nil {
+		ip.Tr.Exec(fr, v, argv, res)
+	}
+	return nil
+}
+
+func evalCond(c isa.Cond, a, b uint32) bool {
+	switch c {
+	case isa.CondEQ:
+		return a == b
+	case isa.CondNE:
+		return a != b
+	case isa.CondLT:
+		return int32(a) < int32(b)
+	case isa.CondLE:
+		return int32(a) <= int32(b)
+	case isa.CondGT:
+		return int32(a) > int32(b)
+	case isa.CondGE:
+		return int32(a) >= int32(b)
+	case isa.CondB:
+		return a < b
+	case isa.CondBE:
+		return a <= b
+	case isa.CondA:
+		return a > b
+	case isa.CondAE:
+		return a >= b
+	}
+	return false
+}

@@ -1,0 +1,92 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Fixed 16-byte instruction encoding:
+//
+//	byte 0    opcode
+//	byte 1    condition
+//	byte 2    dst register (0xFF if none)
+//	byte 3    src register (0xFF if none)
+//	byte 4    access size | signed<<7
+//	byte 5    mem base register
+//	byte 6    mem index register
+//	byte 7    mem scale
+//	byte 8-11 imm (little-endian int32)
+//	byte 12-15 mem disp (little-endian int32)
+
+// Encode writes the instruction into dst, which must be at least InstrSize
+// bytes, and returns InstrSize.
+func Encode(dst []byte, in *Instr) int {
+	_ = dst[InstrSize-1]
+	dst[0] = byte(in.Op)
+	dst[1] = byte(in.Cond)
+	dst[2] = byte(in.Dst)
+	dst[3] = byte(in.Src)
+	sz := in.Size
+	if in.Signed {
+		sz |= 0x80
+	}
+	dst[4] = sz
+	dst[5] = byte(in.Mem.Base)
+	dst[6] = byte(in.Mem.Index)
+	dst[7] = in.Mem.Scale
+	binary.LittleEndian.PutUint32(dst[8:], uint32(in.Imm))
+	binary.LittleEndian.PutUint32(dst[12:], uint32(in.Mem.Disp))
+	return InstrSize
+}
+
+// Decode parses one instruction from src, which must be at least InstrSize
+// bytes.
+func Decode(src []byte) (Instr, error) {
+	if len(src) < InstrSize {
+		return Instr{}, fmt.Errorf("isa: short instruction: %d bytes", len(src))
+	}
+	var in Instr
+	in.Op = Op(src[0])
+	if in.Op >= NumOps {
+		return Instr{}, fmt.Errorf("isa: invalid opcode %d", src[0])
+	}
+	in.Cond = Cond(src[1])
+	if in.Cond >= NumConds {
+		return Instr{}, fmt.Errorf("isa: invalid condition %d", src[1])
+	}
+	in.Dst = Reg(src[2])
+	in.Src = Reg(src[3])
+	in.Size = src[4] & 0x7F
+	in.Signed = src[4]&0x80 != 0
+	in.Mem.Base = Reg(src[5])
+	in.Mem.Index = Reg(src[6])
+	in.Mem.Scale = src[7]
+	in.Imm = int32(binary.LittleEndian.Uint32(src[8:]))
+	in.Mem.Disp = int32(binary.LittleEndian.Uint32(src[12:]))
+	return in, nil
+}
+
+// EncodeAll encodes a full instruction stream.
+func EncodeAll(code []Instr) []byte {
+	out := make([]byte, len(code)*InstrSize)
+	for i := range code {
+		Encode(out[i*InstrSize:], &code[i])
+	}
+	return out
+}
+
+// DecodeAll decodes a full instruction stream.
+func DecodeAll(b []byte) ([]Instr, error) {
+	if len(b)%InstrSize != 0 {
+		return nil, fmt.Errorf("isa: code length %d not a multiple of %d", len(b), InstrSize)
+	}
+	out := make([]Instr, len(b)/InstrSize)
+	for i := range out {
+		in, err := Decode(b[i*InstrSize:])
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+		out[i] = in
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+// Package layout defines stack-frame layout descriptions and the accuracy
+// metric of the paper's Figure 7. A layout lists, per function, the local
+// variables as half-open byte ranges relative to sp0 — the value of the
+// stack pointer at function entry (so locals have negative offsets and
+// stack-passed arguments positive ones).
+//
+// The compiler (internal/minicc) emits a ground-truth layout side-table —
+// the analogue of LLVM 16's Stack Frame Layout analysis used by the paper —
+// and the symbolizer emits a recovered layout; Compare classifies each
+// ground-truth object as matched / oversized / undersized / missed.
+package layout
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var is one stack object. Offset is relative to sp0 (bytes; negative for
+// locals below the return address) and the object occupies
+// [Offset, Offset+Size).
+type Var struct {
+	Name   string
+	Offset int32
+	Size   uint32
+}
+
+// End returns the first offset past the object.
+func (v Var) End() int32 { return v.Offset + int32(v.Size) }
+
+// Overlaps reports whether two objects' byte ranges intersect.
+func (v Var) Overlaps(o Var) bool {
+	return v.Offset < o.End() && o.Offset < v.End()
+}
+
+// Covers reports whether v's range fully contains o's.
+func (v Var) Covers(o Var) bool {
+	return v.Offset <= o.Offset && v.End() >= o.End()
+}
+
+func (v Var) String() string {
+	return fmt.Sprintf("%s@[%d,%d)", v.Name, v.Offset, v.End())
+}
+
+// Frame is the layout of one function's stack frame.
+type Frame struct {
+	Func string
+	Vars []Var
+}
+
+// Sort orders the variables by offset (stable by name within equal offsets).
+func (f *Frame) Sort() {
+	sort.SliceStable(f.Vars, func(i, j int) bool {
+		if f.Vars[i].Offset != f.Vars[j].Offset {
+			return f.Vars[i].Offset < f.Vars[j].Offset
+		}
+		return f.Vars[i].Name < f.Vars[j].Name
+	})
+}
+
+func (f *Frame) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "frame %s:", f.Func)
+	for _, v := range f.Vars {
+		fmt.Fprintf(&b, " %s", v)
+	}
+	return b.String()
+}
+
+// Program maps function names to frames.
+type Program struct {
+	Frames map[string]*Frame
+}
+
+// NewProgram returns an empty layout table.
+func NewProgram() *Program { return &Program{Frames: make(map[string]*Frame)} }
+
+// Add records a frame, replacing any previous frame for the same function.
+func (p *Program) Add(f *Frame) { p.Frames[f.Func] = f }
+
+// Frame returns the frame for a function, or nil.
+func (p *Program) Frame(fn string) *Frame { return p.Frames[fn] }
+
+// FuncNames returns the function names in sorted order.
+func (p *Program) FuncNames() []string {
+	out := make([]string, 0, len(p.Frames))
+	for n := range p.Frames {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Category classifies one ground-truth object against a recovered layout,
+// per the paper's Figure 7.
+type Category uint8
+
+// Classification of a ground-truth allocation: matched on perfect overlap
+// with one recovered object, oversized when a recovered object strictly
+// contains it, undersized on partial overlap, missed on no overlap.
+const (
+	Matched Category = iota
+	Oversized
+	Undersized
+	Missed
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{"matched", "oversized", "undersized", "missed"}
+
+func (c Category) String() string { return categoryNames[c] }
+
+// Accuracy aggregates a comparison between recovered and ground-truth
+// layouts.
+type Accuracy struct {
+	Counts [NumCategories]int
+	// TruthTotal is the number of ground-truth objects considered.
+	TruthTotal int
+	// RecoveredTotal is the number of recovered objects considered.
+	RecoveredTotal int
+	// TruePositives counts recovered objects that overlap at least one
+	// ground-truth object (used for precision).
+	TruePositives int
+}
+
+// Add accumulates another accuracy record.
+func (a *Accuracy) Add(o Accuracy) {
+	for i := range a.Counts {
+		a.Counts[i] += o.Counts[i]
+	}
+	a.TruthTotal += o.TruthTotal
+	a.RecoveredTotal += o.RecoveredTotal
+	a.TruePositives += o.TruePositives
+}
+
+// Precision is the fraction of recovered objects that correspond to real
+// ground-truth objects.
+func (a Accuracy) Precision() float64 {
+	if a.RecoveredTotal == 0 {
+		return 1
+	}
+	return float64(a.TruePositives) / float64(a.RecoveredTotal)
+}
+
+// Recall is the fraction of ground-truth objects that were recovered
+// (matched or oversized — i.e. covered without risk of overflow, the
+// paper's notion of a safely symbolized object).
+func (a Accuracy) Recall() float64 {
+	if a.TruthTotal == 0 {
+		return 1
+	}
+	return float64(a.Counts[Matched]+a.Counts[Oversized]) / float64(a.TruthTotal)
+}
+
+// Ratio returns the fraction of ground-truth objects in category c.
+func (a Accuracy) Ratio(c Category) float64 {
+	if a.TruthTotal == 0 {
+		return 0
+	}
+	return float64(a.Counts[c]) / float64(a.TruthTotal)
+}
+
+// CompareFrame classifies every ground-truth object of truth against the
+// recovered frame (which may be nil, in which case everything is missed).
+func CompareFrame(truth, recovered *Frame) Accuracy {
+	var acc Accuracy
+	acc.TruthTotal = len(truth.Vars)
+	var rec []Var
+	if recovered != nil {
+		rec = recovered.Vars
+		acc.RecoveredTotal = len(rec)
+	}
+	for _, tv := range truth.Vars {
+		best := Missed
+		for _, rv := range rec {
+			if !tv.Overlaps(rv) {
+				continue
+			}
+			var c Category
+			switch {
+			case tv.Offset == rv.Offset && tv.Size == rv.Size:
+				c = Matched
+			case rv.Covers(tv):
+				c = Oversized
+			default:
+				c = Undersized
+			}
+			if c < best {
+				best = c
+			}
+		}
+		acc.Counts[best]++
+	}
+	for _, rv := range rec {
+		for _, tv := range truth.Vars {
+			if rv.Overlaps(tv) {
+				acc.TruePositives++
+				break
+			}
+		}
+	}
+	return acc
+}
+
+// Compare classifies every function of truth against the recovered program.
+// Only functions present in truth are considered (the paper compares only
+// functions that were executed in the traces; the caller restricts truth
+// accordingly).
+func Compare(truth, recovered *Program) Accuracy {
+	var acc Accuracy
+	for name, tf := range truth.Frames {
+		var rf *Frame
+		if recovered != nil {
+			rf = recovered.Frame(name)
+		}
+		acc.Add(CompareFrame(tf, rf))
+	}
+	return acc
+}

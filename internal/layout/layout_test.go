@@ -1,0 +1,164 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarGeometry(t *testing.T) {
+	a := Var{Name: "a", Offset: -20, Size: 8}
+	b := Var{Name: "b", Offset: -44, Size: 24}
+	ptr := Var{Name: "ptr", Offset: -12, Size: 4}
+	if a.Overlaps(b) {
+		t.Error("a and b overlap")
+	}
+	if !b.Overlaps(Var{Offset: -36, Size: 4}) {
+		t.Error("b[1] access does not overlap b")
+	}
+	if !b.Covers(Var{Offset: -36, Size: 4}) {
+		t.Error("b does not cover inner range")
+	}
+	if b.Covers(Var{Offset: -48, Size: 8}) {
+		t.Error("b covers range extending below it")
+	}
+	if a.End() != -12 || ptr.End() != -8 {
+		t.Error("End arithmetic wrong")
+	}
+}
+
+// Property: Overlaps is symmetric, and Covers implies Overlaps for non-empty
+// ranges.
+func TestOverlapProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() Var {
+			return Var{Offset: int32(r.Intn(200) - 100), Size: uint32(r.Intn(40) + 1)}
+		}
+		a, b := mk(), mk()
+		if a.Overlaps(b) != b.Overlaps(a) {
+			return false
+		}
+		if a.Covers(b) && !a.Overlaps(b) {
+			return false
+		}
+		if a.Covers(b) && b.Covers(a) && (a.Offset != b.Offset || a.Size != b.Size) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func frame(fn string, vars ...Var) *Frame { return &Frame{Func: fn, Vars: vars} }
+
+func TestCompareFrameCategories(t *testing.T) {
+	truth := frame("f",
+		Var{Name: "a", Offset: -20, Size: 8},
+		Var{Name: "b", Offset: -44, Size: 24},
+		Var{Name: "ptr", Offset: -12, Size: 4},
+		Var{Name: "ghost", Offset: -60, Size: 4},
+	)
+	rec := frame("f",
+		Var{Name: "v0", Offset: -20, Size: 8},  // matched a
+		Var{Name: "v1", Offset: -44, Size: 32}, // oversized for b (subsumes a? no: [-44,-12) covers b [-44,-20) and a [-20,-12))
+		Var{Name: "v2", Offset: -12, Size: 2},  // undersized for ptr
+	)
+	acc := CompareFrame(truth, rec)
+	// a: matched by v0 (also covered by v1, but matched is the best category)
+	if acc.Counts[Matched] != 1 {
+		t.Errorf("matched = %d, want 1", acc.Counts[Matched])
+	}
+	if acc.Counts[Oversized] != 1 {
+		t.Errorf("oversized = %d, want 1", acc.Counts[Oversized])
+	}
+	if acc.Counts[Undersized] != 1 {
+		t.Errorf("undersized = %d, want 1", acc.Counts[Undersized])
+	}
+	if acc.Counts[Missed] != 1 {
+		t.Errorf("missed = %d, want 1", acc.Counts[Missed])
+	}
+	if acc.TruthTotal != 4 || acc.RecoveredTotal != 3 || acc.TruePositives != 3 {
+		t.Errorf("totals: %+v", acc)
+	}
+	if acc.Precision() != 1.0 {
+		t.Errorf("precision = %v", acc.Precision())
+	}
+	if acc.Recall() != 0.5 {
+		t.Errorf("recall = %v", acc.Recall())
+	}
+}
+
+func TestCompareMissingFunction(t *testing.T) {
+	truth := NewProgram()
+	truth.Add(frame("f", Var{Name: "x", Offset: -4, Size: 4}))
+	rec := NewProgram()
+	acc := Compare(truth, rec)
+	if acc.Counts[Missed] != 1 || acc.TruthTotal != 1 {
+		t.Errorf("got %+v", acc)
+	}
+	// nil recovered program behaves the same
+	acc2 := Compare(truth, nil)
+	if acc2.Counts[Missed] != 1 {
+		t.Errorf("nil recovered: %+v", acc2)
+	}
+}
+
+func TestAccuracyAggregation(t *testing.T) {
+	var a, b Accuracy
+	a.Counts[Matched] = 3
+	a.TruthTotal = 4
+	a.RecoveredTotal = 3
+	a.TruePositives = 3
+	b.Counts[Missed] = 1
+	b.TruthTotal = 1
+	b.RecoveredTotal = 2
+	b.TruePositives = 1
+	a.Add(b)
+	if a.TruthTotal != 5 || a.RecoveredTotal != 5 || a.TruePositives != 4 {
+		t.Errorf("aggregate totals wrong: %+v", a)
+	}
+	if a.Ratio(Matched) != 0.6 {
+		t.Errorf("Ratio(Matched) = %v", a.Ratio(Matched))
+	}
+	if a.Precision() != 0.8 {
+		t.Errorf("precision = %v", a.Precision())
+	}
+}
+
+func TestEmptyAccuracy(t *testing.T) {
+	var a Accuracy
+	if a.Precision() != 1 || a.Recall() != 1 || a.Ratio(Matched) != 0 {
+		t.Errorf("empty accuracy defaults wrong: %+v", a)
+	}
+}
+
+func TestFrameSortAndString(t *testing.T) {
+	f := frame("g",
+		Var{Name: "z", Offset: -4, Size: 4},
+		Var{Name: "a", Offset: -12, Size: 8},
+	)
+	f.Sort()
+	if f.Vars[0].Name != "a" || f.Vars[1].Name != "z" {
+		t.Errorf("sort order wrong: %v", f.Vars)
+	}
+	want := "frame g: a@[-12,-4) z@[-4,0)"
+	if f.String() != want {
+		t.Errorf("String() = %q, want %q", f.String(), want)
+	}
+}
+
+func TestProgramFuncNames(t *testing.T) {
+	p := NewProgram()
+	p.Add(frame("b"))
+	p.Add(frame("a"))
+	names := p.FuncNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("FuncNames = %v", names)
+	}
+	if p.Frame("a") == nil || p.Frame("nope") != nil {
+		t.Error("Frame lookup wrong")
+	}
+}

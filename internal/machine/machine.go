@@ -1,0 +1,508 @@
+// Package machine emulates the synthetic ISA. It is the reproduction's
+// stand-in for both the physical CPU the paper's binaries ran on and the
+// S2E-style tracing substrate: a deterministic cycle cost model replaces
+// wall-clock measurements, and an optional control-transfer hook exposes
+// exactly the event stream the paper's binary tracer records.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/obj"
+)
+
+// TransferKind classifies a control transfer observed during execution.
+type TransferKind uint8
+
+// Control-transfer kinds reported to the trace hook.
+const (
+	TransferJump   TransferKind = iota // unconditional or indirect jump
+	TransferBranch                     // conditional branch (taken or fall through)
+	TransferCall                       // direct or indirect call to lifted code
+	TransferRet                        // return
+	TransferExt                        // call to an external (library) function
+)
+
+// Transfer is one control-transfer event: the instruction at From moved
+// control to To. For conditional branches both outcomes are reported (the
+// fall-through address when not taken), which is what CFG recovery needs.
+type Transfer struct {
+	Kind  TransferKind
+	From  uint32
+	To    uint32
+	Taken bool // meaningful for TransferBranch
+}
+
+// Input is the program input vector provided by the harness; the analogue
+// of the paper's user-provided (ref) input sets. Programs read it through
+// the input_int/input_str library functions.
+type Input struct {
+	Ints []int32
+	Strs []string
+}
+
+// Cycle costs. ALU and moves cost 1; memory traffic dominates, as on real
+// hardware. The exact constants matter less than their ordering: the paper's
+// performance effects come from eliminating memory operations and
+// instructions, which any monotone cost model preserves.
+const (
+	costALU    = 1
+	costMem    = 3
+	costPush   = 3
+	costCall   = 5
+	costRet    = 5
+	costBranch = 1
+	costMul    = 3
+	costDiv    = 12
+	costLea    = 1
+)
+
+// Machine executes one loaded image.
+type Machine struct {
+	img   *obj.Image
+	Mem   *Memory
+	Regs  [isa.NumRegs]uint32
+	flags flags
+	pc    uint32
+
+	Cycles   uint64
+	Steps    uint64
+	MaxSteps uint64
+
+	Out io.Writer
+
+	// Hook, when non-nil, receives every control transfer.
+	Hook func(Transfer)
+	// InstrHook, when non-nil, is called with the PC of every executed
+	// instruction (tracing support).
+	InstrHook func(pc uint32)
+
+	lib *LibState
+
+	halted   bool
+	exitCode int32
+}
+
+type flags struct {
+	zf, sf, of, cf bool
+}
+
+// ErrMaxSteps is returned when execution exceeds the step budget.
+var ErrMaxSteps = errors.New("machine: step budget exceeded")
+
+// New loads an image and prepares a machine. Output (if out is nil) is
+// discarded.
+func New(img *obj.Image, input Input, out io.Writer) (*Machine, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	if out == nil {
+		out = io.Discard
+	}
+	m := &Machine{
+		img:      img,
+		Mem:      NewMemory(),
+		Out:      out,
+		MaxSteps: 2_000_000_000,
+	}
+	if err := m.Mem.WriteBytes(isa.DataBase, img.Data); err != nil {
+		return nil, err
+	}
+	lib, err := NewLibState(m.Mem, input, out)
+	if err != nil {
+		return nil, err
+	}
+	m.lib = lib
+	m.Regs[isa.ESP] = isa.StackTop
+	m.pc = img.Entry
+	return m, nil
+}
+
+// PC returns the current program counter.
+func (m *Machine) PC() uint32 { return m.pc }
+
+// Halted reports whether the program has exited.
+func (m *Machine) Halted() bool { return m.halted }
+
+// ExitCode returns the program's exit status (valid after Halted).
+func (m *Machine) ExitCode() int32 { return m.exitCode }
+
+func (m *Machine) emit(t Transfer) {
+	if m.Hook != nil {
+		m.Hook(t)
+	}
+}
+
+func (m *Machine) effAddr(mem isa.MemRef) uint32 {
+	var a uint32
+	if mem.HasBase() {
+		a = m.Regs[mem.Base]
+	}
+	if mem.HasIndex() {
+		a += m.Regs[mem.Index] * uint32(mem.Scale)
+	}
+	return a + uint32(mem.Disp)
+}
+
+func (m *Machine) push(v uint32) error {
+	m.Regs[isa.ESP] -= 4
+	return m.Mem.Store(m.Regs[isa.ESP], v, 4)
+}
+
+func (m *Machine) pop() (uint32, error) {
+	v, err := m.Mem.Load(m.Regs[isa.ESP], 4)
+	if err != nil {
+		return 0, err
+	}
+	m.Regs[isa.ESP] += 4
+	return v, nil
+}
+
+func (m *Machine) setCmpFlags(a, b uint32) {
+	r := a - b
+	m.flags.zf = r == 0
+	m.flags.sf = int32(r) < 0
+	m.flags.cf = a < b
+	// Signed overflow of a-b: operands have different signs and the result's
+	// sign differs from a's.
+	m.flags.of = ((int32(a) >= 0) != (int32(b) >= 0)) && ((int32(r) >= 0) != (int32(a) >= 0))
+}
+
+func (m *Machine) setTestFlags(a, b uint32) {
+	r := a & b
+	m.flags.zf = r == 0
+	m.flags.sf = int32(r) < 0
+	m.flags.cf = false
+	m.flags.of = false
+}
+
+// EvalCond evaluates a condition against flag state produced by CMP a,b the
+// way x86 does.
+func (f flags) eval(c isa.Cond) bool {
+	switch c {
+	case isa.CondEQ:
+		return f.zf
+	case isa.CondNE:
+		return !f.zf
+	case isa.CondLT:
+		return f.sf != f.of
+	case isa.CondLE:
+		return f.zf || f.sf != f.of
+	case isa.CondGT:
+		return !f.zf && f.sf == f.of
+	case isa.CondGE:
+		return f.sf == f.of
+	case isa.CondB:
+		return f.cf
+	case isa.CondBE:
+		return f.cf || f.zf
+	case isa.CondA:
+		return !f.cf && !f.zf
+	case isa.CondAE:
+		return !f.cf
+	}
+	return false
+}
+
+// Step executes one instruction.
+func (m *Machine) Step() error {
+	if m.halted {
+		return nil
+	}
+	if m.Steps >= m.MaxSteps {
+		return ErrMaxSteps
+	}
+	in, err := m.img.InstrAt(m.pc)
+	if err != nil {
+		return fmt.Errorf("machine: pc=0x%x: %w", m.pc, err)
+	}
+	m.Steps++
+	if m.InstrHook != nil {
+		m.InstrHook(m.pc)
+	}
+	next := m.pc + isa.InstrSize
+
+	switch in.Op {
+	case isa.NOP:
+		m.Cycles += costALU
+
+	case isa.MOV:
+		m.Regs[in.Dst] = m.Regs[in.Src]
+		m.Cycles += costALU
+	case isa.MOVI:
+		m.Regs[in.Dst] = uint32(in.Imm)
+		m.Cycles += costALU
+	case isa.MOVLO8:
+		m.Regs[in.Dst] = m.Regs[in.Dst]&^0xFF | m.Regs[in.Src]&0xFF
+		m.Cycles += costALU
+
+	case isa.LOAD:
+		v, err := m.Mem.Load(m.effAddr(in.Mem), in.Size)
+		if err != nil {
+			return err
+		}
+		if in.Signed {
+			switch in.Size {
+			case 1:
+				v = uint32(int32(int8(v)))
+			case 2:
+				v = uint32(int32(int16(v)))
+			}
+		}
+		m.Regs[in.Dst] = v
+		m.Cycles += costMem
+	case isa.LOADLO8:
+		v, err := m.Mem.Load(m.effAddr(in.Mem), 1)
+		if err != nil {
+			return err
+		}
+		m.Regs[in.Dst] = m.Regs[in.Dst]&^0xFF | v&0xFF
+		m.Cycles += costMem
+	case isa.STORE:
+		if err := m.Mem.Store(m.effAddr(in.Mem), m.Regs[in.Src], in.Size); err != nil {
+			return err
+		}
+		m.Cycles += costMem
+	case isa.STOREI:
+		if err := m.Mem.Store(m.effAddr(in.Mem), uint32(in.Imm), in.Size); err != nil {
+			return err
+		}
+		m.Cycles += costMem
+	case isa.LEA:
+		m.Regs[in.Dst] = m.effAddr(in.Mem)
+		m.Cycles += costLea
+
+	case isa.ADD:
+		m.Regs[in.Dst] += m.Regs[in.Src]
+		m.Cycles += costALU
+	case isa.SUB:
+		m.Regs[in.Dst] -= m.Regs[in.Src]
+		m.Cycles += costALU
+	case isa.AND:
+		m.Regs[in.Dst] &= m.Regs[in.Src]
+		m.Cycles += costALU
+	case isa.OR:
+		m.Regs[in.Dst] |= m.Regs[in.Src]
+		m.Cycles += costALU
+	case isa.XOR:
+		m.Regs[in.Dst] ^= m.Regs[in.Src]
+		m.Cycles += costALU
+	case isa.SHL:
+		m.Regs[in.Dst] <<= m.Regs[in.Src] & 31
+		m.Cycles += costALU
+	case isa.SHR:
+		m.Regs[in.Dst] >>= m.Regs[in.Src] & 31
+		m.Cycles += costALU
+	case isa.SAR:
+		m.Regs[in.Dst] = uint32(int32(m.Regs[in.Dst]) >> (m.Regs[in.Src] & 31))
+		m.Cycles += costALU
+	case isa.MUL:
+		m.Regs[in.Dst] *= m.Regs[in.Src]
+		m.Cycles += costMul
+	case isa.DIV, isa.MOD:
+		d := int32(m.Regs[in.Src])
+		if d == 0 {
+			return fmt.Errorf("machine: division by zero at pc=0x%x", m.pc)
+		}
+		n := int32(m.Regs[in.Dst])
+		if in.Op == isa.DIV {
+			m.Regs[in.Dst] = uint32(n / d)
+		} else {
+			m.Regs[in.Dst] = uint32(n % d)
+		}
+		m.Cycles += costDiv
+
+	case isa.ADDI:
+		m.Regs[in.Dst] += uint32(in.Imm)
+		m.Cycles += costALU
+	case isa.SUBI:
+		m.Regs[in.Dst] -= uint32(in.Imm)
+		m.Cycles += costALU
+	case isa.ANDI:
+		m.Regs[in.Dst] &= uint32(in.Imm)
+		m.Cycles += costALU
+	case isa.ORI:
+		m.Regs[in.Dst] |= uint32(in.Imm)
+		m.Cycles += costALU
+	case isa.XORI:
+		m.Regs[in.Dst] ^= uint32(in.Imm)
+		m.Cycles += costALU
+	case isa.SHLI:
+		m.Regs[in.Dst] <<= uint32(in.Imm) & 31
+		m.Cycles += costALU
+	case isa.SHRI:
+		m.Regs[in.Dst] >>= uint32(in.Imm) & 31
+		m.Cycles += costALU
+	case isa.SARI:
+		m.Regs[in.Dst] = uint32(int32(m.Regs[in.Dst]) >> (uint32(in.Imm) & 31))
+		m.Cycles += costALU
+	case isa.MULI:
+		m.Regs[in.Dst] *= uint32(in.Imm)
+		m.Cycles += costMul
+	case isa.DIVI, isa.MODI:
+		if in.Imm == 0 {
+			return fmt.Errorf("machine: division by zero at pc=0x%x", m.pc)
+		}
+		n := int32(m.Regs[in.Dst])
+		if in.Op == isa.DIVI {
+			m.Regs[in.Dst] = uint32(n / in.Imm)
+		} else {
+			m.Regs[in.Dst] = uint32(n % in.Imm)
+		}
+		m.Cycles += costDiv
+
+	case isa.NEG:
+		m.Regs[in.Dst] = -m.Regs[in.Dst]
+		m.Cycles += costALU
+	case isa.NOT:
+		m.Regs[in.Dst] = ^m.Regs[in.Dst]
+		m.Cycles += costALU
+
+	case isa.CMP:
+		m.setCmpFlags(m.Regs[in.Dst], m.Regs[in.Src])
+		m.Cycles += costALU
+	case isa.CMPI:
+		m.setCmpFlags(m.Regs[in.Dst], uint32(in.Imm))
+		m.Cycles += costALU
+	case isa.TEST:
+		m.setTestFlags(m.Regs[in.Dst], m.Regs[in.Src])
+		m.Cycles += costALU
+	case isa.SET:
+		if m.flags.eval(in.Cond) {
+			m.Regs[in.Dst] = 1
+		} else {
+			m.Regs[in.Dst] = 0
+		}
+		m.Cycles += costALU
+
+	case isa.PUSH:
+		if err := m.push(m.Regs[in.Src]); err != nil {
+			return err
+		}
+		m.Cycles += costPush
+	case isa.PUSHI:
+		if err := m.push(uint32(in.Imm)); err != nil {
+			return err
+		}
+		m.Cycles += costPush
+	case isa.POP:
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		m.Regs[in.Dst] = v
+		m.Cycles += costPush
+
+	case isa.JMP:
+		next = uint32(in.Imm)
+		m.emit(Transfer{Kind: TransferJump, From: m.pc, To: next})
+		m.Cycles += costBranch
+	case isa.JCC:
+		taken := m.flags.eval(in.Cond)
+		if taken {
+			next = uint32(in.Imm)
+		}
+		m.emit(Transfer{Kind: TransferBranch, From: m.pc, To: next, Taken: taken})
+		m.Cycles += costBranch
+	case isa.JMPR:
+		next = m.Regs[in.Src]
+		m.emit(Transfer{Kind: TransferJump, From: m.pc, To: next})
+		m.Cycles += costBranch
+	case isa.CALL, isa.CALLR:
+		target := uint32(in.Imm)
+		if in.Op == isa.CALLR {
+			target = m.Regs[in.Src]
+		}
+		if isa.IsExtAddr(target) {
+			m.emit(Transfer{Kind: TransferExt, From: m.pc, To: target})
+			if err := m.extCall(target); err != nil {
+				return err
+			}
+			m.Cycles += costCall
+			if m.halted {
+				return nil
+			}
+			break // next already pc+InstrSize; external "returned"
+		}
+		if err := m.push(next); err != nil {
+			return err
+		}
+		m.emit(Transfer{Kind: TransferCall, From: m.pc, To: target})
+		next = target
+		m.Cycles += costCall
+	case isa.RET:
+		ra, err := m.pop()
+		if err != nil {
+			return err
+		}
+		m.emit(Transfer{Kind: TransferRet, From: m.pc, To: ra})
+		next = ra
+		m.Cycles += costRet
+
+	case isa.SYS:
+		if err := m.syscall(in.Imm); err != nil {
+			return err
+		}
+		m.Cycles += costCall
+		if m.halted {
+			return nil
+		}
+	case isa.HALT:
+		m.halted = true
+		m.exitCode = int32(m.Regs[isa.EAX])
+		return nil
+
+	default:
+		return fmt.Errorf("machine: unimplemented op %v at pc=0x%x", in.Op, m.pc)
+	}
+
+	m.pc = next
+	return nil
+}
+
+func (m *Machine) syscall(num int32) error {
+	switch num {
+	case 0: // exit; status in eax
+		m.halted = true
+		m.exitCode = int32(m.Regs[isa.EAX])
+		return nil
+	default:
+		return fmt.Errorf("machine: unknown syscall %d at pc=0x%x", num, m.pc)
+	}
+}
+
+// Run executes until halt or error.
+func (m *Machine) Run() error {
+	for !m.halted {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result summarizes one complete execution.
+type Result struct {
+	ExitCode int32
+	Cycles   uint64
+	Steps    uint64
+}
+
+// Execute is a convenience: load img, run it on input, write program output
+// to out, and return the result.
+func Execute(img *obj.Image, input Input, out io.Writer) (Result, error) {
+	m, err := New(img, input, out)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := m.Run(); err != nil {
+		return Result{}, err
+	}
+	return Result{ExitCode: m.ExitCode(), Cycles: m.TotalCycles(), Steps: m.Steps}, nil
+}
+
+// TotalCycles returns machine cycles plus library-function work.
+func (m *Machine) TotalCycles() uint64 { return m.Cycles + m.lib.Cycles }

@@ -1,0 +1,112 @@
+package machine
+
+import "fmt"
+
+// pageBits selects 64 KiB pages for the sparse flat memory.
+const pageBits = 16
+const pageSize = 1 << pageBits
+
+// Memory is a sparse, zero-initialized 32-bit address space. Pages are
+// materialized on first access. Accesses to the first page (addresses below
+// 0x1000, the classic null-pointer guard region) fault.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+// Fault is a memory access violation.
+type Fault struct {
+	Addr uint32
+	Why  string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("machine: memory fault at 0x%x: %s", f.Addr, f.Why)
+}
+
+func (m *Memory) page(addr uint32) (*[pageSize]byte, error) {
+	if addr < 0x1000 {
+		return nil, &Fault{Addr: addr, Why: "null-page access"}
+	}
+	pn := addr >> pageBits
+	p := m.pages[pn]
+	if p == nil {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p, nil
+}
+
+// Load reads size bytes (1, 2 or 4) little-endian.
+func (m *Memory) Load(addr uint32, size uint8) (uint32, error) {
+	var v uint32
+	for i := uint8(0); i < size; i++ {
+		a := addr + uint32(i)
+		p, err := m.page(a)
+		if err != nil {
+			return 0, err
+		}
+		v |= uint32(p[a&(pageSize-1)]) << (8 * i)
+	}
+	return v, nil
+}
+
+// Store writes size bytes (1, 2 or 4) little-endian.
+func (m *Memory) Store(addr uint32, v uint32, size uint8) error {
+	for i := uint8(0); i < size; i++ {
+		a := addr + uint32(i)
+		p, err := m.page(a)
+		if err != nil {
+			return err
+		}
+		p[a&(pageSize-1)] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// WriteBytes copies b into memory at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) error {
+	for i, c := range b {
+		p, err := m.page(addr + uint32(i))
+		if err != nil {
+			return err
+		}
+		p[(addr+uint32(i))&(pageSize-1)] = c
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes out of memory starting at addr.
+func (m *Memory) ReadBytes(addr uint32, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := range out {
+		p, err := m.page(addr + uint32(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p[(addr+uint32(i))&(pageSize-1)]
+	}
+	return out, nil
+}
+
+// CString reads a NUL-terminated string starting at addr (bounded at 1 MiB
+// to catch runaway reads).
+func (m *Memory) CString(addr uint32) (string, error) {
+	const limit = 1 << 20
+	var out []byte
+	for i := 0; i < limit; i++ {
+		b, err := m.Load(addr+uint32(i), 1)
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			return string(out), nil
+		}
+		out = append(out, byte(b))
+	}
+	return "", &Fault{Addr: addr, Why: "unterminated string"}
+}

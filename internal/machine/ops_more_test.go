@@ -1,0 +1,116 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"wytiwyg/internal/asm"
+	"wytiwyg/internal/obj"
+)
+
+func assembleSrc(t *testing.T, src string) (*obj.Image, error) {
+	t.Helper()
+	return asm.Assemble("t", src, "")
+}
+
+// Every immediate-ALU opcode with operands where signedness matters.
+func TestImmediateALUOps(t *testing.T) {
+	res, _ := run(t, `
+main:
+    movi eax, -20
+    addi eax, 6        ; -14
+    subi eax, -4       ; -10
+    muli eax, -3       ; 30
+    divi eax, 4        ; 7
+    modi eax, 4        ; 3
+    ori  eax, 8        ; 11
+    xori eax, 2        ; 9
+    andi eax, 13       ; 9
+    shli eax, 4        ; 144
+    shri eax, 1        ; 72
+    sari eax, 3        ; 9
+    movi ecx, -64
+    sari ecx, 4        ; -4
+    neg ecx            ; 4
+    add eax, ecx       ; 13
+    movi edx, -21
+    mov ebx, edx
+    mod ebx, eax       ; -21 % 13 = -8
+    neg ebx            ; 8
+    div edx, ebx       ; -21 / 8 = -2
+    neg edx            ; 2
+    mul eax, edx       ; 26
+    add eax, ebx       ; 34
+    push eax
+    call @exit
+    halt
+`, Input{})
+	if res.ExitCode != 34 {
+		t.Errorf("exit = %d, want 34", res.ExitCode)
+	}
+}
+
+// Faults on every memory-op class are errors with the faulting address.
+func TestMemoryOpFaults(t *testing.T) {
+	cases := []struct {
+		name, body string
+	}{
+		{"store", "movi eax, 16\n\tstore4 [eax], ecx"},
+		{"storei", "movi eax, 16\n\tstorei4 [eax], 7"},
+		{"load", "movi eax, 16\n\tload4 ecx, [eax]"},
+		{"loadlo8", "movi eax, 16\n\tloadlo8 ecx, [eax]"},
+		{"load-signed", "movi eax, 16\n\tload2s ecx, [eax]"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src := "main:\n\t" + c.body + "\n\thalt\n"
+			img, err := assembleSrc(t, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Execute(img, Input{}, nil); err == nil ||
+				!strings.Contains(err.Error(), "fault") {
+				t.Errorf("err = %v, want memory fault", err)
+			}
+		})
+	}
+}
+
+// Control transfers outside the code section fail at the next fetch, with
+// the program counter in the error.
+func TestWildControlTransfers(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"jmpr", "main:\n\tmovi eax, 64\n\tjmpr eax\n\thalt\n"},
+		{"callr", "main:\n\tmovi eax, 64\n\tcallr eax\n\thalt\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			img, err := assembleSrc(t, c.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = Execute(img, Input{}, nil)
+			if err == nil || !strings.Contains(err.Error(), "pc=") {
+				t.Errorf("err = %v, want a pc-bearing fetch error", err)
+			}
+		})
+	}
+}
+
+// MOVLO8 merges only the low byte, preserving the destination's upper
+// bits — the machine-level root of the paper's §4.2.3 false derives.
+func TestMovLo8PreservesUpperBits(t *testing.T) {
+	res, _ := run(t, `
+main:
+    movi eax, 0x11223344
+    movi ecx, 0x55667788
+    movlo8 eax, ecx        ; eax = 0x11223388
+    shri eax, 24           ; 0x11
+    push eax
+    call @exit
+    halt
+`, Input{})
+	if res.ExitCode != 0x11 {
+		t.Errorf("exit = %#x, want 0x11", res.ExitCode)
+	}
+}

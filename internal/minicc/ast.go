@@ -1,0 +1,253 @@
+package minicc
+
+// The AST. Expressions carry their checked type in Typ after Check runs.
+
+// Program is a parsed translation unit.
+type Program struct {
+	Structs []*StructType
+	Externs []*ExternDecl
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// FindFunc returns a function by name.
+func (p *Program) FindFunc(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// ExternDecl declares an external library function.
+type ExternDecl struct {
+	Name     string
+	Ret      *Type
+	Params   []*Type
+	Variadic bool
+}
+
+// GlobalDecl is a file-scope variable.
+type GlobalDecl struct {
+	Name    string
+	Type    *Type
+	InitNum *int32 // scalar initializer, if any
+	InitStr string // string initializer for char* globals ("" = none)
+	HasStr  bool
+}
+
+// VarDecl is a local variable or parameter.
+type VarDecl struct {
+	Name string
+	Type *Type
+	// AddrTaken is set by the checker when &v occurs or when the variable
+	// is a non-scalar (arrays/structs are memory objects by nature).
+	AddrTaken bool
+	// Param marks function parameters.
+	Param bool
+	// Seq is the declaration order within the function, for deterministic
+	// layout.
+	Seq int
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*VarDecl
+	Body   *Block
+	// Locals collects every VarDecl in the body (filled by the checker).
+	Locals []*VarDecl
+	// AddressTaken is set when &name occurs somewhere (function pointer).
+	AddressTaken bool
+}
+
+// --- statements ---
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmt() }
+
+// Block is a `{ ... }` statement list (declarations may be interleaved).
+type Block struct {
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local, with an optional initializer.
+type DeclStmt struct {
+	Var  *VarDecl
+	Init Expr
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct{ X Expr }
+
+// If is if/else.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// While is a while loop.
+type While struct {
+	Cond Expr
+	Body Stmt
+}
+
+// For is for(init; cond; post).
+type For struct {
+	Init Stmt // ExprStmt or DeclStmt or nil
+	Cond Expr // may be nil (infinite)
+	Post Expr // may be nil
+	Body Stmt
+}
+
+// Switch selects among constant cases.
+type Switch struct {
+	X       Expr
+	Cases   []*Case
+	Default []Stmt // may be nil
+}
+
+// Case is one `case k:` arm (falls through unless it ends in break).
+type Case struct {
+	Val  int32
+	Body []Stmt
+}
+
+// Return exits the function.
+type Return struct {
+	X Expr // nil for void return
+}
+
+// Break exits the innermost loop or switch.
+type Break struct{}
+
+// Continue restarts the innermost loop.
+type Continue struct{}
+
+func (*Block) stmt()    {}
+func (*DeclStmt) stmt() {}
+func (*ExprStmt) stmt() {}
+func (*If) stmt()       {}
+func (*While) stmt()    {}
+func (*For) stmt()      {}
+func (*Switch) stmt()   {}
+func (*Return) stmt()   {}
+func (*Break) stmt()    {}
+func (*Continue) stmt() {}
+
+// --- expressions ---
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	expr()
+	// Type returns the checked type (valid after Check).
+	Type() *Type
+}
+
+type typed struct{ Typ *Type }
+
+func (t *typed) Type() *Type { return t.Typ }
+
+// NumLit is an integer (or char) literal.
+type NumLit struct {
+	typed
+	Val int32
+}
+
+// StrLit is a string literal (char*).
+type StrLit struct {
+	typed
+	Val string
+}
+
+// VarRef names a variable or function. Exactly one of Local/Global/Func/Ext
+// is set after checking.
+type VarRef struct {
+	typed
+	Name   string
+	Local  *VarDecl
+	Global *GlobalDecl
+	Func   *FuncDecl
+	Ext    *ExternDecl
+}
+
+// Unary is -x, !x, ~x, *x, &x, ++x, --x (Op: "-", "!", "~", "*", "&",
+// "++", "--").
+type Unary struct {
+	typed
+	Op string
+	X  Expr
+}
+
+// Postfix is x++ or x-- (Op: "++", "--").
+type Postfix struct {
+	typed
+	Op string
+	X  Expr
+}
+
+// Binary is a binary operator (arithmetic, comparison, logical &&/||).
+type Binary struct {
+	typed
+	Op   string
+	L, R Expr
+}
+
+// Assign is L = R (compound assignments are desugared by the parser).
+type Assign struct {
+	typed
+	L, R Expr
+}
+
+// Call invokes a function, extern, or fnptr value.
+type Call struct {
+	typed
+	Fn   Expr
+	Args []Expr
+}
+
+// Index is a[i].
+type Index struct {
+	typed
+	Arr, Idx Expr
+}
+
+// Member is x.f or x->f.
+type Member struct {
+	typed
+	X     Expr
+	Name  string
+	Arrow bool
+	Field *Field // set by the checker
+}
+
+// Cast is (T)x.
+type Cast struct {
+	typed
+	To *Type
+	X  Expr
+}
+
+// SizeofType is sizeof(T) or sizeof(expr); for the expression form the
+// checker fills Of from X's type.
+type SizeofType struct {
+	typed
+	Of *Type
+	X  Expr
+}
+
+func (*NumLit) expr()     {}
+func (*StrLit) expr()     {}
+func (*VarRef) expr()     {}
+func (*Unary) expr()      {}
+func (*Postfix) expr()    {}
+func (*Binary) expr()     {}
+func (*Assign) expr()     {}
+func (*Call) expr()       {}
+func (*Index) expr()      {}
+func (*Member) expr()     {}
+func (*Cast) expr()       {}
+func (*SizeofType) expr() {}

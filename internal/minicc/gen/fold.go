@@ -1,0 +1,516 @@
+package gen
+
+import "wytiwyg/internal/minicc"
+
+// AST-level optimizations applied by the O3 profiles before lowering:
+// constant folding and the pointer-loop strength reduction the paper's
+// Figure 3 illustrates (counted array loops become pointer iteration with
+// an end pointer one past the array).
+
+// foldFunc folds constant subexpressions in place.
+func foldFunc(fn *minicc.FuncDecl) {
+	foldStmt(fn.Body)
+}
+
+func foldStmt(s minicc.Stmt) {
+	switch s := s.(type) {
+	case *minicc.Block:
+		for _, st := range s.Stmts {
+			foldStmt(st)
+		}
+	case *minicc.DeclStmt:
+		if s.Init != nil {
+			s.Init = foldExpr(s.Init)
+		}
+	case *minicc.ExprStmt:
+		s.X = foldExpr(s.X)
+	case *minicc.If:
+		s.Cond = foldExpr(s.Cond)
+		foldStmt(s.Then)
+		if s.Else != nil {
+			foldStmt(s.Else)
+		}
+	case *minicc.While:
+		s.Cond = foldExpr(s.Cond)
+		foldStmt(s.Body)
+	case *minicc.For:
+		if s.Init != nil {
+			foldStmt(s.Init)
+		}
+		if s.Cond != nil {
+			s.Cond = foldExpr(s.Cond)
+		}
+		if s.Post != nil {
+			s.Post = foldExpr(s.Post)
+		}
+		foldStmt(s.Body)
+	case *minicc.Switch:
+		s.X = foldExpr(s.X)
+		for _, c := range s.Cases {
+			for _, st := range c.Body {
+				foldStmt(st)
+			}
+		}
+		for _, st := range s.Default {
+			foldStmt(st)
+		}
+	case *minicc.Return:
+		if s.X != nil {
+			s.X = foldExpr(s.X)
+		}
+	}
+}
+
+func numVal(e minicc.Expr) (int32, bool) {
+	switch e := e.(type) {
+	case *minicc.NumLit:
+		return e.Val, true
+	case *minicc.SizeofType:
+		if e.Of != nil {
+			return int32(e.Of.Size()), true
+		}
+	}
+	return 0, false
+}
+
+func mkNum(v int32) *minicc.NumLit {
+	n := &minicc.NumLit{Val: v}
+	n.Typ = minicc.IntType
+	return n
+}
+
+func foldExpr(e minicc.Expr) minicc.Expr {
+	switch e := e.(type) {
+	case *minicc.Unary:
+		e.X = foldExpr(e.X)
+		if v, ok := numVal(e.X); ok {
+			switch e.Op {
+			case "-":
+				return mkNum(-v)
+			case "~":
+				return mkNum(^v)
+			case "!":
+				if v == 0 {
+					return mkNum(1)
+				}
+				return mkNum(0)
+			}
+		}
+	case *minicc.Postfix:
+		e.X = foldExpr(e.X)
+	case *minicc.Binary:
+		e.L = foldExpr(e.L)
+		e.R = foldExpr(e.R)
+		lv, lok := numVal(e.L)
+		rv, rok := numVal(e.R)
+		if lok && rok {
+			if v, ok := foldBin(e.Op, lv, rv); ok {
+				return mkNum(v)
+			}
+		}
+		// Algebraic identities.
+		if rok {
+			switch {
+			case rv == 0 && (e.Op == "+" || e.Op == "-" || e.Op == "|" || e.Op == "^" || e.Op == "<<" || e.Op == ">>"):
+				return e.L
+			case rv == 1 && (e.Op == "*" || e.Op == "/"):
+				return e.L
+			}
+		}
+		if lok && lv == 0 && e.Op == "+" {
+			return e.R
+		}
+	case *minicc.Assign:
+		e.L = foldExpr(e.L)
+		e.R = foldExpr(e.R)
+	case *minicc.Call:
+		for i := range e.Args {
+			e.Args[i] = foldExpr(e.Args[i])
+		}
+	case *minicc.Index:
+		e.Arr = foldExpr(e.Arr)
+		e.Idx = foldExpr(e.Idx)
+	case *minicc.Member:
+		e.X = foldExpr(e.X)
+	case *minicc.Cast:
+		e.X = foldExpr(e.X)
+		if v, ok := numVal(e.X); ok && e.To.IsInteger() {
+			if e.To.Kind == minicc.TChar {
+				return mkNum(int32(int8(v)))
+			}
+			return mkNum(v)
+		}
+	case *minicc.SizeofType:
+		if e.Of != nil {
+			return mkNum(int32(e.Of.Size()))
+		}
+	}
+	return e
+}
+
+func foldBin(op string, a, b int32) (int32, bool) {
+	switch op {
+	case "+":
+		return a + b, true
+	case "-":
+		return a - b, true
+	case "*":
+		return a * b, true
+	case "/":
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case "%":
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case "&":
+		return a & b, true
+	case "|":
+		return a | b, true
+	case "^":
+		return a ^ b, true
+	case "<<":
+		return a << (uint32(b) & 31), true
+	case ">>":
+		return a >> (uint32(b) & 31), true
+	case "==":
+		return b2i(a == b), true
+	case "!=":
+		return b2i(a != b), true
+	case "<":
+		return b2i(a < b), true
+	case "<=":
+		return b2i(a <= b), true
+	case ">":
+		return b2i(a > b), true
+	case ">=":
+		return b2i(a >= b), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- pointer-loop strength reduction (Figure 3) ---
+
+// rewritePtrLoops rewrites counted loops over local arrays,
+//
+//	for (i = 0; i < N; i++) { ... arr[i] ... }
+//
+// into pointer iteration with an end pointer one past the array:
+//
+//	T *p = arr; T *end = arr + N;
+//	for (; p != end; p++) { ... *p ... }
+//
+// This reproduces the code shape the paper highlights: the loop-bound
+// pointer is out of bounds of the object it refers to, and must not be
+// assumed to lie inside it by the bounds-recovery analysis (§4.2.4).
+func rewritePtrLoops(fn *minicc.FuncDecl) {
+	var walk func(s minicc.Stmt)
+	walk = func(s minicc.Stmt) {
+		switch s := s.(type) {
+		case *minicc.Block:
+			for i, st := range s.Stmts {
+				if fo, ok := st.(*minicc.For); ok {
+					if repl := tryPtrLoop(fn, fo); repl != nil {
+						s.Stmts[i] = repl
+						continue
+					}
+				}
+				walk(st)
+			}
+		case *minicc.If:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *minicc.While:
+			walk(s.Body)
+		case *minicc.For:
+			walk(s.Body)
+		case *minicc.Switch:
+			for _, c := range s.Cases {
+				for _, st := range c.Body {
+					walk(st)
+				}
+			}
+			for _, st := range s.Default {
+				walk(st)
+			}
+		}
+	}
+	walk(fn.Body)
+}
+
+// tryPtrLoop matches the transformable pattern and builds the replacement,
+// or returns nil.
+func tryPtrLoop(fn *minicc.FuncDecl, fo *minicc.For) minicc.Stmt {
+	// Induction variable: `i = 0` init (ExprStmt) or `int i = 0` decl.
+	var iv *minicc.VarDecl
+	switch init := fo.Init.(type) {
+	case *minicc.ExprStmt:
+		as, ok := init.X.(*minicc.Assign)
+		if !ok {
+			return nil
+		}
+		vr, ok := as.L.(*minicc.VarRef)
+		if !ok || vr.Local == nil {
+			return nil
+		}
+		if n, ok := as.R.(*minicc.NumLit); !ok || n.Val != 0 {
+			return nil
+		}
+		iv = vr.Local
+	case *minicc.DeclStmt:
+		if init.Init == nil {
+			return nil
+		}
+		if n, ok := init.Init.(*minicc.NumLit); !ok || n.Val != 0 {
+			return nil
+		}
+		iv = init.Var
+	default:
+		return nil
+	}
+	if iv.Type.Kind != minicc.TInt || iv.AddrTaken {
+		return nil
+	}
+	// Condition: i < N with constant N.
+	cond, ok := fo.Cond.(*minicc.Binary)
+	if !ok || cond.Op != "<" {
+		return nil
+	}
+	cvr, ok := cond.L.(*minicc.VarRef)
+	if !ok || cvr.Local != iv {
+		return nil
+	}
+	bound, ok := numVal(cond.R)
+	if !ok || bound <= 0 {
+		return nil
+	}
+	// Post: i++ / ++i / i = i + 1 / i += 1.
+	if !isIncOf(fo.Post, iv) {
+		return nil
+	}
+	// Body: every use of iv must be arr[iv] for one fixed local array of
+	// exactly `bound` elements, and nothing may write iv or take its
+	// address.
+	var arr *minicc.VarDecl
+	okBody := true
+	var scan func(e minicc.Expr, parentIsIndex bool)
+	scanStmt := func(s minicc.Stmt) {}
+	scan = func(e minicc.Expr, parentIndexed bool) {
+		switch e := e.(type) {
+		case *minicc.VarRef:
+			if e.Local == iv && !parentIndexed {
+				okBody = false
+			}
+		case *minicc.Unary:
+			scan(e.X, false)
+		case *minicc.Postfix:
+			scan(e.X, false)
+		case *minicc.Binary:
+			scan(e.L, false)
+			scan(e.R, false)
+		case *minicc.Assign:
+			scan(e.L, false)
+			scan(e.R, false)
+		case *minicc.Call:
+			for _, a := range e.Args {
+				scan(a, false)
+			}
+		case *minicc.Index:
+			idxRef, isIV := e.Idx.(*minicc.VarRef)
+			base, isVar := e.Arr.(*minicc.VarRef)
+			if isIV && idxRef.Local == iv {
+				if !isVar || base.Local == nil || base.Local.Type.Kind != minicc.TArray ||
+					base.Local.Type.Len != int(bound) {
+					okBody = false
+					return
+				}
+				if arr == nil {
+					arr = base.Local
+				} else if arr != base.Local {
+					okBody = false
+					return
+				}
+				return // arr[iv]: the rewrite target; don't descend
+			}
+			scan(e.Arr, false)
+			scan(e.Idx, false)
+		case *minicc.Member:
+			scan(e.X, false)
+		case *minicc.Cast:
+			scan(e.X, false)
+		}
+	}
+	var walkBody func(s minicc.Stmt)
+	walkBody = func(s minicc.Stmt) {
+		switch s := s.(type) {
+		case *minicc.Block:
+			for _, st := range s.Stmts {
+				walkBody(st)
+			}
+		case *minicc.DeclStmt:
+			if s.Init != nil {
+				scan(s.Init, false)
+			}
+		case *minicc.ExprStmt:
+			scan(s.X, false)
+		case *minicc.If:
+			scan(s.Cond, false)
+			walkBody(s.Then)
+			if s.Else != nil {
+				walkBody(s.Else)
+			}
+		case *minicc.While:
+			scan(s.Cond, false)
+			walkBody(s.Body)
+		case *minicc.For:
+			okBody = false // nested counted loops: stay conservative
+		case *minicc.Switch:
+			okBody = false
+		case *minicc.Return:
+			okBody = false // leaving mid-loop: keep the index form
+		case *minicc.Break, *minicc.Continue:
+			okBody = false
+		}
+	}
+	_ = scanStmt
+	walkBody(fo.Body)
+	if !okBody || arr == nil {
+		return nil
+	}
+
+	// Build:  { T *p = arr; T *end = arr + N; for (; p != end; p++) body' }
+	elemT := arr.Type.Elem
+	ptrT := minicc.PtrTo(elemT)
+	p := &minicc.VarDecl{Name: "p$" + iv.Name, Type: ptrT, Seq: iv.Seq}
+	end := &minicc.VarDecl{Name: "end$" + iv.Name, Type: ptrT, Seq: iv.Seq + 1}
+	fn.Locals = append(fn.Locals, p, end)
+
+	arrRef := func() *minicc.VarRef {
+		r := &minicc.VarRef{Name: arr.Name, Local: arr}
+		r.Typ = arr.Type
+		return r
+	}
+	pRef := func() *minicc.VarRef {
+		r := &minicc.VarRef{Name: p.Name, Local: p}
+		r.Typ = ptrT
+		return r
+	}
+	endRef := func() *minicc.VarRef {
+		r := &minicc.VarRef{Name: end.Name, Local: end}
+		r.Typ = ptrT
+		return r
+	}
+
+	// Replace arr[iv] with *p in the body.
+	replaceIndexUses(fo.Body, arr, iv, pRef)
+
+	declP := &minicc.DeclStmt{Var: p, Init: arrRef()}
+	endInit := &minicc.Binary{Op: "+", L: arrRef(), R: mkNum(bound)}
+	endInit.Typ = ptrT
+	declEnd := &minicc.DeclStmt{Var: end, Init: endInit}
+
+	condNE := &minicc.Binary{Op: "!=", L: pRef(), R: endRef()}
+	condNE.Typ = minicc.IntType
+	post := &minicc.Postfix{Op: "++", X: pRef()}
+	post.Typ = ptrT
+
+	newFor := &minicc.For{Cond: condNE, Post: post, Body: fo.Body}
+	return &minicc.Block{Stmts: []minicc.Stmt{declP, declEnd, newFor}}
+}
+
+func isIncOf(e minicc.Expr, v *minicc.VarDecl) bool {
+	switch e := e.(type) {
+	case *minicc.Postfix:
+		vr, ok := e.X.(*minicc.VarRef)
+		return ok && e.Op == "++" && vr.Local == v
+	case *minicc.Unary:
+		vr, ok := e.X.(*minicc.VarRef)
+		return ok && e.Op == "++" && vr.Local == v
+	case *minicc.Assign:
+		vr, ok := e.L.(*minicc.VarRef)
+		if !ok || vr.Local != v {
+			return false
+		}
+		bin, ok := e.R.(*minicc.Binary)
+		if !ok || bin.Op != "+" {
+			return false
+		}
+		lvr, lok := bin.L.(*minicc.VarRef)
+		n, nok := bin.R.(*minicc.NumLit)
+		return lok && lvr.Local == v && nok && n.Val == 1
+	}
+	return false
+}
+
+// replaceIndexUses substitutes arr[iv] -> *p() throughout a statement tree.
+func replaceIndexUses(s minicc.Stmt, arr, iv *minicc.VarDecl, pRef func() *minicc.VarRef) {
+	repl := func(e minicc.Expr) minicc.Expr { return replaceIndexExpr(e, arr, iv, pRef) }
+	switch s := s.(type) {
+	case *minicc.Block:
+		for _, st := range s.Stmts {
+			replaceIndexUses(st, arr, iv, pRef)
+		}
+	case *minicc.DeclStmt:
+		if s.Init != nil {
+			s.Init = repl(s.Init)
+		}
+	case *minicc.ExprStmt:
+		s.X = repl(s.X)
+	case *minicc.If:
+		s.Cond = repl(s.Cond)
+		replaceIndexUses(s.Then, arr, iv, pRef)
+		if s.Else != nil {
+			replaceIndexUses(s.Else, arr, iv, pRef)
+		}
+	case *minicc.While:
+		s.Cond = repl(s.Cond)
+		replaceIndexUses(s.Body, arr, iv, pRef)
+	}
+}
+
+func replaceIndexExpr(e minicc.Expr, arr, iv *minicc.VarDecl, pRef func() *minicc.VarRef) minicc.Expr {
+	repl := func(x minicc.Expr) minicc.Expr { return replaceIndexExpr(x, arr, iv, pRef) }
+	switch e := e.(type) {
+	case *minicc.Index:
+		if idxRef, ok := e.Idx.(*minicc.VarRef); ok && idxRef.Local == iv {
+			if base, ok := e.Arr.(*minicc.VarRef); ok && base.Local == arr {
+				deref := &minicc.Unary{Op: "*", X: pRef()}
+				deref.Typ = arr.Type.Elem
+				return deref
+			}
+		}
+		e.Arr = repl(e.Arr)
+		e.Idx = repl(e.Idx)
+	case *minicc.Unary:
+		e.X = repl(e.X)
+	case *minicc.Postfix:
+		e.X = repl(e.X)
+	case *minicc.Binary:
+		e.L = repl(e.L)
+		e.R = repl(e.R)
+	case *minicc.Assign:
+		e.L = repl(e.L)
+		e.R = repl(e.R)
+	case *minicc.Call:
+		for i := range e.Args {
+			e.Args[i] = repl(e.Args[i])
+		}
+	case *minicc.Member:
+		e.X = repl(e.X)
+	case *minicc.Cast:
+		e.X = repl(e.X)
+	}
+	return e
+}

@@ -1,0 +1,502 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"wytiwyg/internal/asm"
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/layout"
+	"wytiwyg/internal/minicc"
+	"wytiwyg/internal/obj"
+)
+
+// Compile lowers a checked program to a binary image. The image's entry
+// point is a tiny _start stub that calls main and halts with its return
+// value. The ground-truth stack layout of every function is recorded in the
+// image's Truth side-table.
+func Compile(prog *minicc.Program, prof Profile, name string) (*obj.Image, error) {
+	if prog.FindFunc("main") == nil {
+		return nil, fmt.Errorf("gen: program has no main")
+	}
+	g := &gen{prog: prog, prof: prof, b: asm.NewBuilder(name)}
+	if err := g.emitGlobals(); err != nil {
+		return nil, err
+	}
+	// Entry stub.
+	g.b.Func("_start")
+	g.b.Call("main")
+	g.b.Halt()
+	for _, f := range prog.Funcs {
+		if prof.PtrLoops {
+			rewritePtrLoops(f)
+		}
+		if prof.ConstFold {
+			foldFunc(f)
+		}
+		fg := &fnGen{g: g, fn: f, prof: prof}
+		if err := fg.emit(); err != nil {
+			return nil, err
+		}
+	}
+	return g.b.Link("_start")
+}
+
+// Build parses, checks and compiles in one step.
+func Build(src string, prof Profile, name string) (*obj.Image, error) {
+	prog, err := minicc.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(prog, prof, name)
+}
+
+type gen struct {
+	prog *minicc.Program
+	prof Profile
+	b    *asm.Builder
+	lbl  int
+}
+
+func (g *gen) newLabel(hint string) string {
+	g.lbl++
+	return fmt.Sprintf(".%s_%d", hint, g.lbl)
+}
+
+func (g *gen) emitGlobals() error {
+	for _, gl := range g.prog.Globals {
+		switch {
+		case gl.HasStr:
+			if gl.Type.Kind != minicc.TPtr || gl.Type.Elem.Kind != minicc.TChar {
+				return fmt.Errorf("gen: global %q: string initializer requires char*", gl.Name)
+			}
+			addr := g.b.Asciz("", gl.InitStr)
+			g.b.Words(gl.Name, addr)
+		case gl.InitNum != nil:
+			switch gl.Type.Size() {
+			case 4:
+				g.b.Words(gl.Name, uint32(*gl.InitNum))
+			case 1:
+				g.b.Bytes(gl.Name, []byte{byte(*gl.InitNum)})
+			default:
+				return fmt.Errorf("gen: global %q: unsupported initializer", gl.Name)
+			}
+		default:
+			g.b.Space(gl.Name, gl.Type.Size(), gl.Type.Align())
+		}
+	}
+	return nil
+}
+
+// regVarPool is the set of callee-saved registers available for locals, in
+// allocation order.
+var regVarPool = [3]isa.Reg{isa.EBX, isa.ESI, isa.EDI}
+
+// loc is a variable's storage location.
+type loc struct {
+	inReg bool
+	reg   isa.Reg
+	// off is the frame offset: FP mode, relative to EBP (negative for
+	// locals, +8.. for params); SP mode, relative to ESP just after the
+	// prologue (>= 0).
+	off     int32
+	isParam bool
+	idx     int // parameter index
+}
+
+type fnGen struct {
+	g    *gen
+	fn   *minicc.FuncDecl
+	prof Profile
+
+	locs      map[*minicc.VarDecl]loc
+	saved     []isa.Reg // callee-saved registers pushed in the prologue
+	frameSize int32
+	pushDepth int32 // bytes pushed beyond the prologue (SP-relative fixup)
+	epilogue  string
+
+	breakLbls []string
+	contLbls  []string
+
+	// tempSlots records the sp0-relative offsets of expression-temporary
+	// push slots, included in the ground truth the way LLVM's stack frame
+	// layout lists spill slots. argSlots records outgoing-argument pushes;
+	// offsets serving both purposes count as call plumbing, not objects.
+	tempSlots map[int32]bool
+	argSlots  map[int32]bool
+	// inArgPush suppresses temp recording while pushing call arguments
+	// (outgoing argument slots are call plumbing, not stack objects).
+	inArgPush bool
+}
+
+func (f *fnGen) b() *asm.Builder { return f.g.b }
+
+// countUses tallies how often each variable is referenced, weighting
+// references inside loops 8x per nesting level, to rank register-allocation
+// candidates the way a real allocator's spill heuristic would.
+func countUses(fn *minicc.FuncDecl) map[*minicc.VarDecl]int {
+	uses := map[*minicc.VarDecl]int{}
+	var we func(e minicc.Expr, w int)
+	var ws func(s minicc.Stmt, w int)
+	we = func(e minicc.Expr, w int) {
+		switch e := e.(type) {
+		case *minicc.VarRef:
+			if e.Local != nil {
+				uses[e.Local] += w
+			}
+		case *minicc.Unary:
+			we(e.X, w)
+		case *minicc.Postfix:
+			we(e.X, w)
+		case *minicc.Binary:
+			we(e.L, w)
+			we(e.R, w)
+		case *minicc.Assign:
+			we(e.L, w)
+			we(e.R, w)
+		case *minicc.Call:
+			we(e.Fn, w)
+			for _, a := range e.Args {
+				we(a, w)
+			}
+		case *minicc.Index:
+			we(e.Arr, w)
+			we(e.Idx, w)
+		case *minicc.Member:
+			we(e.X, w)
+		case *minicc.Cast:
+			we(e.X, w)
+		}
+	}
+	ws = func(s minicc.Stmt, w int) {
+		const loopWeight = 8
+		switch s := s.(type) {
+		case *minicc.Block:
+			for _, st := range s.Stmts {
+				ws(st, w)
+			}
+		case *minicc.DeclStmt:
+			if s.Init != nil {
+				we(s.Init, w)
+			}
+		case *minicc.ExprStmt:
+			we(s.X, w)
+		case *minicc.If:
+			we(s.Cond, w)
+			ws(s.Then, w)
+			if s.Else != nil {
+				ws(s.Else, w)
+			}
+		case *minicc.While:
+			we(s.Cond, w*loopWeight)
+			ws(s.Body, w*loopWeight)
+		case *minicc.For:
+			if s.Init != nil {
+				ws(s.Init, w)
+			}
+			if s.Cond != nil {
+				we(s.Cond, w*loopWeight)
+			}
+			if s.Post != nil {
+				we(s.Post, w*loopWeight)
+			}
+			ws(s.Body, w*loopWeight)
+		case *minicc.Switch:
+			we(s.X, w)
+			for _, cs := range s.Cases {
+				for _, st := range cs.Body {
+					ws(st, w)
+				}
+			}
+			for _, st := range s.Default {
+				ws(st, w)
+			}
+		case *minicc.Return:
+			if s.X != nil {
+				we(s.X, w)
+			}
+		}
+	}
+	ws(fn.Body, 1)
+	return uses
+}
+
+// assignLocations decides register vs stack placement and computes the
+// frame layout plus the ground-truth side-table entry.
+func (f *fnGen) assignLocations() {
+	f.locs = make(map[*minicc.VarDecl]loc)
+	uses := countUses(f.fn)
+
+	// Rank register candidates: scalar, address never taken.
+	var cands []*minicc.VarDecl
+	for _, v := range f.fn.Locals {
+		if v.Type.IsScalar() && !v.AddrTaken {
+			cands = append(cands, v)
+		}
+	}
+	for _, v := range f.fn.Params {
+		if v.Type.IsScalar() && !v.AddrTaken {
+			cands = append(cands, v)
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		ui, uj := uses[cands[i]], uses[cands[j]]
+		if ui != uj {
+			return ui > uj
+		}
+		return cands[i].Seq < cands[j].Seq
+	})
+	n := f.prof.NumRegVars
+	if n > len(regVarPool) {
+		n = len(regVarPool)
+	}
+	for i := 0; i < len(cands) && i < n; i++ {
+		r := regVarPool[i]
+		f.locs[cands[i]] = loc{inReg: true, reg: r, isParam: cands[i].Param, idx: paramIndex(f.fn, cands[i])}
+		f.saved = append(f.saved, r)
+	}
+
+	// Stack slots for everything else, in declaration order, aligned.
+	// O3 profiles drop locals that are never referenced (the pointer-loop
+	// rewrite can orphan the original induction variable).
+	var off int32 // running size of the local area
+	for _, v := range f.fn.Locals {
+		if _, ok := f.locs[v]; ok {
+			continue
+		}
+		if f.prof.LeafOps && uses[v] == 0 {
+			f.locs[v] = loc{inReg: true, reg: isa.NoReg} // dropped entirely
+			continue
+		}
+		sz := int32(v.Type.Size())
+		al := int32(v.Type.Align())
+		off = (off + sz + al - 1) &^ (al - 1)
+		if f.prof.FramePointer {
+			// Saved regs sit just below EBP; locals below them.
+			f.locs[v] = loc{off: -int32(4*len(f.saved)) - off}
+		} else {
+			f.locs[v] = loc{off: -off} // placeholder; rebased below
+		}
+	}
+	f.frameSize = (off + 3) &^ 3
+	if !f.prof.FramePointer {
+		// SP mode: rebase local offsets to [0, frameSize).
+		for v, l := range f.locs {
+			if !l.inReg && !v.Param {
+				l.off = f.frameSize + l.off
+				f.locs[v] = l
+			}
+		}
+	}
+	// Parameters on the stack.
+	for i, v := range f.fn.Params {
+		if l, ok := f.locs[v]; ok && l.inReg {
+			continue
+		}
+		if f.prof.FramePointer {
+			f.locs[v] = loc{off: 8 + int32(4*i), isParam: true, idx: i}
+		} else {
+			f.locs[v] = loc{isParam: true, idx: i}
+		}
+	}
+}
+
+func paramIndex(fn *minicc.FuncDecl, v *minicc.VarDecl) int {
+	for i, p := range fn.Params {
+		if p == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// sp0Offset converts a local's frame slot to an offset relative to sp0 (the
+// stack pointer at function entry, pointing at the return address), for the
+// ground-truth side-table.
+func (f *fnGen) sp0Offset(l loc) int32 {
+	if f.prof.FramePointer {
+		// EBP = sp0 - 4.
+		return l.off - 4
+	}
+	// ESP after prologue = sp0 - 4*len(saved) - frameSize.
+	return l.off - int32(4*len(f.saved)) - f.frameSize
+}
+
+// recordTruth emits the ground-truth frame for this function: every
+// stack-resident local plus the saved-register and expression-spill slots,
+// matching what LLVM's Stack Frame Layout analysis lists (register-
+// allocated scalars are not stack objects). Spill slots are appended by
+// finishTruth once code generation knows them.
+func (f *fnGen) recordTruth() *layout.Frame {
+	fr := &layout.Frame{Func: f.fn.Name}
+	for _, v := range f.fn.Locals {
+		l := f.locs[v]
+		if l.inReg {
+			continue
+		}
+		fr.Vars = append(fr.Vars, layout.Var{
+			Name:   v.Name,
+			Offset: f.sp0Offset(l),
+			Size:   v.Type.Size(),
+		})
+	}
+	// Saved-register slots.
+	off := int32(0)
+	if f.prof.FramePointer {
+		fr.Vars = append(fr.Vars, layout.Var{Name: "__sav_ebp", Offset: -4, Size: 4})
+		off = -4
+	}
+	for i, r := range f.saved {
+		_ = i
+		off -= 4
+		fr.Vars = append(fr.Vars, layout.Var{Name: "__sav_" + r.String(), Offset: off, Size: 4})
+	}
+	return fr
+}
+
+// finishTruth adds the expression-temporary slots and registers the frame.
+// Slots that double as outgoing call arguments are call plumbing and stay
+// out of the layout (both sides of the Figure 7 comparison treat them so).
+func (f *fnGen) finishTruth(fr *layout.Frame) {
+	for off := range f.tempSlots {
+		if f.argSlots[off] {
+			continue
+		}
+		fr.Vars = append(fr.Vars, layout.Var{Name: "__spill", Offset: off, Size: 4})
+	}
+	fr.Sort()
+	f.b().Truth(fr)
+}
+
+// frameMem returns the current memory operand for a stack-resident
+// variable, accounting for push depth in SP mode.
+func (f *fnGen) frameMem(v *minicc.VarDecl) isa.MemRef {
+	l := f.locs[v]
+	if l.inReg {
+		panic("gen: frameMem of register variable")
+	}
+	if f.prof.FramePointer {
+		return asm.Mem(isa.EBP, l.off)
+	}
+	if l.isParam {
+		return asm.Mem(isa.ESP, f.spToArgBase()+int32(4*l.idx))
+	}
+	return asm.Mem(isa.ESP, l.off+f.pushDepth)
+}
+
+// spToArgBase is the current ESP-relative offset of incoming argument 0.
+func (f *fnGen) spToArgBase() int32 {
+	return f.frameSize + int32(4*len(f.saved)) + 4 + f.pushDepth
+}
+
+func (f *fnGen) emit() error {
+	f.assignLocations()
+	fr := f.recordTruth()
+	defer f.finishTruth(fr)
+	b := f.b()
+	b.Func(f.fn.Name)
+	f.epilogue = f.g.newLabel(f.fn.Name + "_ret")
+
+	// Prologue.
+	if f.prof.FramePointer {
+		b.Push(isa.EBP)
+		b.Mov(isa.EBP, isa.ESP)
+		for _, r := range f.saved {
+			b.Push(r)
+		}
+		if f.frameSize > 0 {
+			b.BinI(isa.SUBI, isa.ESP, f.frameSize)
+		}
+	} else {
+		for _, r := range f.saved {
+			b.Push(r)
+		}
+		if f.frameSize > 0 {
+			b.BinI(isa.SUBI, isa.ESP, f.frameSize)
+		}
+	}
+	// Copy register-allocated parameters into their registers.
+	for _, v := range f.fn.Params {
+		l := f.locs[v]
+		if l.inReg {
+			b.Load(l.reg, f.paramSlotMem(l.idx), 4, false)
+		}
+	}
+
+	if err := f.stmt(f.fn.Body); err != nil {
+		return err
+	}
+	// Fall-through return (void or missing return): return 0.
+	b.MovI(isa.EAX, 0)
+
+	b.Label(f.epilogue)
+	if f.prof.FramePointer {
+		if f.frameSize > 0 {
+			b.BinI(isa.ADDI, isa.ESP, f.frameSize)
+		}
+		for i := len(f.saved) - 1; i >= 0; i-- {
+			b.Pop(f.saved[i])
+		}
+		b.Pop(isa.EBP)
+	} else {
+		if f.frameSize > 0 {
+			b.BinI(isa.ADDI, isa.ESP, f.frameSize)
+		}
+		for i := len(f.saved) - 1; i >= 0; i-- {
+			b.Pop(f.saved[i])
+		}
+	}
+	b.Ret()
+	return nil
+}
+
+// paramSlotMem is the stack slot of parameter i (for prologue copies and
+// tail-call argument stores).
+func (f *fnGen) paramSlotMem(i int) isa.MemRef {
+	if f.prof.FramePointer {
+		return asm.Mem(isa.EBP, 8+int32(4*i))
+	}
+	return asm.Mem(isa.ESP, f.spToArgBase()+int32(4*i))
+}
+
+// curSP0 returns ESP's current offset from sp0.
+func (f *fnGen) curSP0() int32 {
+	off := -int32(4*len(f.saved)) - f.frameSize - f.pushDepth
+	if f.prof.FramePointer {
+		off -= 4 // the saved frame pointer itself
+	}
+	return off
+}
+
+func (f *fnGen) push(r isa.Reg) {
+	f.noteSlot()
+	f.b().Push(r)
+	f.pushDepth += 4
+}
+
+// noteSlot records where the next push lands.
+func (f *fnGen) noteSlot() {
+	off := f.curSP0() - 4
+	if f.inArgPush {
+		if f.argSlots == nil {
+			f.argSlots = make(map[int32]bool)
+		}
+		f.argSlots[off] = true
+		return
+	}
+	if f.tempSlots == nil {
+		f.tempSlots = make(map[int32]bool)
+	}
+	f.tempSlots[off] = true
+}
+
+func (f *fnGen) pushI(v int32) {
+	f.noteSlot()
+	f.b().PushI(v)
+	f.pushDepth += 4
+}
+
+func (f *fnGen) pop(r isa.Reg) {
+	f.b().Pop(r)
+	f.pushDepth -= 4
+}

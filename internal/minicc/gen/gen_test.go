@@ -1,0 +1,510 @@
+package gen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/layout"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/minicc"
+)
+
+// runProfile compiles src with a profile and executes it.
+func runProfile(t *testing.T, src string, prof Profile, input machine.Input) (int32, string) {
+	t.Helper()
+	img, err := Build(src, prof, "t-"+prof.Name)
+	if err != nil {
+		t.Fatalf("%s: build: %v", prof.Name, err)
+	}
+	var out bytes.Buffer
+	res, err := machine.Execute(img, input, &out)
+	if err != nil {
+		t.Fatalf("%s: execute: %v", prof.Name, err)
+	}
+	return res.ExitCode, out.String()
+}
+
+// checkAll runs src under every profile and requires identical behaviour.
+func checkAll(t *testing.T, src string, wantExit int32, wantOut string, input machine.Input) {
+	t.Helper()
+	for _, prof := range Profiles {
+		exit, out := runProfile(t, src, prof, input)
+		if exit != wantExit {
+			t.Errorf("%s: exit = %d, want %d", prof.Name, exit, wantExit)
+		}
+		if out != wantOut {
+			t.Errorf("%s: output = %q, want %q", prof.Name, out, wantOut)
+		}
+	}
+}
+
+func TestReturnConstant(t *testing.T) {
+	checkAll(t, `int main() { return 42; }`, 42, "", machine.Input{})
+}
+
+func TestArithmetic(t *testing.T) {
+	checkAll(t, `
+int main() {
+	int a = 10, b = 3;
+	return a*b + a/b - a%b + (a<<2) - (a>>1) + (a&b) + (a|b) + (a^b) - (-b) - ~b + !b;
+}`, 30+3-1+40-5+2+11+9+3+4+0, "", machine.Input{})
+}
+
+func TestControlFlow(t *testing.T) {
+	checkAll(t, `
+int main() {
+	int i, s = 0;
+	for (i = 0; i < 10; i++) {
+		if (i % 2 == 0) continue;
+		s += i;
+		if (s > 20) break;
+	}
+	while (i < 100) { i += 7; }
+	return s * 1000 + i;
+}`, 25*1000+100, "", machine.Input{})
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	checkAll(t, `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n-1) + fib(n-2);
+}
+int main() { return fib(12); }`, 144, "", machine.Input{})
+}
+
+func TestArraysAndPointers(t *testing.T) {
+	checkAll(t, `
+int main() {
+	int a[8];
+	int *p, *q;
+	int i, s;
+	for (i = 0; i < 8; i++) a[i] = i * i;
+	p = &a[1];
+	q = p + 5;     /* &a[6] */
+	s = q - p;     /* 5 */
+	return *q + s + p[2];  /* 36 + 5 + 9 */
+}`, 50, "", machine.Input{})
+}
+
+func TestStructsAndMembers(t *testing.T) {
+	// A close transcription of the paper's Figure 2.
+	checkAll(t, `
+struct p { int x; int y; };
+int f3(int n) { return n / 12; }             /* returns 2 for sizeof(b)=24 */
+struct p *f2(struct p *a, struct p *b) { return a; }
+int f1() {
+	struct p *ptr;
+	struct p a;
+	struct p b[3];
+	a.x = 3;
+	a.y = 4;
+	ptr = f2(&a, b);
+	b[f3(sizeof(b))] = a;
+	ptr->y = b[1].x;
+	return ptr->y * 100 + b[2].x * 10 + b[2].y;
+}
+int main() { return f1(); }`, 0*100+3*10+4, "", machine.Input{})
+}
+
+func TestGlobals(t *testing.T) {
+	checkAll(t, `
+int g = 7;
+int tbl[5];
+char name[4];
+char *msg = "ok";
+extern int strlen(char *s);
+int main() {
+	int i;
+	for (i = 0; i < 5; i++) tbl[i] = g * i;
+	name[0] = 'a';
+	name[1] = 0;
+	return tbl[4] + strlen(msg) + name[0];
+}`, 28+2+97, "", machine.Input{})
+}
+
+func TestCharsAndCasts(t *testing.T) {
+	checkAll(t, `
+int main() {
+	char c = 'A';
+	char d;
+	int big = 300;
+	d = c;                 /* char-to-char copy (subreg path on clang) */
+	c = (char)big;         /* 300 -> 44 */
+	return d + c;          /* 65 + 44 */
+}`, 109, "", machine.Input{})
+}
+
+func TestShortCircuit(t *testing.T) {
+	checkAll(t, `
+int g = 0;
+int bump() { g = g + 1; return 1; }
+int main() {
+	int a = 0;
+	if (a && bump()) { g += 100; }
+	if (a || bump()) { g += 10; }
+	if (bump() && bump()) { g += 1000; }
+	return g + (a && 1) + (1 || bump());
+}`, 1+10+2+1000+0+1, "", machine.Input{})
+}
+
+func TestSwitchDense(t *testing.T) {
+	src := `
+extern int input_int(int i);
+int classify(int v) {
+	switch (v) {
+	case 0: return 10;
+	case 1: return 11;
+	case 2: return 12;
+	case 3: return 13;
+	case 4: return 14;
+	default: return 99;
+	}
+}
+int main() { return classify(input_int(0)) * 100 + classify(input_int(1)); }`
+	checkAll(t, src, 1299, "", machine.Input{Ints: []int32{2, 77}})
+	checkAll(t, src, 1014, "", machine.Input{Ints: []int32{0, 4}})
+}
+
+func TestSwitchSparseAndFallthrough(t *testing.T) {
+	checkAll(t, `
+int pick(int v) {
+	int r = 0;
+	switch (v) {
+	case 1: r += 1;
+	case 100: r += 2; break;
+	case 1000: r += 4; break;
+	}
+	return r;
+}
+int main() { return pick(1)*100 + pick(100)*10 + pick(1000) + pick(7); }`, 3*100+2*10+4, "", machine.Input{})
+}
+
+func TestTailCallPattern(t *testing.T) {
+	// even/odd mutual recursion via tail calls; deep enough that the O3
+	// profiles' tail-call lowering matters for stack usage but shallow
+	// enough for O0's genuine recursion.
+	checkAll(t, `
+int isOdd(int n);
+int isEven(int n) {
+	if (n == 0) return 1;
+	return isOdd(n - 1);
+}
+int isOdd(int n) {
+	if (n == 0) return 0;
+	return isEven(n - 1);
+}
+int main() { return isEven(200) * 10 + isOdd(101); }`, 11, "", machine.Input{})
+}
+
+func TestFnPtr(t *testing.T) {
+	checkAll(t, `
+int twice(int x) { return 2 * x; }
+int thrice(int x) { return 3 * x; }
+int apply(fnptr f, int v) { return f(v); }
+int main() {
+	fnptr g = &twice;
+	return apply(g, 10) + apply(&thrice, 10);
+}`, 50, "", machine.Input{})
+}
+
+func TestPrintfOutput(t *testing.T) {
+	checkAll(t, `
+extern int printf(char *fmt, ...);
+int main() {
+	int i;
+	for (i = 0; i < 3; i++) printf("i=%d\n", i);
+	printf("%s %c %u\n", "end", '!', 7);
+	return 0;
+}`, 0, "i=0\ni=1\ni=2\nend ! 7\n", machine.Input{})
+}
+
+func TestNestedArraysFigure3(t *testing.T) {
+	// The Figure 3 pattern: iterating a 2-D array; the gcc12/clang16
+	// profiles strength-reduce the outer loop to pointer iteration with an
+	// end pointer one past the array.
+	checkAll(t, `
+int main() {
+	int arr[4][4];
+	int i, j, s = 0;
+	for (i = 0; i < 4; i++) {
+		arr[i][0] = i;
+		arr[i][1] = i + 1;
+		arr[i][2] = i + 2;
+		arr[i][3] = i + 3;
+	}
+	for (i = 0; i < 4; i++) {
+		for (j = 0; j < 4; j = j + 1) s += arr[i][j];
+	}
+	return s;
+}`, 48, "", machine.Input{})
+}
+
+func TestPtrLoopRewriteFires(t *testing.T) {
+	// The transformed loop must produce an end-pointer compare: since the
+	// rewrite introduces `end$i`, inspect the function's locals.
+	src := `
+int main() {
+	int a[16];
+	int i, s = 0;
+	for (i = 0; i < 16; i++) { a[i] = 7; }
+	for (i = 0; i < 16; i++) { s += a[i]; }
+	return s;
+}`
+	prog, err := minicc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.FindFunc("main")
+	rewritePtrLoops(fn)
+	var found int
+	for _, v := range fn.Locals {
+		if strings.HasPrefix(v.Name, "end$") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("pointer-loop rewrite fired %d times, want 2", found)
+	}
+}
+
+func TestPtrLoopNotRewrittenWhenIndexEscapes(t *testing.T) {
+	src := `
+extern int printf(char *fmt, ...);
+int main() {
+	int a[8];
+	int i;
+	for (i = 0; i < 8; i++) { a[i] = i; printf("%d", i); }
+	return a[3];
+}`
+	prog, err := minicc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.FindFunc("main")
+	rewritePtrLoops(fn)
+	for _, v := range fn.Locals {
+		if strings.HasPrefix(v.Name, "p$") {
+			t.Error("rewrite fired although the index escapes")
+		}
+	}
+}
+
+func TestIncDecSemantics(t *testing.T) {
+	checkAll(t, `
+int main() {
+	int i = 5, a, b, c, d;
+	int arr[3];
+	int *p = arr;
+	a = i++;   /* 5, i=6 */
+	b = ++i;   /* 7 */
+	c = i--;   /* 7, i=6 */
+	d = --i;   /* 5 */
+	arr[0] = 10; arr[1] = 20; arr[2] = 30;
+	p++;
+	return a*1000 + b*100 + c*10 + d + *p;   /* 5775 + 20 */
+}`, 5795, "", machine.Input{})
+}
+
+func TestStringsAndLibcalls(t *testing.T) {
+	checkAll(t, `
+extern int strcmp(char *a, char *b);
+extern int strlen(char *s);
+extern int sprintf(char *dst, char *fmt, ...);
+int main() {
+	char buf[32];
+	sprintf(buf, "v%d", 42);
+	if (strcmp(buf, "v42") != 0) return 1;
+	return strlen(buf);
+}`, 3, "", machine.Input{})
+}
+
+func TestMallocHeap(t *testing.T) {
+	checkAll(t, `
+extern void *malloc(int n);
+int main() {
+	int *p = (int*)malloc(40);
+	int i, s = 0;
+	for (i = 0; i < 10; i++) p[i] = i * 3;
+	for (i = 0; i < 10; i++) s += p[i];
+	return s;
+}`, 135, "", machine.Input{})
+}
+
+func TestGroundTruthLayout(t *testing.T) {
+	src := `
+int f(int arg) {
+	int x;
+	int arr[6];
+	char buf[8];
+	int *p = &x;
+	x = arg;
+	arr[0] = *p;
+	buf[0] = 'b';
+	return arr[0] + buf[0];
+}
+int main() { return f(1); }`
+	for _, prof := range Profiles {
+		img, err := Build(src, prof, "t")
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		fr := img.Truth.Frame("f")
+		if fr == nil {
+			t.Fatalf("%s: no ground truth for f", prof.Name)
+		}
+		byName := map[string]struct {
+			off  int32
+			size uint32
+		}{}
+		for _, v := range fr.Vars {
+			byName[v.Name] = struct {
+				off  int32
+				size uint32
+			}{v.Offset, v.Size}
+		}
+		// x is address-taken: always a stack object. arr and buf always.
+		for _, want := range []struct {
+			name string
+			size uint32
+		}{{"x", 4}, {"arr", 24}, {"buf", 8}} {
+			got, ok := byName[want.name]
+			if !ok {
+				t.Errorf("%s: %s missing from ground truth", prof.Name, want.name)
+				continue
+			}
+			if got.size != want.size {
+				t.Errorf("%s: %s size = %d, want %d", prof.Name, want.name, got.size, want.size)
+			}
+			if got.off >= 0 {
+				t.Errorf("%s: %s offset = %d, want negative (below sp0)", prof.Name, want.name, got.off)
+			}
+		}
+		// Objects must not overlap.
+		vars := fr.Vars
+		for i := 0; i < len(vars); i++ {
+			for j := i + 1; j < len(vars); j++ {
+				if vars[i].Overlaps(vars[j]) {
+					t.Errorf("%s: %v overlaps %v", prof.Name, vars[i], vars[j])
+				}
+			}
+		}
+	}
+}
+
+func TestRegisterAllocationDiffersByProfile(t *testing.T) {
+	src := `
+int main() {
+	int i, s = 0;
+	for (i = 0; i < 100; i = i + 1) s = s + i;
+	return s % 256;
+}`
+	imgO0, err := Build(src, GCC12O0, "o0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgO3, err := Build(src, GCC12O3, "o3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O3 keeps i and s in registers: the loop body must not touch memory.
+	// Count memory operations in each binary.
+	countMem := func(code []isa.Instr) int {
+		n := 0
+		for _, in := range code {
+			switch in.Op {
+			case isa.LOAD, isa.STORE, isa.STOREI, isa.PUSH, isa.PUSHI, isa.POP:
+				n++
+			}
+		}
+		return n
+	}
+	m0, m3 := countMem(imgO0.Code), countMem(imgO3.Code)
+	if m3 >= m0 {
+		t.Errorf("O3 has %d memory ops, O0 has %d; want fewer at O3", m3, m0)
+	}
+	// And the O0 truth has stack slots for i and s, the O3 truth does not
+	// (ignoring the save/spill bookkeeping objects).
+	named := func(f2 *layout.Frame) int {
+		n := 0
+		for _, v := range f2.Vars {
+			if !strings.HasPrefix(v.Name, "__") {
+				n++
+			}
+		}
+		return n
+	}
+	if f := imgO0.Truth.Frame("main"); f == nil || named(f) != 2 {
+		t.Errorf("O0 truth = %v", imgO0.Truth.Frame("main"))
+	}
+	if f := imgO3.Truth.Frame("main"); f == nil || named(f) != 0 {
+		t.Errorf("O3 truth = %v", imgO3.Truth.Frame("main"))
+	}
+}
+
+func TestO3FasterThanO0(t *testing.T) {
+	src := `
+int work(int n) {
+	int i, j, s = 0;
+	int a[32];
+	for (i = 0; i < 32; i++) a[i] = i;
+	for (j = 0; j < n; j++) {
+		for (i = 0; i < 32; i++) s += a[i] * j;
+	}
+	return s % 1000;
+}
+int main() { return work(50); }`
+	cycles := map[string]uint64{}
+	for _, prof := range []Profile{GCC12O0, GCC12O3, GCC44O3} {
+		img, err := Build(src, prof, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := machine.Execute(img, machine.Input{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[prof.Name] = res.Cycles
+	}
+	if cycles["gcc12-O3"] >= cycles["gcc12-O0"] {
+		t.Errorf("O3 (%d cycles) not faster than O0 (%d)", cycles["gcc12-O3"], cycles["gcc12-O0"])
+	}
+	if cycles["gcc12-O3"] >= cycles["gcc44-O3"] {
+		t.Errorf("gcc12-O3 (%d cycles) not faster than gcc44-O3 (%d)",
+			cycles["gcc12-O3"], cycles["gcc44-O3"])
+	}
+}
+
+func TestVoidFunction(t *testing.T) {
+	checkAll(t, `
+int g = 0;
+void bump(int d) { g += d; return; }
+int main() { bump(4); bump(5); return g; }`, 9, "", machine.Input{})
+}
+
+func TestDeepExpressionSpills(t *testing.T) {
+	// Forces the push/pop temporary path even at O3 (call results are not
+	// leaves).
+	checkAll(t, `
+int id(int x) { return x; }
+int main() {
+	return (id(1) + id(2)) * (id(3) + id(4)) - (id(5) * id(2) + id(1));
+}`, 21-11, "", machine.Input{})
+}
+
+func TestComparisonSignedness(t *testing.T) {
+	checkAll(t, `
+int main() {
+	int a = -1, b = 1;
+	int r = 0;
+	if (a < b) r += 1;        /* signed: true */
+	if (a > 100) r += 2;      /* signed: false */
+	if (b <= 1) r += 4;
+	if (a >= 0) r += 8;       /* false */
+	if (a == -1) r += 16;
+	if (a != b) r += 32;
+	return r;
+}`, 1+4+16+32, "", machine.Input{})
+}

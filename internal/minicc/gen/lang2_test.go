@@ -1,0 +1,129 @@
+package gen_test
+
+import (
+	"bytes"
+	"testing"
+
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/minicc/gen"
+)
+
+// Escape sequences, address-of on every addressable shape, unary-operator
+// chains and sizeof variants: each program's exit code (and output, where
+// given) checks the construct end to end.
+func TestLanguageConstructsMore(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		want    int32
+		wantOut string
+	}{
+		{"string-escapes", `
+extern int printf(char *fmt, ...);
+extern int strlen(char *s);
+int main() {
+	char *s = "a\tb\n";
+	printf("%s", s);
+	printf("q\"q\\\n");
+	return strlen(s);       /* 4 */
+}`, 4, "a\tb\nq\"q\\\n"},
+		{"char-escapes", `
+int main() {
+	char nl = '\n';
+	char tab = '\t';
+	char nul = '\0';
+	char bs = '\\';
+	char q = '\'';
+	return nl + tab + nul + bs + q;   /* 10+9+0+92+39 = 150 */
+}`, 150, ""},
+		{"address-of-field", `
+struct pt { int x; int y; };
+int bump(int *p) { *p += 5; return *p; }
+int main() {
+	struct pt a;
+	a.x = 1; a.y = 2;
+	bump(&a.y);
+	return a.y;            /* 7 */
+}`, 7, ""},
+		{"address-of-element", `
+int bump(int *p) { *p *= 3; return *p; }
+int main() {
+	int v[4];
+	int i;
+	for (i = 0; i < 4; i++) v[i] = i + 1;
+	bump(&v[2]);
+	return v[2];           /* 9 */
+}`, 9, ""},
+		{"address-of-scalar-chain", `
+int main() {
+	int x = 11;
+	int *p = &x;
+	int **pp = &p;
+	**pp += 1;
+	return *p;             /* 12 */
+}`, 12, ""},
+		{"unary-chains", `
+int main() {
+	int x = 5;
+	return - -x + !!x + ~~x;   /* 5 + 1 + 5 = 11 */
+}`, 11, ""},
+		{"sizeof-variants", `
+struct s { int a; char b; int c; };
+int main() {
+	int v[6];
+	char c;
+	return sizeof(int) + sizeof(v) + sizeof(struct s) + sizeof(c);
+}`, 4 + 24 + 12 + 1, ""},
+		{"while-and-break-continue", `
+int main() {
+	int i = 0, s = 0;
+	while (1) {
+		i++;
+		if (i > 10) break;
+		if (i % 2 == 0) continue;
+		s += i;            /* 1+3+5+7+9 = 25 */
+	}
+	return s;
+}`, 25, ""},
+		{"switch-fallthrough", `
+int classify(int x) {
+	int r = 0;
+	switch (x) {
+	case 1:
+		r += 1;            /* falls through */
+	case 2:
+		r += 2;
+		break;
+	case 3:
+		r += 100;
+		break;
+	default:
+		r = 99;
+	}
+	return r;
+}
+int main() { return classify(1)*100 + classify(2)*10 + classify(7); }`, 3*100 + 2*10 + 99, ""},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, prof := range []gen.Profile{gen.GCC12O3, gen.GCC12O0, gen.GCC44O3} {
+				img, err := gen.Build(c.src, prof, c.name)
+				if err != nil {
+					t.Fatalf("%s: %v", prof.Name, err)
+				}
+				var out bytes.Buffer
+				res, err := machine.Execute(img, machine.Input{}, &out)
+				if err != nil {
+					t.Fatalf("%s: %v", prof.Name, err)
+				}
+				if res.ExitCode != c.want {
+					t.Errorf("%s: exit = %d, want %d", prof.Name, res.ExitCode, c.want)
+				}
+				if c.wantOut != "" && out.String() != c.wantOut {
+					t.Errorf("%s: output = %q, want %q", prof.Name, out.String(), c.wantOut)
+				}
+			}
+		})
+	}
+}

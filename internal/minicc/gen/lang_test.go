@@ -1,0 +1,164 @@
+package gen_test
+
+import (
+	"testing"
+
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/minicc/gen"
+)
+
+// Language-construct coverage: each program exercises a code-generation
+// path (constant folding, char arithmetic, struct copies, pointer
+// increment, logical conditions) at both a modern and the legacy profile,
+// and must produce the expected exit code natively.
+func TestLanguageConstructs(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int32
+	}{
+		{"const-fold-arith", `
+int main() { return 2*3 + (20/4) - (7%3) + (1<<4) - (64>>2) + (12&10) + (1|6) - (5^1); }`,
+			2*3 + (20 / 4) - (7 % 3) + (1 << 4) - (64 >> 2) + (12 & 10) + (1 | 6) - (5 ^ 1)},
+		{"const-fold-compare", `
+int main() {
+	int a = 0;
+	if (3 < 5) a += 1;
+	if (5 <= 4) a += 10;
+	if (-1 > 0) a += 100;
+	return a;
+}`, 1},
+		{"const-fold-unary", `
+int main() { return -(-7) + ~(-9) + !0 + !42; }`, -(-7) + 8 + 1 + 0},
+		{"char-arith", `
+int main() {
+	char c = 'A';
+	char d = c + 2;
+	char buf[4];
+	buf[0] = d;
+	buf[1] = 0;
+	return buf[0] - 'B';     /* 'C' - 'B' = 1 */
+}`, 1},
+		// char signedness is implementation-defined in C and differs
+		// across the substrate's compiler profiles; the -O0 profile's
+		// signed-char conversion is asserted separately below.
+		{"struct-copy", `
+struct pt { int x; int y; int z; };
+int main() {
+	struct pt a;
+	struct pt b;
+	a.x = 3; a.y = 4; a.z = 5;
+	b = a;
+	a.x = 9;
+	return b.x*100 + b.y*10 + b.z;   /* copy is by value: 345 */
+}`, 345},
+		{"struct-arg-by-pointer", `
+struct pt { int x; int y; };
+int norm1(struct pt *p) { return p->x + p->y; }
+int main() {
+	struct pt a;
+	a.x = 30; a.y = 12;
+	return norm1(&a);
+}`, 42},
+		{"pointer-incdec", `
+int main() {
+	int a[5];
+	int i;
+	for (i = 0; i < 5; i++) a[i] = i + 1;
+	int *p = a;
+	int s = *p++;     /* 1, p -> a[1] */
+	s += *p;          /* +2 */
+	p += 2;           /* p -> a[3] */
+	s += *p--;        /* +4, p -> a[2] */
+	s += *p;          /* +3 */
+	--p;              /* p -> a[1] */
+	s += *p;          /* +2 */
+	return s;
+}`, 12},
+		{"prefix-postfix", `
+int main() {
+	int x = 5;
+	int a = x++;      /* a=5 x=6 */
+	int b = ++x;      /* b=7 x=7 */
+	int c = x--;      /* c=7 x=6 */
+	int d = --x;      /* d=5 x=5 */
+	return a + b*10 + c*100 + d*1000;
+}`, 5 + 7*10 + 7*100 + 5*1000},
+		{"logical-ops", `
+int side;
+int t() { side += 1; return 1; }
+int f() { side += 10; return 0; }
+int main() {
+	side = 0;
+	int r = 0;
+	if (f() && t()) r += 1;          /* short-circuits: side=10 */
+	if (t() || f()) r += 2;          /* short-circuits: side=11 */
+	if (!f() && t()) r += 4;         /* side=22 */
+	return r*100 + side;
+}`, 622},
+		{"nested-index-expr", `
+int main() {
+	int m[3];
+	int i;
+	for (i = 0; i < 3; i++) m[i] = i * i;
+	return m[m[1] + 1];   /* m[2] = 4 */
+}`, 4},
+		{"global-init", `
+int g = 37;
+int h;
+int main() { h = g + 5; return h; }`, 42},
+	}
+	profiles := []gen.Profile{gen.GCC12O3, gen.GCC44O3, gen.GCC12O0}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, prof := range profiles {
+				img, err := gen.Build(c.src, prof, c.name)
+				if err != nil {
+					t.Fatalf("%s: %v", prof.Name, err)
+				}
+				res, err := machine.Execute(img, machine.Input{}, nil)
+				if err != nil {
+					t.Fatalf("%s: %v", prof.Name, err)
+				}
+				if res.ExitCode != c.want {
+					t.Errorf("%s: exit = %d, want %d", prof.Name, res.ExitCode, c.want)
+				}
+			}
+		})
+	}
+}
+
+// The -O0 profile converts char to int with sign extension (GCC x86
+// semantics: char is signed).
+func TestCharSignExtendsAtO0(t *testing.T) {
+	src := `
+int main() {
+	char c = 200;            /* wraps to -56 as signed char */
+	int i = c;
+	return i == -56;
+}`
+	img, err := gen.Build(src, gen.GCC12O0, "cs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machine.Execute(img, machine.Input{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 1 {
+		t.Errorf("exit = %d, want 1 (char not sign-extended)", res.ExitCode)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, p := range gen.Profiles {
+		got, ok := gen.ProfileByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Errorf("ProfileByName(%q) = %v, %v", p.Name, got.Name, ok)
+		}
+	}
+	if _, ok := gen.ProfileByName("icc-O3"); ok {
+		t.Error("phantom profile resolved")
+	}
+}

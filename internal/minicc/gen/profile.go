@@ -1,0 +1,75 @@
+// Package gen lowers checked mini-C programs to machine code. A Profile
+// selects the "compiler personality": the reproduction's stand-in for
+// building SPEC binaries with GCC 12.2, Clang 16 or GCC 4.4 at -O0/-O3.
+// The profiles differ exactly along the axes the paper's analyses care
+// about: frame-pointer usage, how many locals live in callee-saved
+// registers, pointer-loop strength reduction (the end-pointer pattern of the
+// paper's Figure 3), jump tables, tail calls, sub-register char moves (the
+// "false derive" source of §4.2.3), and expression-level quality.
+package gen
+
+// Profile configures code generation.
+type Profile struct {
+	// Name identifies the configuration in reports ("gcc12-O3", ...).
+	Name string
+	// FramePointer keeps EBP-based frames; modern -O3 omits them.
+	FramePointer bool
+	// NumRegVars is how many of EBX/ESI/EDI may hold hot scalars.
+	NumRegVars int
+	// PtrLoops strength-reduces counted array loops into pointer/end-pointer
+	// loops.
+	PtrLoops bool
+	// LeafOps folds leaf operands into ALU ops instead of push/pop
+	// temporaries.
+	LeafOps bool
+	// ConstFold folds constant expressions.
+	ConstFold bool
+	// JumpTables lowers dense switches through indirect jumps.
+	JumpTables bool
+	// TailCalls turns eligible `return f(...)` into jumps.
+	TailCalls bool
+	// SubregChar uses sub-register byte moves for char-to-char copies,
+	// leaving the destination register's upper bits stale.
+	SubregChar bool
+}
+
+// The four evaluation configurations of the paper's Table 1.
+var (
+	// GCC12O3 models a current GCC at -O3.
+	GCC12O3 = Profile{
+		Name: "gcc12-O3", FramePointer: false, NumRegVars: 3, PtrLoops: true,
+		LeafOps: true, ConstFold: true, JumpTables: true, TailCalls: true,
+	}
+	// GCC12O0 models a current GCC with optimization disabled: everything
+	// lives on the stack and every expression round-trips through memory.
+	GCC12O0 = Profile{
+		Name: "gcc12-O0", FramePointer: true,
+	}
+	// Clang16O3 models a current Clang at -O3 (slightly different register
+	// budget, sub-register byte moves).
+	Clang16O3 = Profile{
+		Name: "clang16-O3", FramePointer: false, NumRegVars: 2, PtrLoops: true,
+		LeafOps: true, ConstFold: true, JumpTables: true, TailCalls: true,
+		SubregChar: true,
+	}
+	// GCC44O3 models a legacy GCC 4.4 at -O3: frame pointers, a weak
+	// register allocator, no pointer-loop strength reduction, no tail
+	// calls — optimized for its day but far from today's code quality.
+	GCC44O3 = Profile{
+		Name: "gcc44-O3", FramePointer: true, NumRegVars: 1, PtrLoops: false,
+		LeafOps: true, ConstFold: true, JumpTables: true, TailCalls: false,
+	}
+)
+
+// Profiles lists the evaluation configurations in Table 1 column order.
+var Profiles = []Profile{GCC12O3, GCC12O0, Clang16O3, GCC44O3}
+
+// ProfileByName returns a named profile.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

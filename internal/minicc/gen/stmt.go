@@ -1,0 +1,263 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/minicc"
+)
+
+func (f *fnGen) stmt(s minicc.Stmt) error {
+	b := f.b()
+	switch s := s.(type) {
+	case *minicc.Block:
+		for _, st := range s.Stmts {
+			if err := f.stmt(st); err != nil {
+				return err
+			}
+		}
+	case *minicc.DeclStmt:
+		if s.Init == nil {
+			return nil
+		}
+		as := &minicc.Assign{
+			L: &minicc.VarRef{Name: s.Var.Name, Local: s.Var},
+			R: s.Init,
+		}
+		as.L.(*minicc.VarRef).Typ = s.Var.Type
+		as.Typ = s.Var.Type
+		return f.evalAssign(as)
+	case *minicc.ExprStmt:
+		return f.eval(s.X)
+	case *minicc.If:
+		lThen := f.g.newLabel("then")
+		lElse := f.g.newLabel("else")
+		lEnd := f.g.newLabel("endif")
+		if err := f.condJump(s.Cond, lThen, lElse); err != nil {
+			return err
+		}
+		b.Label(lThen)
+		if err := f.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			b.Jmp(lEnd)
+			b.Label(lElse)
+			if err := f.stmt(s.Else); err != nil {
+				return err
+			}
+			b.Label(lEnd)
+		} else {
+			b.Label(lElse)
+		}
+	case *minicc.While:
+		lHead := f.g.newLabel("while")
+		lBody := f.g.newLabel("wbody")
+		lEnd := f.g.newLabel("wend")
+		b.Label(lHead)
+		if err := f.condJump(s.Cond, lBody, lEnd); err != nil {
+			return err
+		}
+		b.Label(lBody)
+		f.breakLbls = append(f.breakLbls, lEnd)
+		f.contLbls = append(f.contLbls, lHead)
+		if err := f.stmt(s.Body); err != nil {
+			return err
+		}
+		f.breakLbls = f.breakLbls[:len(f.breakLbls)-1]
+		f.contLbls = f.contLbls[:len(f.contLbls)-1]
+		b.Jmp(lHead)
+		b.Label(lEnd)
+	case *minicc.For:
+		lHead := f.g.newLabel("for")
+		lBody := f.g.newLabel("fbody")
+		lPost := f.g.newLabel("fpost")
+		lEnd := f.g.newLabel("fend")
+		if s.Init != nil {
+			if err := f.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		b.Label(lHead)
+		if s.Cond != nil {
+			if err := f.condJump(s.Cond, lBody, lEnd); err != nil {
+				return err
+			}
+		}
+		b.Label(lBody)
+		f.breakLbls = append(f.breakLbls, lEnd)
+		f.contLbls = append(f.contLbls, lPost)
+		if err := f.stmt(s.Body); err != nil {
+			return err
+		}
+		f.breakLbls = f.breakLbls[:len(f.breakLbls)-1]
+		f.contLbls = f.contLbls[:len(f.contLbls)-1]
+		b.Label(lPost)
+		if s.Post != nil {
+			if err := f.eval(s.Post); err != nil {
+				return err
+			}
+		}
+		b.Jmp(lHead)
+		b.Label(lEnd)
+	case *minicc.Switch:
+		return f.switchStmt(s)
+	case *minicc.Return:
+		return f.returnStmt(s)
+	case *minicc.Break:
+		if len(f.breakLbls) == 0 {
+			return fmt.Errorf("gen: %s: break outside loop/switch", f.fn.Name)
+		}
+		b.Jmp(f.breakLbls[len(f.breakLbls)-1])
+	case *minicc.Continue:
+		if len(f.contLbls) == 0 {
+			return fmt.Errorf("gen: %s: continue outside loop", f.fn.Name)
+		}
+		b.Jmp(f.contLbls[len(f.contLbls)-1])
+	default:
+		return fmt.Errorf("gen: unknown statement %T", s)
+	}
+	return nil
+}
+
+func (f *fnGen) returnStmt(s *minicc.Return) error {
+	b := f.b()
+	if s.X != nil {
+		// Tail call: return f(...) with a matching argument count becomes a
+		// jump after the epilogue (§5.1 of the paper: the pattern function
+		// recovery must untangle).
+		if call, ok := s.X.(*minicc.Call); ok && f.prof.TailCalls {
+			if vr, ok := call.Fn.(*minicc.VarRef); ok && vr.Func != nil &&
+				len(call.Args) == len(f.fn.Params) && f.pushDepth == 0 {
+				return f.tailCall(call, vr.Func)
+			}
+		}
+		if err := f.eval(s.X); err != nil {
+			return err
+		}
+	} else {
+		b.MovI(isa.EAX, 0)
+	}
+	b.Jmp(f.epilogue)
+	return nil
+}
+
+// tailCall evaluates the outgoing arguments, overwrites the incoming
+// argument slots, runs the epilogue, and jumps to the target (leaving the
+// caller's return address on the stack).
+func (f *fnGen) tailCall(call *minicc.Call, target *minicc.FuncDecl) error {
+	b := f.b()
+	n := len(call.Args)
+	// Evaluate all arguments first (they may read the current parameters),
+	// parking them on the stack.
+	for i := 0; i < n; i++ {
+		if err := f.eval(call.Args[i]); err != nil {
+			return err
+		}
+		f.push(isa.EAX)
+	}
+	// Pop into the incoming argument slots, last first.
+	for i := n - 1; i >= 0; i-- {
+		f.pop(isa.ECX)
+		b.Store(f.paramSlotMem(i), isa.ECX, 4)
+	}
+	// Epilogue without ret.
+	if f.prof.FramePointer {
+		if f.frameSize > 0 {
+			b.BinI(isa.ADDI, isa.ESP, f.frameSize)
+		}
+		for i := len(f.saved) - 1; i >= 0; i-- {
+			b.Pop(f.saved[i])
+		}
+		b.Pop(isa.EBP)
+	} else {
+		if f.frameSize > 0 {
+			b.BinI(isa.ADDI, isa.ESP, f.frameSize)
+		}
+		for i := len(f.saved) - 1; i >= 0; i-- {
+			b.Pop(f.saved[i])
+		}
+	}
+	b.Jmp(target.Name)
+	return nil
+}
+
+// switchStmt lowers a switch: dense cases through a jump table (O3
+// profiles), otherwise a compare chain.
+func (f *fnGen) switchStmt(s *minicc.Switch) error {
+	b := f.b()
+	lEnd := f.g.newLabel("swend")
+	lDefault := lEnd
+	if s.Default != nil {
+		lDefault = f.g.newLabel("swdef")
+	}
+	caseLbls := make(map[int32]string, len(s.Cases))
+	var vals []int32
+	for _, c := range s.Cases {
+		caseLbls[c.Val] = f.g.newLabel("case")
+		vals = append(vals, c.Val)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+
+	if err := f.eval(s.X); err != nil {
+		return err
+	}
+
+	dense := false
+	if len(vals) >= 4 && f.prof.JumpTables {
+		span := int64(vals[len(vals)-1]) - int64(vals[0]) + 1
+		if span <= int64(3*len(vals)) && span < 512 {
+			dense = true
+		}
+	}
+	if dense {
+		mn, mx := vals[0], vals[len(vals)-1]
+		labels := make([]string, mx-mn+1)
+		for i := range labels {
+			labels[i] = lDefault
+		}
+		for v, l := range caseLbls {
+			labels[v-mn] = l
+		}
+		tbl := f.g.newLabel("swtbl")[1:] // data symbol name, no leading dot
+		b.JumpTable(tbl, labels...)
+		if mn != 0 {
+			b.BinI(isa.SUBI, isa.EAX, mn)
+		}
+		b.CmpI(isa.EAX, mx-mn+1)
+		b.Jcc(isa.CondAE, lDefault) // unsigned: also catches values below mn
+		i := b.Emit(isa.Instr{Op: isa.LOAD, Dst: isa.ECX, Size: 4,
+			Mem: isa.MemRef{Base: isa.NoReg, Index: isa.EAX, Scale: 4}})
+		b.FixDataDisp(i, tbl, 0)
+		b.JmpR(isa.ECX)
+	} else {
+		for _, c := range s.Cases {
+			b.CmpI(isa.EAX, c.Val)
+			b.Jcc(isa.CondEQ, caseLbls[c.Val])
+		}
+		b.Jmp(lDefault)
+	}
+
+	f.breakLbls = append(f.breakLbls, lEnd)
+	for _, c := range s.Cases {
+		b.Label(caseLbls[c.Val])
+		for _, st := range c.Body {
+			if err := f.stmt(st); err != nil {
+				return err
+			}
+		}
+		// Fall through to the next case, C style.
+	}
+	if s.Default != nil {
+		b.Label(lDefault)
+		for _, st := range s.Default {
+			if err := f.stmt(st); err != nil {
+				return err
+			}
+		}
+	}
+	f.breakLbls = f.breakLbls[:len(f.breakLbls)-1]
+	b.Label(lEnd)
+	return nil
+}

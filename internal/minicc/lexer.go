@@ -1,0 +1,259 @@
+package minicc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer turns source text into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// SyntaxError is a lexing or parsing error with position information.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("minicc: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *Lexer) errorf(format string, args ...any) error {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '/' && l.peekAt(1) == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return l.errorf("unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *Lexer) escape() (byte, error) {
+	if l.pos >= len(l.src) {
+		return 0, l.errorf("unterminated escape")
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return c, nil
+	}
+	return 0, l.errorf("unknown escape \\%c", c)
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = EOF
+		return tok, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentStart(l.peekByte()) || isDigit(l.peekByte())) {
+			l.advance()
+		}
+		tok.Lit = l.src[start:l.pos]
+		if keywords[tok.Lit] {
+			tok.Kind = KEYWORD
+		} else {
+			tok.Kind = IDENT
+		}
+		return tok, nil
+
+	case isDigit(c):
+		start := l.pos
+		base := int32(10)
+		if c == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+			base = 16
+			l.advance()
+			l.advance()
+			start = l.pos
+		}
+		var v int64
+		for l.pos < len(l.src) {
+			d := l.peekByte()
+			var dv int64
+			switch {
+			case isDigit(d):
+				dv = int64(d - '0')
+			case base == 16 && d >= 'a' && d <= 'f':
+				dv = int64(d-'a') + 10
+			case base == 16 && d >= 'A' && d <= 'F':
+				dv = int64(d-'A') + 10
+			default:
+				goto done
+			}
+			v = v*int64(base) + dv
+			l.advance()
+		}
+	done:
+		if l.pos == start {
+			return Token{}, l.errorf("malformed number")
+		}
+		tok.Kind = NUMBER
+		tok.Num = int32(v)
+		tok.Lit = l.src[start:l.pos]
+		return tok, nil
+
+	case c == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errorf("unterminated string")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				e, err := l.escape()
+				if err != nil {
+					return Token{}, err
+				}
+				b.WriteByte(e)
+				continue
+			}
+			b.WriteByte(ch)
+		}
+		tok.Kind = STRING
+		tok.Lit = b.String()
+		return tok, nil
+
+	case c == '\'':
+		l.advance()
+		if l.pos >= len(l.src) {
+			return Token{}, l.errorf("unterminated char literal")
+		}
+		ch := l.advance()
+		if ch == '\\' {
+			e, err := l.escape()
+			if err != nil {
+				return Token{}, err
+			}
+			ch = e
+		}
+		if l.pos >= len(l.src) || l.advance() != '\'' {
+			return Token{}, l.errorf("unterminated char literal")
+		}
+		tok.Kind = CHARLIT
+		tok.Num = int32(ch)
+		tok.Lit = string(ch)
+		return tok, nil
+	}
+
+	// Multi-character punctuation, longest match first.
+	rest := l.src[l.pos:]
+	for _, p := range punct2 {
+		if strings.HasPrefix(rest, p) {
+			l.advance()
+			l.advance()
+			tok.Kind = PUNCT
+			tok.Lit = p
+			return tok, nil
+		}
+	}
+	if strings.IndexByte(punct1, c) >= 0 {
+		l.advance()
+		tok.Kind = PUNCT
+		tok.Lit = string(c)
+		return tok, nil
+	}
+	return Token{}, l.errorf("unexpected character %q", string(c))
+}
+
+// LexAll tokenizes the whole input (EOF token excluded).
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == EOF {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}

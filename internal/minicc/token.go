@@ -1,0 +1,67 @@
+// Package minicc implements a small C-like language: the reproduction's
+// stand-in for the C sources of SPECint 2006 and for GCC/Clang. The
+// front-end (lexer, parser, type checker) lives here; code generation with
+// per-compiler profiles lives in minicc/gen.
+//
+// The language: int/char/void, pointers, fixed-size (possibly nested)
+// arrays, structs, fnptr (an opaque function-pointer type), functions,
+// globals, extern (variadic) library functions, string literals, the usual
+// statements (if/else, while, for, switch, break, continue, return), and
+// the usual expressions including pointer arithmetic, address-of, deref,
+// member access, sizeof, pre/post increment and compound assignment.
+package minicc
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+	STRING
+	CHARLIT
+	PUNCT   // operators and punctuation; Lit holds the spelling
+	KEYWORD // language keyword; Lit holds the spelling
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Lit  string
+	Num  int32 // value for NUMBER and CHARLIT
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of file"
+	case NUMBER:
+		return fmt.Sprintf("number %d", t.Num)
+	case STRING:
+		return fmt.Sprintf("string %q", t.Lit)
+	case CHARLIT:
+		return fmt.Sprintf("char %q", string(rune(t.Num)))
+	default:
+		return fmt.Sprintf("%q", t.Lit)
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "void": true, "struct": true, "fnptr": true,
+	"if": true, "else": true, "while": true, "for": true, "return": true,
+	"break": true, "continue": true, "switch": true, "case": true,
+	"default": true, "sizeof": true, "extern": true,
+}
+
+// punct3/punct2 list multi-character operators, longest match first.
+var punct2 = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+}
+
+const punct1 = "+-*/%&|^~!<>=(){}[];,.?:"

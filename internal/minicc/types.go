@@ -1,0 +1,198 @@
+package minicc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind discriminates Type.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	TInt TypeKind = iota
+	TChar
+	TVoid
+	TPtr
+	TArray
+	TStruct
+	TFnPtr // opaque function pointer
+)
+
+// Type describes a mini-C type.
+type Type struct {
+	Kind   TypeKind
+	Elem   *Type       // TPtr, TArray
+	Len    int         // TArray
+	Struct *StructType // TStruct
+}
+
+// Singleton basic types.
+var (
+	IntType   = &Type{Kind: TInt}
+	CharType  = &Type{Kind: TChar}
+	VoidType  = &Type{Kind: TVoid}
+	FnPtrType = &Type{Kind: TFnPtr}
+)
+
+// PtrTo returns a pointer type.
+func PtrTo(t *Type) *Type { return &Type{Kind: TPtr, Elem: t} }
+
+// ArrayOf returns an array type.
+func ArrayOf(t *Type, n int) *Type { return &Type{Kind: TArray, Elem: t, Len: n} }
+
+// StructType is a named struct with laid-out fields.
+type StructType struct {
+	Name   string
+	Fields []Field
+	size   uint32
+	align  uint32
+}
+
+// Field is one struct member.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset uint32
+}
+
+// FieldByName finds a member.
+func (s *StructType) FieldByName(name string) (*Field, bool) {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i], true
+		}
+	}
+	return nil, false
+}
+
+// Layout computes field offsets, size and alignment.
+func (s *StructType) Layout() error {
+	var off, maxAlign uint32
+	maxAlign = 1
+	for i := range s.Fields {
+		f := &s.Fields[i]
+		a := f.Type.Align()
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = (off + a - 1) &^ (a - 1)
+		f.Offset = off
+		sz := f.Type.Size()
+		if sz == 0 {
+			return fmt.Errorf("minicc: field %s.%s has zero size", s.Name, f.Name)
+		}
+		off += sz
+	}
+	s.size = (off + maxAlign - 1) &^ (maxAlign - 1)
+	s.align = maxAlign
+	return nil
+}
+
+// Size returns the size in bytes of a value of this type.
+func (t *Type) Size() uint32 {
+	switch t.Kind {
+	case TInt, TPtr, TFnPtr:
+		return 4
+	case TChar:
+		return 1
+	case TVoid:
+		return 0
+	case TArray:
+		return t.Elem.Size() * uint32(t.Len)
+	case TStruct:
+		return t.Struct.size
+	}
+	return 0
+}
+
+// Align returns the alignment requirement in bytes.
+func (t *Type) Align() uint32 {
+	switch t.Kind {
+	case TInt, TPtr, TFnPtr:
+		return 4
+	case TChar:
+		return 1
+	case TArray:
+		return t.Elem.Align()
+	case TStruct:
+		return t.Struct.align
+	}
+	return 1
+}
+
+// IsScalar reports whether values fit in a register (int, char, pointers).
+func (t *Type) IsScalar() bool {
+	switch t.Kind {
+	case TInt, TChar, TPtr, TFnPtr:
+		return true
+	}
+	return false
+}
+
+// IsInteger reports int/char.
+func (t *Type) IsInteger() bool { return t.Kind == TInt || t.Kind == TChar }
+
+// IsPtr reports pointer (not array).
+func (t *Type) IsPtr() bool { return t.Kind == TPtr }
+
+// Decay converts arrays to element pointers (as in C expression contexts).
+func (t *Type) Decay() *Type {
+	if t.Kind == TArray {
+		return PtrTo(t.Elem)
+	}
+	return t
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TPtr:
+		return t.Elem.Equal(o.Elem)
+	case TArray:
+		return t.Len == o.Len && t.Elem.Equal(o.Elem)
+	case TStruct:
+		return t.Struct == o.Struct
+	}
+	return true
+}
+
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case TInt:
+		return "int"
+	case TChar:
+		return "char"
+	case TVoid:
+		return "void"
+	case TFnPtr:
+		return "fnptr"
+	case TPtr:
+		return t.Elem.String() + "*"
+	case TArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case TStruct:
+		return "struct " + t.Struct.Name
+	}
+	return "?"
+}
+
+// StructString renders a struct definition (for diagnostics).
+func (s *StructType) StructString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "struct %s {", s.Name)
+	for _, f := range s.Fields {
+		fmt.Fprintf(&b, " %s %s@%d;", f.Type, f.Name, f.Offset)
+	}
+	b.WriteString(" }")
+	return b.String()
+}

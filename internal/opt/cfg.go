@@ -1,0 +1,206 @@
+package opt
+
+import "wytiwyg/internal/ir"
+
+// SimplifyCFG folds constant branches, removes unreachable blocks, and
+// merges straight-line block chains. Returns true if anything changed.
+func SimplifyCFG(f *ir.Func) bool {
+	any := false
+	for {
+		changed := false
+		if foldBranches(f) {
+			changed = true
+		}
+		if removeUnreachable(f) {
+			changed = true
+		}
+		if mergeChains(f) {
+			changed = true
+		}
+		if !changed {
+			return any
+		}
+		any = true
+	}
+}
+
+// SimplifyCFGModule simplifies every function.
+func SimplifyCFGModule(m *ir.Module) bool {
+	any := false
+	for _, f := range m.Funcs {
+		if SimplifyCFG(f) {
+			any = true
+		}
+	}
+	return any
+}
+
+// removeEdge deletes one CFG edge b -> s (a single Succs slot). The
+// predecessor link (and phi arguments) drop only when no other slot still
+// targets s.
+func removeEdge(b *ir.Block, slot int) {
+	s := b.Succs[slot]
+	b.Succs = append(b.Succs[:slot], b.Succs[slot+1:]...)
+	for _, other := range b.Succs {
+		if other == s {
+			return // another slot still reaches s
+		}
+	}
+	for i, p := range s.Preds {
+		if p == b {
+			s.Preds = append(s.Preds[:i], s.Preds[i+1:]...)
+			for _, phi := range s.Phis {
+				phi.Args = append(phi.Args[:i], phi.Args[i+1:]...)
+			}
+			return
+		}
+	}
+}
+
+// foldBranches turns constant-condition branches and single-target switches
+// into jumps.
+func foldBranches(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		switch t.Op {
+		case ir.OpBr:
+			if c, ok := cval(t.Args[0]); ok {
+				keep := 0
+				if c == 0 {
+					keep = 1
+				}
+				// Drop the not-taken edge (slot 1-keep), then rewrite.
+				removeEdge(b, 1-keep)
+				t.Op = ir.OpJmp
+				t.Args = nil
+				changed = true
+			} else if b.Succs[0] == b.Succs[1] {
+				removeEdge(b, 1)
+				t.Op = ir.OpJmp
+				t.Args = nil
+				changed = true
+			}
+		case ir.OpSwitch:
+			if c, ok := cval(t.Args[0]); ok {
+				target := len(t.Cases) // default slot
+				for i, cs := range t.Cases {
+					if cs.Val == uint32(c) {
+						target = i
+						break
+					}
+				}
+				// Remove all slots except the chosen one (back to front so
+				// indexes stay valid).
+				for i := len(b.Succs) - 1; i >= 0; i-- {
+					if i != target {
+						removeEdge(b, i)
+						if i < target {
+							target--
+						}
+					}
+				}
+				t.Op = ir.OpJmp
+				t.Args = nil
+				t.Cases = nil
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// removeUnreachable drops blocks not reachable from the entry.
+func removeUnreachable(f *ir.Func) bool {
+	reach := map[*ir.Block]bool{}
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+	}
+	dfs(f.Entry())
+	changed := false
+	for _, b := range f.Blocks {
+		if reach[b] {
+			continue
+		}
+		// Unlink from reachable successors.
+		for len(b.Succs) > 0 {
+			removeEdge(b, 0)
+		}
+		changed = true
+	}
+	if !changed {
+		return false
+	}
+	blocks := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			blocks = append(blocks, b)
+		}
+	}
+	f.Blocks = blocks
+	return true
+}
+
+// mergeChains splices b and its single successor s when s has b as its only
+// predecessor.
+func mergeChains(f *ir.Func) bool {
+	changed := false
+	for {
+		merged := false
+		for _, b := range f.Blocks {
+			t := b.Term()
+			if t == nil || t.Op != ir.OpJmp || len(b.Succs) != 1 {
+				continue
+			}
+			s := b.Succs[0]
+			if s == b || len(s.Preds) != 1 {
+				continue
+			}
+			// Single-pred phis are copies.
+			for _, phi := range s.Phis {
+				ReplaceUses(f, phi, phi.Args[0])
+			}
+			s.Phis = nil
+			// Splice: drop b's jmp, append s's instructions.
+			b.Insts = b.Insts[:len(b.Insts)-1]
+			for _, v := range s.Insts {
+				v.Block = b
+				b.Insts = append(b.Insts, v)
+			}
+			b.Succs = s.Succs
+			for _, ss := range s.Succs {
+				for i, p := range ss.Preds {
+					if p == s {
+						ss.Preds[i] = b
+					}
+				}
+			}
+			s.Succs = nil
+			s.Preds = nil
+			s.Insts = nil
+			// Remove s from the block list.
+			for i, blk := range f.Blocks {
+				if blk == s {
+					f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+					break
+				}
+			}
+			merged = true
+			changed = true
+			break // block list mutated; restart scan
+		}
+		if !merged {
+			return changed
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package opt_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/irexec"
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/opt"
+)
+
+// The constant folder and the IR interpreter are two implementations of
+// the same semantics; quick.Check drives random (op, a, b) triples through
+// both and requires bit-identical results. A folder that disagrees with
+// the interpreter miscompiles quietly, so this is the property most worth
+// hammering.
+func TestFoldMatchesInterpreterQuick(t *testing.T) {
+	binOps := []ir.Op{
+		ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpSar,
+		ir.OpSubreg8,
+	}
+
+	interp := func(op ir.Op, a, b int32) (int32, bool) {
+		m := ir.NewModule("q")
+		f := m.NewFunc("_start", 0x1000)
+		blk := f.NewBlock(0)
+		ka := f.NewValue(ir.OpConst)
+		ka.Const = a
+		blk.Append(ka)
+		kb := f.NewValue(ir.OpConst)
+		kb.Const = b
+		blk.Append(kb)
+		v := f.NewValue(op, ka, kb)
+		blk.Append(v)
+		call := f.NewValue(ir.OpCallExt, v)
+		call.Sym = "exit"
+		call.NumRet = 1
+		blk.Append(call)
+		blk.Append(f.NewValue(ir.OpTrap))
+		m.Entry = f
+		r, err := irexec.Run(m, machine.Input{}, nil, nil)
+		if err != nil {
+			return 0, false // trap (division by zero)
+		}
+		return r.ExitCode, true
+	}
+
+	folded := func(op ir.Op, a, b int32) (int32, bool) {
+		m := ir.NewModule("q")
+		f := m.NewFunc("f", 0x1000)
+		f.NumRet = 1
+		blk := f.NewBlock(0)
+		ka := f.NewValue(ir.OpConst)
+		ka.Const = a
+		blk.Append(ka)
+		kb := f.NewValue(ir.OpConst)
+		kb.Const = b
+		blk.Append(kb)
+		v := f.NewValue(op, ka, kb)
+		blk.Append(v)
+		blk.Append(f.NewValue(ir.OpRet, v))
+		opt.FoldConstants(f)
+		r := blk.Term().Args[0]
+		if r.Op != ir.OpConst {
+			return 0, false // folder declined (e.g. div by zero)
+		}
+		return r.Const, true
+	}
+
+	prop := func(opSel uint8, a, b int32) bool {
+		op := binOps[int(opSel)%len(binOps)]
+		fv, fok := folded(op, a, b)
+		iv, iok := interp(op, a, b)
+		if !fok {
+			// The folder may only decline where execution would trap:
+			// division by zero.
+			return (op == ir.OpDiv || op == ir.OpMod) && b == 0 && !iok
+		}
+		return iok && fv == iv
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Same cross-check for the compare op over every condition code.
+func TestFoldCmpMatchesInterpreterQuick(t *testing.T) {
+	run := func(fold bool, cond isa.Cond, a, b int32) int32 {
+		m := ir.NewModule("q")
+		f := m.NewFunc("_start", 0x1000)
+		blk := f.NewBlock(0)
+		ka := f.NewValue(ir.OpConst)
+		ka.Const = a
+		blk.Append(ka)
+		kb := f.NewValue(ir.OpConst)
+		kb.Const = b
+		blk.Append(kb)
+		v := f.NewValue(ir.OpCmp, ka, kb)
+		v.Cond = cond
+		blk.Append(v)
+		if fold {
+			f.NumRet = 1
+			blk.Append(f.NewValue(ir.OpRet, v))
+			opt.FoldConstants(f)
+			return blk.Term().Args[0].Const
+		}
+		call := f.NewValue(ir.OpCallExt, v)
+		call.Sym = "exit"
+		call.NumRet = 1
+		blk.Append(call)
+		blk.Append(f.NewValue(ir.OpTrap))
+		m.Entry = f
+		r, err := irexec.Run(m, machine.Input{}, nil, nil)
+		if err != nil {
+			panic(err)
+		}
+		return r.ExitCode
+	}
+	prop := func(condSel uint8, a, b int32) bool {
+		cond := isa.Cond(int(condSel) % int(isa.NumConds))
+		return run(true, cond, a, b) == run(false, cond, a, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

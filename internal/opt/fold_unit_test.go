@@ -1,0 +1,344 @@
+package opt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/opt"
+)
+
+// unitFn builds `f(x) = <expr>` where build receives the parameter and
+// emits the expression; the function returns the expression's value.
+func unitFn(build func(f *ir.Func, b *ir.Block, x *ir.Value) *ir.Value) (*ir.Func, *ir.Block) {
+	m := ir.NewModule("fold")
+	f := m.NewFunc("f", 0x1000)
+	f.NumRet = 1
+	x := f.NewParam(isa.EAX, "x")
+	b := f.NewBlock(0)
+	v := build(f, b, x)
+	b.Append(f.NewValue(ir.OpRet, v))
+	return f, b
+}
+
+func uConst(f *ir.Func, b *ir.Block, c int32) *ir.Value {
+	v := f.NewValue(ir.OpConst)
+	v.Const = c
+	b.Append(v)
+	return v
+}
+
+// retVal returns the (single) value the function returns.
+func retVal(f *ir.Func) *ir.Value {
+	last := f.Blocks[len(f.Blocks)-1]
+	return last.Term().Args[0]
+}
+
+// Constant-constant operations of every opcode fold to the exact value.
+func TestFoldAllBinaryOps(t *testing.T) {
+	type tc struct {
+		op   ir.Op
+		a, b int32
+		want int32
+	}
+	cases := []tc{
+		{ir.OpAdd, 1<<31 - 1, 1, -1 << 31},
+		{ir.OpSub, 3, 10, -7},
+		{ir.OpMul, -3, 5, -15},
+		{ir.OpDiv, -9, 2, -4},
+		{ir.OpMod, -9, 2, -1},
+		{ir.OpAnd, 0xF0F, 0x0FF, 0x00F},
+		{ir.OpOr, 0xF00, 0x00F, 0xF0F},
+		{ir.OpXor, -1, 1, -2},
+		{ir.OpShl, 3, 33, 6}, // count masks to 5 bits
+		{ir.OpShr, -1, 24, 255},
+		{ir.OpSar, -8, 1, -4},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.op.String(), func(t *testing.T) {
+			f, _ := unitFn(func(f *ir.Func, b *ir.Block, x *ir.Value) *ir.Value {
+				v := f.NewValue(c.op, uConst(f, b, c.a), uConst(f, b, c.b))
+				b.Append(v)
+				return v
+			})
+			if n := opt.FoldConstants(f); n == 0 {
+				t.Fatal("nothing folded")
+			}
+			r := retVal(f)
+			if r.Op != ir.OpConst || r.Const != c.want {
+				t.Errorf("folded to %s const=%d, want const %d", r.Op, r.Const, c.want)
+			}
+		})
+	}
+}
+
+// Division and modulo by a constant zero must NOT fold: the trap is the
+// program's observable behaviour.
+func TestFoldKeepsDivByZero(t *testing.T) {
+	for _, op := range []ir.Op{ir.OpDiv, ir.OpMod} {
+		f, _ := unitFn(func(f *ir.Func, b *ir.Block, x *ir.Value) *ir.Value {
+			v := f.NewValue(op, uConst(f, b, 7), uConst(f, b, 0))
+			b.Append(v)
+			return v
+		})
+		opt.FoldConstants(f)
+		if r := retVal(f); r.Op != op {
+			t.Errorf("%s by zero folded to %s", op, r.Op)
+		}
+	}
+}
+
+// Algebraic identities collapse to the non-constant operand or to zero.
+func TestFoldIdentities(t *testing.T) {
+	type tc struct {
+		name  string
+		build func(f *ir.Func, b *ir.Block, x *ir.Value) *ir.Value
+		// wantParam: result is the parameter itself; wantZero: const 0.
+		wantParam bool
+		wantZero  bool
+	}
+	binRight := func(op ir.Op, c int32) func(f *ir.Func, b *ir.Block, x *ir.Value) *ir.Value {
+		return func(f *ir.Func, b *ir.Block, x *ir.Value) *ir.Value {
+			v := f.NewValue(op, x, uConst(f, b, c))
+			b.Append(v)
+			return v
+		}
+	}
+	binLeft := func(op ir.Op, c int32) func(f *ir.Func, b *ir.Block, x *ir.Value) *ir.Value {
+		return func(f *ir.Func, b *ir.Block, x *ir.Value) *ir.Value {
+			v := f.NewValue(op, uConst(f, b, c), x)
+			b.Append(v)
+			return v
+		}
+	}
+	cases := []tc{
+		{"add0", binRight(ir.OpAdd, 0), true, false},
+		{"sub0", binRight(ir.OpSub, 0), true, false},
+		{"or0", binRight(ir.OpOr, 0), true, false},
+		{"xor0", binRight(ir.OpXor, 0), true, false},
+		{"shl0", binRight(ir.OpShl, 0), true, false},
+		{"shr0", binRight(ir.OpShr, 0), true, false},
+		{"sar0", binRight(ir.OpSar, 0), true, false},
+		{"mul1", binRight(ir.OpMul, 1), true, false},
+		{"div1", binRight(ir.OpDiv, 1), true, false},
+		{"mul0", binRight(ir.OpMul, 0), false, true},
+		{"and0", binRight(ir.OpAnd, 0), false, true},
+		{"0add", binLeft(ir.OpAdd, 0), true, false},
+		{"0mul", binLeft(ir.OpMul, 0), false, true},
+		{"0and", binLeft(ir.OpAnd, 0), false, true},
+		{"1mul", binLeft(ir.OpMul, 1), true, false},
+		{"x-x", func(f *ir.Func, b *ir.Block, x *ir.Value) *ir.Value {
+			v := f.NewValue(ir.OpSub, x, x)
+			b.Append(v)
+			return v
+		}, false, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			f, _ := unitFn(c.build)
+			if n := opt.FoldConstants(f); n == 0 {
+				t.Fatal("nothing folded")
+			}
+			r := retVal(f)
+			switch {
+			case c.wantParam && r.Op != ir.OpParam:
+				t.Errorf("result is %s, want the parameter", r.Op)
+			case c.wantZero && (r.Op != ir.OpConst || r.Const != 0):
+				t.Errorf("result is %s const=%d, want const 0", r.Op, r.Const)
+			}
+		})
+	}
+}
+
+// (x + c1) + c2 reassociates into x + (c1+c2); (x + c1) - c2 likewise.
+func TestFoldReassociates(t *testing.T) {
+	for _, sub := range []bool{false, true} {
+		op := ir.OpAdd
+		want := int32(30)
+		if sub {
+			op = ir.OpSub
+			want = 10
+		}
+		f, _ := unitFn(func(f *ir.Func, b *ir.Block, x *ir.Value) *ir.Value {
+			inner := f.NewValue(ir.OpAdd, x, uConst(f, b, 20))
+			b.Append(inner)
+			v := f.NewValue(op, inner, uConst(f, b, 10))
+			b.Append(v)
+			return v
+		})
+		opt.FoldConstants(f)
+		r := retVal(f)
+		if r.Op != ir.OpAdd || r.Args[0].Op != ir.OpParam {
+			t.Fatalf("sub=%v: result %s(%s), want add(param, const)", sub, r.Op, r.Args[0].Op)
+		}
+		if c := r.Args[1]; c.Op != ir.OpConst || c.Const != want {
+			t.Errorf("sub=%v: combined const = %d, want %d", sub, c.Const, want)
+		}
+	}
+}
+
+// Constant compares fold through every condition code.
+func TestFoldCmpAllConds(t *testing.T) {
+	type pair struct{ a, b int32 }
+	pairs := []pair{{-1, 1}, {1, -1}, {4, 4}}
+	want := map[isa.Cond][]int32{
+		isa.CondEQ: {0, 0, 1},
+		isa.CondNE: {1, 1, 0},
+		isa.CondLT: {1, 0, 0},
+		isa.CondLE: {1, 0, 1},
+		isa.CondGT: {0, 1, 0},
+		isa.CondGE: {0, 1, 1},
+		isa.CondB:  {0, 1, 0},
+		isa.CondBE: {0, 1, 1},
+		isa.CondA:  {1, 0, 0},
+		isa.CondAE: {1, 0, 1},
+	}
+	for cond, exp := range want {
+		for i, p := range pairs {
+			f, _ := unitFn(func(f *ir.Func, b *ir.Block, x *ir.Value) *ir.Value {
+				v := f.NewValue(ir.OpCmp, uConst(f, b, p.a), uConst(f, b, p.b))
+				v.Cond = cond
+				b.Append(v)
+				return v
+			})
+			opt.FoldConstants(f)
+			r := retVal(f)
+			if r.Op != ir.OpConst || r.Const != exp[i] {
+				t.Errorf("cmp.%s(%d,%d) folded to %s/%d, want %d",
+					cond, p.a, p.b, r.Op, r.Const, exp[i])
+			}
+		}
+	}
+}
+
+// Unary and width ops fold.
+func TestFoldUnaryAndWidth(t *testing.T) {
+	mk := func(op ir.Op, c int32, size uint8) *ir.Func {
+		f, _ := unitFn(func(f *ir.Func, b *ir.Block, x *ir.Value) *ir.Value {
+			v := f.NewValue(op, uConst(f, b, c))
+			v.Size = size
+			b.Append(v)
+			return v
+		})
+		return f
+	}
+	cases := []struct {
+		name string
+		f    *ir.Func
+		want int32
+	}{
+		{"neg", mk(ir.OpNeg, 44, 0), -44},
+		{"not", mk(ir.OpNot, 0, 0), -1},
+		{"sext1", mk(ir.OpSext, 0x80, 1), -128},
+		{"sext2", mk(ir.OpSext, 0x8000, 2), -32768},
+		{"sext4", mk(ir.OpSext, -5, 4), -5},
+		{"zext1", mk(ir.OpZext, 0x1FF, 1), 0xFF},
+		{"zext2", mk(ir.OpZext, 0x10001, 2), 1},
+		{"zext4", mk(ir.OpZext, -1, 4), -1},
+	}
+	for _, c := range cases {
+		opt.FoldConstants(c.f)
+		r := retVal(c.f)
+		if r.Op != ir.OpConst || r.Const != c.want {
+			t.Errorf("%s folded to %s/%d, want %d", c.name, r.Op, r.Const, c.want)
+		}
+	}
+	// subreg8 with two consts.
+	f, _ := unitFn(func(f *ir.Func, b *ir.Block, x *ir.Value) *ir.Value {
+		v := f.NewValue(ir.OpSubreg8, uConst(f, b, 0x1200), uConst(f, b, 0x34))
+		b.Append(v)
+		return v
+	})
+	opt.FoldConstants(f)
+	if r := retVal(f); r.Op != ir.OpConst || r.Const != 0x1234 {
+		t.Errorf("subreg8 folded to %s/%#x, want 0x1234", r.Op, r.Const)
+	}
+}
+
+// The module-level wrappers walk every function.
+func TestModuleWrappers(t *testing.T) {
+	m := ir.NewModule("w")
+	for i := 0; i < 3; i++ {
+		f := m.NewFunc(fmt.Sprintf("f%d", i), uint32(0x1000+i*0x100))
+		f.NumRet = 1
+		b := f.NewBlock(0)
+		// alloca/store/load chain for mem2reg + a const add for fold.
+		al := f.NewValue(ir.OpAlloca)
+		al.AllocSize = 4
+		al.Const = -4
+		b.Append(al)
+		k := uConst(f, b, 21)
+		sum := f.NewValue(ir.OpAdd, k, k)
+		b.Append(sum)
+		st := f.NewValue(ir.OpStore, al, sum)
+		st.Size = 4
+		b.Append(st)
+		ld := f.NewValue(ir.OpLoad, al)
+		ld.Size = 4
+		b.Append(ld)
+		b.Append(f.NewValue(ir.OpRet, ld))
+	}
+	if n := opt.FoldModule(m); n == 0 {
+		t.Error("FoldModule folded nothing")
+	}
+	opt.Mem2RegModule(m)
+	for _, f := range m.Funcs {
+		r := retVal(f)
+		if r.Op == ir.OpLoad {
+			t.Errorf("%s: load not promoted by Mem2RegModule", f.Name)
+		}
+	}
+	opt.SimplifyCFGModule(m)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("after wrappers: %v", err)
+	}
+}
+
+// A branch on a constant condition folds to a jump and the dead arm is
+// removed; straight-line chains merge.
+func TestSimplifyCFGConstBranchChain(t *testing.T) {
+	m := ir.NewModule("cfg")
+	f := m.NewFunc("f", 0x1000)
+	f.NumRet = 1
+	entry := f.NewBlock(0)
+	mid := f.NewBlock(0)
+	dead := f.NewBlock(0)
+	tail := f.NewBlock(0)
+
+	one := f.NewValue(ir.OpConst)
+	one.Const = 1
+	entry.Append(one)
+	br := f.NewValue(ir.OpBr, one)
+	entry.Append(br)
+	entry.Succs = []*ir.Block{mid, dead}
+	mid.Preds = []*ir.Block{entry}
+	dead.Preds = []*ir.Block{entry}
+
+	mid.Append(f.NewValue(ir.OpJmp))
+	mid.Succs = []*ir.Block{tail}
+	tail.Preds = []*ir.Block{mid}
+
+	k := f.NewValue(ir.OpConst)
+	k.Const = 9
+	dead.Append(k)
+	dead.Append(f.NewValue(ir.OpRet, k))
+
+	r := f.NewValue(ir.OpConst)
+	r.Const = 7
+	tail.Append(r)
+	tail.Append(f.NewValue(ir.OpRet, r))
+
+	opt.SimplifyCFG(f)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("after SimplifyCFG: %v", err)
+	}
+	if len(f.Blocks) != 1 {
+		t.Errorf("blocks after simplify = %d, want 1 (const-br fold + chain merge)", len(f.Blocks))
+	}
+	if rv := retVal(f); rv.Op != ir.OpConst || rv.Const != 7 {
+		t.Errorf("live return = %s/%d, want const 7", rv.Op, rv.Const)
+	}
+}

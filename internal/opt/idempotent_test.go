@@ -1,0 +1,83 @@
+package opt_test
+
+import (
+	"testing"
+
+	"wytiwyg/internal/core"
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/irexec"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/minicc/gen"
+	"wytiwyg/internal/opt"
+)
+
+// The optimization pipeline must be idempotent: a second run over already
+// optimized IR reaches a fixed point (identical printed module) and
+// preserves behaviour. Catches passes that keep "improving" (oscillating)
+// or that miscompile already-canonical IR.
+func TestPipelineIdempotent(t *testing.T) {
+	srcs := []struct {
+		name string
+		src  string
+		exit int32
+	}{
+		{"loops", `
+int main() {
+	int a[8]; int i, s = 0;
+	for (i = 0; i < 8; i++) a[i] = i * i;
+	for (i = 0; i < 8; i++) s += a[i];
+	return s; /* 140 */
+}`, 140},
+		{"calls", `
+int gcd(int a, int b) { while (b != 0) { int t = a % b; a = b; b = t; } return a; }
+int main() { return gcd(360, 225); /* 45 */ }`, 45},
+		{"branches", `
+int classify(int x) {
+	if (x < 0) return 0;
+	if (x < 10) return 1;
+	if (x < 100) return 2;
+	return 3;
+}
+int main() { return classify(-5) + classify(5)*10 + classify(50)*100 + classify(500)*113; }`, 549},
+	}
+	for _, tc := range srcs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for _, prof := range []gen.Profile{gen.GCC12O3, gen.GCC12O0} {
+				img, err := gen.Build(tc.src, prof, tc.name)
+				if err != nil {
+					t.Fatalf("%s: %v", prof.Name, err)
+				}
+				p, err := core.LiftBinary(img, nil)
+				if err != nil {
+					t.Fatalf("%s: lift: %v", prof.Name, err)
+				}
+				if err := p.Refine(); err != nil {
+					t.Fatalf("%s: refine: %v", prof.Name, err)
+				}
+				opt.Pipeline(p.Mod)
+				if err := ir.Verify(p.Mod); err != nil {
+					t.Fatalf("%s: verify after pipeline: %v", prof.Name, err)
+				}
+				first := p.Mod.String()
+				r1, err := irexec.Run(p.Mod, machine.Input{}, nil, nil)
+				if err != nil || r1.ExitCode != tc.exit {
+					t.Fatalf("%s: after 1st pipeline: exit %d err %v", prof.Name, r1.ExitCode, err)
+				}
+				opt.Pipeline(p.Mod)
+				if err := ir.Verify(p.Mod); err != nil {
+					t.Fatalf("%s: verify after 2nd pipeline: %v", prof.Name, err)
+				}
+				second := p.Mod.String()
+				if first != second {
+					t.Errorf("%s: pipeline not idempotent:\n--- first ---\n%s\n--- second ---\n%s",
+						prof.Name, first, second)
+				}
+				r2, err := irexec.Run(p.Mod, machine.Input{}, nil, nil)
+				if err != nil || r2.ExitCode != tc.exit {
+					t.Fatalf("%s: after 2nd pipeline: exit %d err %v", prof.Name, r2.ExitCode, err)
+				}
+			}
+		})
+	}
+}

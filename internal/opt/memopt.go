@@ -1,0 +1,421 @@
+package opt
+
+import (
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/layout"
+)
+
+// Memory optimization: store-to-load forwarding, redundant-load elimination
+// and dead-store elimination with the alias information symbolization
+// unlocks. The rules are exactly the paper's motivation (§2.1): distinct
+// stack objects (allocas) cannot alias each other, and an alloca whose
+// address never escapes cannot alias an unknown pointer — facts that are
+// unprovable while the stack is one opaque byte array.
+
+// memLoc describes an address expression for aliasing purposes.
+type memLoc struct {
+	// base is the alloca anchoring the address, nil for unknown/global.
+	base *ir.Value
+	// off is the constant offset from base (or the absolute constant for
+	// base == nil with known == true).
+	off   int32
+	known bool
+}
+
+// resolveLoc classifies an address value.
+func resolveLoc(addr *ir.Value) memLoc {
+	switch addr.Op {
+	case ir.OpAlloca:
+		return memLoc{base: addr, off: 0, known: true}
+	case ir.OpConst:
+		return memLoc{base: nil, off: addr.Const, known: true}
+	case ir.OpAdd:
+		if k, ok := cval(addr.Args[1]); ok {
+			inner := resolveLoc(addr.Args[0])
+			if inner.known {
+				return memLoc{base: inner.base, off: inner.off + k, known: true}
+			}
+		}
+		if k, ok := cval(addr.Args[0]); ok {
+			inner := resolveLoc(addr.Args[1])
+			if inner.known {
+				return memLoc{base: inner.base, off: inner.off + k, known: true}
+			}
+		}
+	case ir.OpSub:
+		if k, ok := cval(addr.Args[1]); ok {
+			inner := resolveLoc(addr.Args[0])
+			if inner.known {
+				return memLoc{base: inner.base, off: inner.off - k, known: true}
+			}
+		}
+	}
+	// Derived dynamically: remember the anchoring alloca when there is one
+	// (unknown offset within a known object).
+	if a := allocaRoot(addr); a != nil {
+		return memLoc{base: a, known: false}
+	}
+	return memLoc{}
+}
+
+// allocaRoot walks add/sub chains to the anchoring alloca, if any.
+func allocaRoot(v *ir.Value) *ir.Value {
+	for i := 0; i < 32; i++ {
+		switch v.Op {
+		case ir.OpAlloca:
+			return v
+		case ir.OpAdd, ir.OpSub:
+			// Follow the pointer-ish side.
+			if a := quickRoot(v.Args[0]); a != nil {
+				v = v.Args[0]
+				continue
+			}
+			if v.Op == ir.OpAdd {
+				if a := quickRoot(v.Args[1]); a != nil {
+					v = v.Args[1]
+					continue
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func quickRoot(v *ir.Value) *ir.Value {
+	switch v.Op {
+	case ir.OpAlloca:
+		return v
+	case ir.OpAdd, ir.OpSub:
+		return v // keep walking
+	}
+	return nil
+}
+
+// overlap reports whether two located accesses may touch common bytes.
+func overlap(a memLoc, asz uint8, b memLoc, bsz uint8) bool {
+	if a.base != b.base {
+		// Distinct allocas never alias; alloca vs non-alloca handled by
+		// the caller via escape analysis.
+		if a.base != nil && b.base != nil {
+			return false
+		}
+		return true // conservatively (one side unknown/global)
+	}
+	if !a.known || !b.known {
+		return true // same object, unknown offsets
+	}
+	return a.off < b.off+int32(bsz) && b.off < a.off+int32(asz)
+}
+
+// escapes computes the set of allocas whose address leaves load/store
+// address position (so unknown pointers or callees may touch them).
+func escapes(f *ir.Func) map[*ir.Value]bool {
+	esc := make(map[*ir.Value]bool)
+	// addrOnly marks values that are "addresses derived from an alloca";
+	// if such a value is used anywhere but as a load/store address or in
+	// further address arithmetic, the alloca escapes.
+	uses := BuildUses(f)
+	var markEscape func(a *ir.Value)
+	markEscape = func(a *ir.Value) { esc[a] = true }
+
+	var addrValues []*ir.Value
+	roots := make(map[*ir.Value]*ir.Value) // derived value -> alloca
+	for _, b := range f.Blocks {
+		for _, v := range b.Insts {
+			if v.Op == ir.OpAlloca {
+				addrValues = append(addrValues, v)
+				roots[v] = v
+			}
+		}
+	}
+	// Propagate through arithmetic.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			for _, v := range b.Insts {
+				if roots[v] != nil {
+					continue
+				}
+				if v.Op == ir.OpAdd || v.Op == ir.OpSub {
+					if r := roots[v.Args[0]]; r != nil {
+						roots[v] = r
+						addrValues = append(addrValues, v)
+						changed = true
+					} else if v.Op == ir.OpAdd && roots[v.Args[1]] != nil {
+						roots[v] = roots[v.Args[1]]
+						addrValues = append(addrValues, v)
+						changed = true
+					}
+				}
+			}
+			for _, v := range b.Phis {
+				if roots[v] != nil {
+					continue
+				}
+				for _, a := range v.Args {
+					if r := roots[a]; r != nil {
+						roots[v] = r
+						addrValues = append(addrValues, v)
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	for _, v := range addrValues {
+		root := roots[v]
+		for _, u := range uses[v] {
+			switch u.Op {
+			case ir.OpLoad:
+				// Address use: fine.
+			case ir.OpStore:
+				if u.Args[0] != v {
+					markEscape(root) // the address itself is stored
+				}
+			case ir.OpAdd, ir.OpSub:
+				// Further address arithmetic: covered by propagation.
+			case ir.OpPhi:
+				// Covered by propagation.
+			case ir.OpCmp:
+				// Comparing addresses does not escape them.
+			default:
+				markEscape(root)
+			}
+		}
+	}
+	return esc
+}
+
+// MemOpt performs block-local store-to-load forwarding, redundant load
+// elimination and dead store elimination. Returns the number of removed or
+// forwarded operations.
+func MemOpt(f *ir.Func) int {
+	esc := escapes(f)
+	n := 0
+	type av struct {
+		loc  memLoc
+		size uint8
+		val  *ir.Value // last stored/loaded value (for forwarding)
+		st   *ir.Value // the store (for DSE), nil if from a load
+		live bool      // store observed by a later load
+	}
+	for _, b := range f.Blocks {
+		var avail []*av
+		invalidate := func(loc memLoc, size uint8) {
+			out := avail[:0]
+			for _, e := range avail {
+				kill := false
+				switch {
+				case loc.base != nil && e.loc.base != nil:
+					kill = overlap(loc, size, e.loc, e.size)
+				case loc.base == nil && e.loc.base == nil:
+					kill = !loc.known || !e.loc.known || overlap(loc, size, e.loc, e.size)
+				case loc.base == nil && e.loc.base != nil:
+					kill = esc[e.loc.base] // unknown pointer may hit escaped allocas
+				case loc.base != nil && e.loc.base == nil:
+					kill = true
+				}
+				if !kill {
+					out = append(out, e)
+				}
+			}
+			avail = out
+		}
+		clobberCalls := func() {
+			out := avail[:0]
+			for _, e := range avail {
+				if e.loc.base != nil && !esc[e.loc.base] {
+					out = append(out, e)
+					continue
+				}
+			}
+			avail = out
+		}
+		var deadStores []*ir.Value
+		for _, v := range b.Insts {
+			switch v.Op {
+			case ir.OpLoad:
+				loc := resolveLoc(v.Args[0])
+				if loc.known || loc.base != nil {
+					hit := false
+					for _, e := range avail {
+						if e.loc == loc && e.size == v.Size && e.loc.known {
+							// Forward: stored value has full width for
+							// 4-byte slots; sub-word loads keep the load
+							// (extension semantics).
+							if v.Size == 4 {
+								ReplaceUses(f, v, e.val)
+								e.live = true
+								hit = true
+								n++
+							}
+							break
+						}
+					}
+					if hit {
+						continue
+					}
+					// Loads observe stores.
+					for _, e := range avail {
+						if e.st != nil && overlap(loc, v.Size, e.loc, e.size) {
+							e.live = true
+						}
+					}
+					if loc.base == nil && !loc.known {
+						// Unknown load: anything escaped may be read.
+						for _, e := range avail {
+							if e.st != nil && (e.loc.base == nil || esc[e.loc.base]) {
+								e.live = true
+							}
+						}
+					}
+					avail = append(avail, &av{loc: loc, size: v.Size, val: v})
+				} else {
+					// Fully unknown address: all stores may be observed.
+					for _, e := range avail {
+						if e.st != nil {
+							e.live = true
+						}
+					}
+				}
+			case ir.OpStore:
+				loc := resolveLoc(v.Args[0])
+				// A previous un-observed store to the exact location dies.
+				if loc.known {
+					for _, e := range avail {
+						if e.st != nil && !e.live && e.loc == loc && e.size == v.Size {
+							deadStores = append(deadStores, e.st)
+							n++
+						}
+					}
+				}
+				invalidate(loc, v.Size)
+				if loc.known || loc.base != nil {
+					avail = append(avail, &av{loc: loc, size: v.Size, val: v.Args[1], st: v})
+				} else {
+					// Unknown store: clobber everything that may alias.
+					out := avail[:0]
+					for _, e := range avail {
+						if e.loc.base != nil && !esc[e.loc.base] {
+							out = append(out, e)
+						}
+					}
+					avail = out
+				}
+			case ir.OpCall, ir.OpCallInd, ir.OpCallExt, ir.OpCallExtRaw:
+				// Callees may read escaped locations: stores to them stay
+				// live; entries for them invalidate.
+				for _, e := range avail {
+					if e.st != nil && (e.loc.base == nil || esc[e.loc.base]) {
+						e.live = true
+					}
+				}
+				clobberCalls()
+			}
+		}
+		if len(deadStores) > 0 {
+			dead := make(map[*ir.Value]bool, len(deadStores))
+			for _, s := range deadStores {
+				dead[s] = true
+			}
+			insts := b.Insts[:0]
+			for _, v := range b.Insts {
+				if !dead[v] {
+					insts = append(insts, v)
+				}
+			}
+			b.Insts = insts
+		}
+	}
+	return n
+}
+
+// CSE performs block-local common-subexpression elimination over pure ops.
+func CSE(f *ir.Func) int {
+	n := 0
+	type key struct {
+		op     ir.Op
+		a, b   *ir.Value
+		c      int32
+		cond   uint8
+		size   uint8
+		signed bool
+	}
+	for _, blk := range f.Blocks {
+		seen := map[key]*ir.Value{}
+		for _, v := range blk.Insts {
+			var k key
+			switch {
+			case v.Op.IsBinALU() || v.Op == ir.OpCmp || v.Op == ir.OpSubreg8:
+				k = key{op: v.Op, a: v.Args[0], b: v.Args[1], cond: uint8(v.Cond)}
+			case v.Op == ir.OpConst:
+				k = key{op: v.Op, c: v.Const}
+			case v.Op == ir.OpNeg || v.Op == ir.OpNot:
+				k = key{op: v.Op, a: v.Args[0]}
+			case v.Op == ir.OpSext || v.Op == ir.OpZext:
+				k = key{op: v.Op, a: v.Args[0], size: v.Size}
+			default:
+				continue
+			}
+			if prev, ok := seen[k]; ok {
+				ReplaceUses(f, v, prev)
+				n++
+				continue
+			}
+			seen[k] = v
+		}
+	}
+	if n > 0 {
+		DCE(f)
+	}
+	return n
+}
+
+// PipelineOpts disables individual passes (for the ablation experiments).
+type PipelineOpts struct {
+	NoMem2Reg bool
+	NoMemOpt  bool
+	NoLICM    bool
+}
+
+// Pipeline runs the full optimizer to a fixpoint (bounded), mirroring the
+// paper's use of the stock LLVM pass pipeline on refined IR.
+func Pipeline(m *ir.Module) { PipelineWith(m, PipelineOpts{}) }
+
+// PipelineWith runs the optimizer with selected passes disabled and returns
+// the stack objects mem2reg promoted to SSA registers (still "recovered"
+// variables for accuracy accounting, just no longer memory-resident).
+func PipelineWith(m *ir.Module, o PipelineOpts) *layout.Program {
+	promoted := layout.NewProgram()
+	for round := 0; round < 8; round++ {
+		changed := 0
+		if !o.NoMem2Reg {
+			for _, f := range m.Funcs {
+				changed += Mem2RegLog(f, promoted)
+			}
+		}
+		changed += FoldModule(m)
+		if !o.NoLICM {
+			changed += LICMModule(m)
+		}
+		for _, f := range m.Funcs {
+			changed += CSE(f)
+			if !o.NoMemOpt {
+				changed += MemOpt(f)
+			}
+			if SimplifyCFG(f) {
+				changed++
+			}
+			changed += DCE(f)
+			RemoveDeadAllocas(f)
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return promoted
+}

@@ -1,0 +1,294 @@
+package opt_test
+
+import (
+	"bytes"
+	"testing"
+
+	"wytiwyg/internal/core"
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/irexec"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/minicc/gen"
+	"wytiwyg/internal/opt"
+)
+
+// buildSym builds, lifts, and fully refines a program.
+func buildSym(t *testing.T, src string, prof gen.Profile, inputs []machine.Input) *core.Pipeline {
+	t.Helper()
+	img, err := gen.Build(src, prof, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.LiftBinary(img, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Refine(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func countOps(m *ir.Module) (values int, memOps int, allocas int) {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			values += len(b.Phis) + len(b.Insts)
+			for _, v := range b.Insts {
+				switch v.Op {
+				case ir.OpLoad, ir.OpStore:
+					memOps++
+				case ir.OpAlloca:
+					allocas++
+				}
+			}
+		}
+	}
+	return
+}
+
+func checkBehaviour(t *testing.T, p *core.Pipeline, label string) {
+	t.Helper()
+	for i, input := range p.Inputs {
+		var nat, lift bytes.Buffer
+		n, err := machine.Execute(p.Img, input, &nat)
+		if err != nil {
+			t.Fatalf("%s input %d native: %v", label, i, err)
+		}
+		r, err := irexec.Run(p.Mod, input, &lift, nil)
+		if err != nil {
+			t.Fatalf("%s input %d optimized: %v", label, i, err)
+		}
+		if r.ExitCode != n.ExitCode || lift.String() != nat.String() {
+			t.Errorf("%s input %d: exit %d/%d out %q/%q",
+				label, i, r.ExitCode, n.ExitCode, lift.String(), nat.String())
+		}
+	}
+}
+
+var optPrograms = []struct {
+	name   string
+	src    string
+	inputs []machine.Input
+}{
+	{"scalars", `
+int main() {
+	int a = 1, b = 2, c;
+	int *p = &a;
+	c = *p + b;
+	return c;
+}`, nil},
+	{"loops", `
+extern int input_int(int i);
+int main() {
+	int n = input_int(0), s = 0, i;
+	int acc[4];
+	acc[0] = 0; acc[1] = 0; acc[2] = 0; acc[3] = 0;
+	for (i = 0; i < n; i++) acc[i % 4] += i;
+	for (i = 0; i < 4; i++) s += acc[i];
+	return s;
+}`, []machine.Input{{Ints: []int32{25}}, {Ints: []int32{7}}}},
+	{"calls", `
+int square(int x) { return x * x; }
+int cube(int x) { return x * square(x); }
+int main() { return cube(5) + square(3); }`, nil},
+	{"figure2", `
+struct p { int x; int y; };
+int f3(int n) { return n / 12; }
+struct p *f2(struct p *a, struct p *b) { return a; }
+int f1() {
+	struct p *ptr; struct p a; struct p b[3];
+	a.x = 3; a.y = 4;
+	ptr = f2(&a, b);
+	b[f3(sizeof(b))] = a;
+	ptr->y = b[1].x;
+	return ptr->y * 100 + b[2].x * 10 + b[2].y;
+}
+int main() { return f1(); }`, nil},
+	{"strings", `
+extern int printf(char *fmt, ...);
+extern int strlen(char *s);
+extern int sprintf(char *dst, char *fmt, ...);
+int main() {
+	char buf[32];
+	sprintf(buf, "x=%d", 42);
+	printf("%s\n", buf);
+	return strlen(buf);
+}`, nil},
+	{"recursion", `
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { return fib(13); }`, nil},
+	{"fnptr", `
+int twice(int x) { return 2 * x; }
+int thrice(int x) { return 3 * x; }
+int apply(fnptr f, int v) { return f(v); }
+int main() { return apply(&twice, 21) + apply(&thrice, 4); }`, nil},
+	{"endptr", `
+int main() {
+	int a[16];
+	int i, s = 0;
+	for (i = 0; i < 16; i++) { a[i] = 7; }
+	for (i = 0; i < 16; i++) { s += a[i]; }
+	return s;
+}`, nil},
+}
+
+// The optimizer must preserve behaviour and reduce the instruction count on
+// every symbolized program.
+func TestPipelinePreservesBehaviour(t *testing.T) {
+	for _, prog := range optPrograms {
+		for _, prof := range gen.Profiles {
+			label := prog.name + "/" + prof.Name
+			p := buildSym(t, prog.src, prof, prog.inputs)
+			before, memBefore, _ := countOps(p.Mod)
+			opt.Pipeline(p.Mod)
+			if err := ir.Verify(p.Mod); err != nil {
+				t.Fatalf("%s: verify after opt: %v", label, err)
+			}
+			after, memAfter, _ := countOps(p.Mod)
+			checkBehaviour(t, p, label)
+			if after > before {
+				t.Errorf("%s: optimizer grew the module: %d -> %d", label, before, after)
+			}
+			if memAfter > memBefore {
+				t.Errorf("%s: memory ops grew: %d -> %d", label, memBefore, memAfter)
+			}
+		}
+	}
+}
+
+// mem2reg must fire on symbolized scalar-heavy code: the whole point of the
+// paper is that partitioned stacks let scalars leave memory.
+func TestMem2RegPromotes(t *testing.T) {
+	p := buildSym(t, `
+int main() {
+	int a = 1, b = 2, c = 3, d = 4;
+	int *q = &a;
+	return *q + b + c + d;
+}`, gen.GCC12O0, nil)
+	_, memBefore, allocasBefore := countOps(p.Mod)
+	opt.Pipeline(p.Mod)
+	_, memAfter, allocasAfter := countOps(p.Mod)
+	if allocasAfter >= allocasBefore {
+		t.Errorf("allocas %d -> %d: no promotion", allocasBefore, allocasAfter)
+	}
+	if memAfter >= memBefore {
+		t.Errorf("memory ops %d -> %d: no forwarding/promotion", memBefore, memAfter)
+	}
+	checkBehaviour(t, p, "mem2reg")
+}
+
+// Without symbolization the optimizer must NOT be able to shrink stack
+// traffic: the emulated stack is opaque. This is the causal claim of the
+// paper, testable directly.
+func TestSymbolizationUnlocksOptimization(t *testing.T) {
+	src := `
+int work(int n) {
+	int a = n, b = n + 1, c = n + 2, d = n + 3;
+	int i, s = 0;
+	for (i = 0; i < 50; i++) s += a + b + c + d;
+	return s;
+}
+int main() { return work(3) % 251; }`
+	img, err := gen.Build(src, gen.GCC12O0, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unsymbolized path.
+	p1, err := core.LiftBinary(img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Pipeline(p1.Mod)
+	if err := ir.Verify(p1.Mod); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := irexec.Run(p1.Mod, machine.Input{}, nil, nil)
+	if err != nil {
+		t.Fatalf("unsymbolized optimized run: %v", err)
+	}
+	// Symbolized path.
+	p2, err := core.LiftBinary(img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Refine(); err != nil {
+		t.Fatal(err)
+	}
+	opt.Pipeline(p2.Mod)
+	r2, err := irexec.Run(p2.Mod, machine.Input{}, nil, nil)
+	if err != nil {
+		t.Fatalf("symbolized optimized run: %v", err)
+	}
+	if r1.ExitCode != r2.ExitCode {
+		t.Fatalf("exit codes diverge: %d vs %d", r1.ExitCode, r2.ExitCode)
+	}
+	// The symbolized module must execute far fewer interpreter steps.
+	if r2.Steps >= r1.Steps {
+		t.Errorf("symbolized (%d steps) not better than unsymbolized (%d steps)",
+			r2.Steps, r1.Steps)
+	}
+}
+
+func TestConstantFoldUnits(t *testing.T) {
+	// Build a tiny function by hand: (3 + 4) * 2 - 14 == 0 -> br folds.
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", 0x1000)
+	f.NumRet = 1
+	b0 := f.NewBlock(0)
+	b1 := f.NewBlock(0)
+	b2 := f.NewBlock(0)
+	c3 := f.NewValue(ir.OpConst)
+	c3.Const = 3
+	c4 := f.NewValue(ir.OpConst)
+	c4.Const = 4
+	add := f.NewValue(ir.OpAdd, c3, c4)
+	c2 := f.NewValue(ir.OpConst)
+	c2.Const = 2
+	mul := f.NewValue(ir.OpMul, add, c2)
+	c14 := f.NewValue(ir.OpConst)
+	c14.Const = 14
+	sub := f.NewValue(ir.OpSub, mul, c14)
+	br := f.NewValue(ir.OpBr, sub)
+	for _, v := range []*ir.Value{c3, c4, add, c2, mul, c14, sub, br} {
+		b0.Append(v)
+	}
+	b0.Succs = []*ir.Block{b1, b2}
+	b1.Preds = []*ir.Block{b0}
+	b2.Preds = []*ir.Block{b0}
+	one := f.NewValue(ir.OpConst)
+	one.Const = 1
+	r1 := f.NewValue(ir.OpRet, one)
+	b1.Append(one)
+	b1.Append(r1)
+	zero := f.NewValue(ir.OpConst)
+	zero.Const = 0
+	r2 := f.NewValue(ir.OpRet, zero)
+	b2.Append(zero)
+	b2.Append(r2)
+	m.Entry = f
+
+	opt.FoldConstants(f)
+	opt.SimplifyCFG(f)
+	opt.DCE(f)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	// sub folds to 0, branch goes false -> b2, b1 unreachable.
+	if len(f.Blocks) != 1 {
+		t.Errorf("blocks after simplify = %d, want 1 (merged)", len(f.Blocks))
+	}
+	term := f.Entry().Term()
+	if term.Op != ir.OpRet {
+		t.Fatalf("terminator = %v", term.Op)
+	}
+	if c, ok := constVal(term.Args[0]); !ok || c != 0 {
+		t.Errorf("returned %v, want const 0", term.Args[0])
+	}
+}
+
+func constVal(v *ir.Value) (int32, bool) {
+	if v.Op == ir.OpConst {
+		return v.Const, true
+	}
+	return 0, false
+}

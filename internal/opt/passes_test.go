@@ -1,0 +1,276 @@
+package opt_test
+
+import (
+	"testing"
+
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/opt"
+)
+
+// mkFunc builds a function with one entry block and returns both.
+func mkFunc(name string) (*ir.Module, *ir.Func, *ir.Block) {
+	m := ir.NewModule("t")
+	f := m.NewFunc(name, 0x1000)
+	f.NumRet = 1
+	b := f.NewBlock(0)
+	m.Entry = f
+	return m, f, b
+}
+
+func konst(f *ir.Func, b *ir.Block, c int32) *ir.Value {
+	k := f.NewValue(ir.OpConst)
+	k.Const = c
+	b.Append(k)
+	return k
+}
+
+func TestLICMHoistsInvariant(t *testing.T) {
+	// entry -> header <-> body, header -> exit; body computes p+1 (invariant).
+	m, f, entry := mkFunc("f")
+	p := f.NewParam(isa.EAX, "p")
+	header := f.NewBlock(0)
+	body := f.NewBlock(0)
+	exit := f.NewBlock(0)
+
+	entry.Succs = []*ir.Block{header}
+	header.Preds = []*ir.Block{entry, body}
+	header.Succs = []*ir.Block{body, exit}
+	body.Preds = []*ir.Block{header}
+	body.Succs = []*ir.Block{header}
+	exit.Preds = []*ir.Block{header}
+
+	entry.Append(f.NewValue(ir.OpJmp))
+
+	// header: i = phi(0, i2); cmp i < 10
+	zero := konst(f, header, 0)
+	iphi := f.NewValue(ir.OpPhi, zero, nil)
+	header.AddPhi(iphi)
+	ten := konst(f, header, 10)
+	cond := f.NewValue(ir.OpCmp, iphi, ten)
+	cond.Cond = isa.CondLT
+	header.Append(cond)
+	header.Append(f.NewValue(ir.OpBr, cond))
+
+	// body: inv = p + 1 (invariant); i2 = i + inv
+	one := konst(f, body, 1)
+	inv := f.NewValue(ir.OpAdd, p, one)
+	body.Append(inv)
+	i2 := f.NewValue(ir.OpAdd, iphi, inv)
+	body.Append(i2)
+	iphi.Args[1] = i2
+	body.Append(f.NewValue(ir.OpJmp))
+
+	exit.Append(f.NewValue(ir.OpRet, iphi))
+
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	moved := opt.LICM(f)
+	if moved == 0 {
+		t.Fatal("LICM hoisted nothing")
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	// inv must now live in the entry (preheader) block.
+	found := false
+	for _, v := range entry.Insts {
+		if v == inv {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("invariant add not hoisted into the preheader")
+	}
+	// i2 depends on the phi: must stay in the loop.
+	for _, v := range entry.Insts {
+		if v == i2 {
+			t.Error("loop-variant value hoisted")
+		}
+	}
+}
+
+func TestCSEDedupes(t *testing.T) {
+	m, f, b := mkFunc("f")
+	p := f.NewParam(isa.EAX, "p")
+	one := konst(f, b, 1)
+	a1 := f.NewValue(ir.OpAdd, p, one)
+	b.Append(a1)
+	a2 := f.NewValue(ir.OpAdd, p, one) // duplicate
+	b.Append(a2)
+	sum := f.NewValue(ir.OpAdd, a1, a2)
+	b.Append(sum)
+	b.Append(f.NewValue(ir.OpRet, sum))
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if n := opt.CSE(f); n == 0 {
+		t.Fatal("CSE found nothing")
+	}
+	// sum's operands must both be a1 now.
+	if sum.Args[0] != a1 || sum.Args[1] != a1 {
+		t.Errorf("duplicate not rewired: %v %v", sum.Args[0], sum.Args[1])
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemOptForwardsAndKillsDeadStores(t *testing.T) {
+	m, f, b := mkFunc("f")
+	a := f.NewValue(ir.OpAlloca)
+	a.AllocSize = 8
+	a.Align = 4
+	b.Append(a)
+	k1 := konst(f, b, 11)
+	st1 := f.NewValue(ir.OpStore, a, k1)
+	st1.Size = 4
+	b.Append(st1)
+	// Load forwards from st1.
+	ld := f.NewValue(ir.OpLoad, a)
+	ld.Size = 4
+	b.Append(ld)
+	// Overwrite without an intervening observer: st1 was observed by ld,
+	// st2 is observed by the ret-load below, st3 kills st2... build:
+	k2 := konst(f, b, 22)
+	st2 := f.NewValue(ir.OpStore, a, k2)
+	st2.Size = 4
+	b.Append(st2)
+	k3 := konst(f, b, 33)
+	st3 := f.NewValue(ir.OpStore, a, k3) // st2 is dead
+	st3.Size = 4
+	b.Append(st3)
+	ld2 := f.NewValue(ir.OpLoad, a)
+	ld2.Size = 4
+	b.Append(ld2)
+	sum := f.NewValue(ir.OpAdd, ld, ld2)
+	b.Append(sum)
+	b.Append(f.NewValue(ir.OpRet, sum))
+
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	n := opt.MemOpt(f)
+	if n == 0 {
+		t.Fatal("MemOpt did nothing")
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	// Both loads must have been forwarded.
+	if sum.Args[0] != k1 {
+		t.Errorf("first load not forwarded: %v(%s)", sum.Args[0], sum.Args[0].Op)
+	}
+	if sum.Args[1] != k3 {
+		t.Errorf("second load not forwarded: %v(%s)", sum.Args[1], sum.Args[1].Op)
+	}
+	// st2 must be gone.
+	for _, v := range b.Insts {
+		if v == st2 {
+			t.Error("dead store survived")
+		}
+	}
+}
+
+func TestMemOptRespectsEscapes(t *testing.T) {
+	// A stored-to alloca whose address escapes through a call cannot have
+	// its store forwarded across the call.
+	m, f, b := mkFunc("f")
+	a := f.NewValue(ir.OpAlloca)
+	a.AllocSize = 4
+	a.Align = 4
+	b.Append(a)
+	k := konst(f, b, 5)
+	st := f.NewValue(ir.OpStore, a, k)
+	st.Size = 4
+	b.Append(st)
+	// The address escapes to an external call, which may write through it.
+	call := f.NewValue(ir.OpCallExt, a)
+	call.Sym = "free" // any external taking a pointer
+	call.NumRet = 1
+	b.Append(call)
+	ld := f.NewValue(ir.OpLoad, a)
+	ld.Size = 4
+	b.Append(ld)
+	b.Append(f.NewValue(ir.OpRet, ld))
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	opt.MemOpt(f)
+	// The load must NOT have been forwarded to k.
+	term := b.Term()
+	if term.Args[0] == k {
+		t.Error("forwarded across an escaping call")
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCERemovesDeadChain(t *testing.T) {
+	m, f, b := mkFunc("f")
+	p := f.NewParam(isa.EAX, "p")
+	dead1 := f.NewValue(ir.OpAdd, p, p)
+	b.Append(dead1)
+	dead2 := f.NewValue(ir.OpMul, dead1, dead1)
+	b.Append(dead2)
+	b.Append(f.NewValue(ir.OpRet, p))
+	if n := opt.DCE(f); n != 2 {
+		t.Errorf("DCE removed %d, want 2", n)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveDeadAllocas(t *testing.T) {
+	m, f, b := mkFunc("f")
+	a := f.NewValue(ir.OpAlloca)
+	a.AllocSize = 4
+	b.Append(a)
+	p := f.NewParam(isa.EAX, "p")
+	b.Append(f.NewValue(ir.OpRet, p))
+	if opt.DCE(f) != 0 {
+		t.Error("DCE must keep allocas")
+	}
+	if n := opt.RemoveDeadAllocas(f); n != 1 {
+		t.Errorf("RemoveDeadAllocas = %d, want 1", n)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplifyCFGFoldsConstBranch(t *testing.T) {
+	m, f, b0 := mkFunc("f")
+	b1 := f.NewBlock(0)
+	b2 := f.NewBlock(0)
+	k := konst(f, b0, 1)
+	br := f.NewValue(ir.OpBr, k)
+	b0.Append(br)
+	b0.Succs = []*ir.Block{b1, b2}
+	b1.Preds = []*ir.Block{b0}
+	b2.Preds = []*ir.Block{b0}
+	r1 := konst(f, b1, 100)
+	b1.Append(f.NewValue(ir.OpRet, r1))
+	r2 := konst(f, b2, 200)
+	b2.Append(f.NewValue(ir.OpRet, r2))
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if !opt.SimplifyCFG(f) {
+		t.Fatal("SimplifyCFG did nothing")
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	// Everything collapses into one block returning 100.
+	if len(f.Blocks) != 1 {
+		t.Errorf("blocks = %d, want 1", len(f.Blocks))
+	}
+	term := f.Entry().Term()
+	if term.Op != ir.OpRet || term.Args[0].Const != 100 {
+		t.Errorf("final return = %v", term)
+	}
+}

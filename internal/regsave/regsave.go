@@ -1,0 +1,581 @@
+// Package regsave implements the paper's first refinement (§4.1): the
+// dynamic identification of saved registers. At every function entry each
+// virtual register is assigned a symbolic value; the analysis watches how
+// those symbols flow:
+//
+//   - a symbol that is only stored to the function's own frame, reloaded
+//     from there, and present in the register at return is a *saved*
+//     register;
+//   - a symbol consumed by any other operation (arithmetic, address
+//     computation, a store elsewhere) marks the register an *argument*;
+//   - a symbol passed straight through to a callee is *forwarded*; its
+//     classification is deferred to constraints ("if edx is an argument in
+//     f2, it is an argument in f1") resolved after tracing;
+//   - a register whose value at return no longer matches its symbol is
+//     neither (clobbered).
+//
+// Apply then rewrites the module: saved registers disappear from lifted
+// signatures, with callers keeping their pre-call SSA value (the paper's
+// preemptive save/restore, which in SSA form is just using the old value);
+// argument registers stay as parameters; return tuples shrink to the
+// registers callers actually consume.
+package regsave
+
+import (
+	"fmt"
+	"sort"
+
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/irexec"
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/opt"
+)
+
+// Class is a register's classification within one function.
+type Class uint8
+
+// Classification lattice (joins upward).
+const (
+	Saved Class = iota // preserved across the call; drop from the signature
+	Other              // clobbered: neither preserved nor read
+	Arg                // read by the function: a real argument
+)
+
+func (c Class) String() string {
+	switch c {
+	case Saved:
+		return "saved"
+	case Other:
+		return "clobbered"
+	case Arg:
+		return "argument"
+	}
+	return "?"
+}
+
+type fnReg struct {
+	f *ir.Func
+	r isa.Reg
+}
+
+// symbol tags a register's incoming value in one frame.
+type symbol struct {
+	fr  *irexec.Frame
+	fn  *ir.Func
+	reg isa.Reg
+}
+
+type shadowEntry struct {
+	fr  *irexec.Frame
+	sym *symbol
+}
+
+// fwdRecord remembers symbols forwarded through a call site so extracts can
+// inherit them.
+type fwdRecord struct {
+	syms [isa.NumRegs]*symbol
+}
+
+// Tracer is the instrumentation runtime of the first refinement.
+type Tracer struct {
+	arg      map[fnReg]bool
+	violated map[fnReg]bool
+	forwards map[fnReg]map[fnReg]bool
+	shadow   map[uint32]shadowEntry
+}
+
+// NewTracer returns an empty analysis.
+func NewTracer() *Tracer {
+	return &Tracer{
+		arg:      make(map[fnReg]bool),
+		violated: make(map[fnReg]bool),
+		forwards: make(map[fnReg]map[fnReg]bool),
+		shadow:   make(map[uint32]shadowEntry),
+	}
+}
+
+const frameLimit = 1 << 16
+
+func (t *Tracer) meta(fr *irexec.Frame, v *ir.Value) *symbol {
+	if fr.Meta == nil {
+		return nil
+	}
+	s, _ := fr.Meta[v].(*symbol)
+	return s
+}
+
+func (t *Tracer) setMeta(fr *irexec.Frame, v *ir.Value, s *symbol) {
+	if fr.Meta == nil {
+		fr.Meta = make(map[*ir.Value]any)
+	}
+	fr.Meta[v] = s
+}
+
+func (t *Tracer) markArg(s *symbol) {
+	t.arg[fnReg{s.fn, s.reg}] = true
+}
+
+func (t *Tracer) addForward(s *symbol, callee *ir.Func, r isa.Reg) {
+	k := fnReg{s.fn, s.reg}
+	m := t.forwards[k]
+	if m == nil {
+		m = make(map[fnReg]bool)
+		t.forwards[k] = m
+	}
+	m[fnReg{callee, r}] = true
+}
+
+// FnEnter assigns symbols to the incoming registers.
+func (t *Tracer) FnEnter(fr *irexec.Frame) {
+	for _, p := range fr.Fn.Params {
+		if p.RegHint == isa.ESP {
+			continue
+		}
+		t.setMeta(fr, p, &symbol{fr: fr, fn: fr.Fn, reg: p.RegHint})
+	}
+}
+
+// FnExit checks the second saved-register condition: the register holds its
+// own symbol at return.
+func (t *Tracer) FnExit(fr *irexec.Frame, ret *ir.Value, rets []uint32) {
+	for i, a := range ret.Args {
+		r := isa.Reg(i)
+		if r == isa.ESP {
+			continue
+		}
+		s := t.meta(fr, a)
+		if s == nil || s.fr != fr || s.reg != r {
+			t.violated[fnReg{fr.Fn, r}] = true
+		}
+	}
+}
+
+// CallPre implements irexec.Tracer (call handling happens in Exec).
+func (t *Tracer) CallPre(fr *irexec.Frame, call *ir.Value, args []uint32) {}
+
+// Phi propagates symbols through SSA joins.
+func (t *Tracer) Phi(fr *irexec.Frame, phi *ir.Value, incoming *ir.Value, val uint32) {
+	if s := t.meta(fr, incoming); s != nil {
+		t.setMeta(fr, phi, s)
+	}
+}
+
+func (t *Tracer) inOwnFrame(fr *irexec.Frame, addr uint32) bool {
+	return addr < fr.SP0 && fr.SP0-addr <= frameLimit
+}
+
+func (t *Tracer) invalidateShadow(addr uint32, size uint8) {
+	for a := addr - 3; a != addr+uint32(size); a++ {
+		delete(t.shadow, a)
+	}
+}
+
+// Exec observes one executed instruction.
+func (t *Tracer) Exec(fr *irexec.Frame, v *ir.Value, args []uint32, res uint32) {
+	switch v.Op {
+	case ir.OpStore:
+		if s := t.meta(fr, v.Args[0]); s != nil {
+			t.markArg(s) // symbol used as an address
+		}
+		addr := args[0]
+		t.invalidateShadow(addr, v.Size)
+		if s := t.meta(fr, v.Args[1]); s != nil {
+			if t.inOwnFrame(fr, addr) && v.Size == 4 {
+				t.shadow[addr] = shadowEntry{fr: fr, sym: s}
+			} else {
+				t.markArg(s) // written somewhere else
+			}
+		}
+	case ir.OpLoad:
+		if s := t.meta(fr, v.Args[0]); s != nil {
+			t.markArg(s)
+		}
+		if e, ok := t.shadow[args[0]]; ok && e.fr == fr && v.Size == 4 {
+			t.setMeta(fr, v, e.sym)
+		}
+	case ir.OpCall, ir.OpCallInd:
+		base := 0
+		var callees []*ir.Func
+		if v.Op == ir.OpCallInd {
+			base = 1
+			if s := t.meta(fr, v.Args[0]); s != nil {
+				t.markArg(s) // symbol used as a call target
+			}
+			callees = v.Targets
+		} else {
+			callees = []*ir.Func{v.Callee}
+		}
+		rec := &fwdRecord{}
+		for i := base; i < len(v.Args); i++ {
+			r := isa.Reg(i - base)
+			s := t.meta(fr, v.Args[i])
+			if s == nil || r == isa.ESP {
+				continue
+			}
+			for _, c := range callees {
+				t.addForward(s, c, r)
+			}
+			rec.syms[r] = s
+		}
+		t.setMeta(fr, v, nil) // ensure Meta map exists
+		fr.Meta[v] = rec
+	case ir.OpExtract:
+		call := v.Args[0]
+		if fr.Meta != nil {
+			if rec, ok := fr.Meta[call].(*fwdRecord); ok {
+				if v.Idx < len(rec.syms) {
+					if s := rec.syms[v.Idx]; s != nil {
+						t.setMeta(fr, v, s)
+					}
+				}
+			}
+		}
+	case ir.OpCallExt, ir.OpCallExtRaw:
+		for _, a := range v.Args {
+			if s := t.meta(fr, a); s != nil {
+				t.markArg(s)
+			}
+		}
+	case ir.OpPhi:
+		// Handled by the Phi hook.
+	default:
+		for _, a := range v.Args {
+			if s := t.meta(fr, a); s != nil {
+				t.markArg(s)
+			}
+		}
+	}
+}
+
+// Classes holds the per-function classification of every register.
+type Classes map[*ir.Func]*[isa.NumRegs]Class
+
+// Classify resolves the forwarded-register constraints and produces the
+// final classification for every function in the module. Indirect-call
+// target groups are unified so they share one signature.
+func (t *Tracer) Classify(mod *ir.Module) Classes {
+	out := make(Classes, len(mod.Funcs))
+	state := make(map[fnReg]Class)
+	for _, f := range mod.Funcs {
+		out[f] = new([isa.NumRegs]Class)
+		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+			k := fnReg{f, r}
+			switch {
+			case t.arg[k]:
+				state[k] = Arg
+			case t.violated[k]:
+				state[k] = Other
+			default:
+				state[k] = Saved
+			}
+		}
+	}
+	// Constraint propagation: a forwarder joins the class of each function
+	// it forwards to.
+	for changed := true; changed; {
+		changed = false
+		for k, tos := range t.forwards {
+			for to := range tos {
+				if state[to] > state[k] {
+					state[k] = state[to]
+					changed = true
+				}
+			}
+		}
+	}
+	// Unify indirect-call groups.
+	groups := indirectGroups(mod)
+	for _, g := range groups {
+		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+			var max Class
+			for _, f := range g {
+				if c := state[fnReg{f, r}]; c > max {
+					max = c
+				}
+			}
+			for _, f := range g {
+				state[fnReg{f, r}] = max
+			}
+		}
+	}
+	for _, f := range mod.Funcs {
+		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+			out[f][r] = state[fnReg{f, r}]
+		}
+	}
+	return out
+}
+
+// indirectGroups unions functions that appear together as targets of an
+// indirect call or tail-call dispatch.
+func indirectGroups(mod *ir.Module) [][]*ir.Func {
+	parent := make(map[*ir.Func]*ir.Func)
+	var find func(f *ir.Func) *ir.Func
+	find = func(f *ir.Func) *ir.Func {
+		if parent[f] == nil || parent[f] == f {
+			parent[f] = f
+			return f
+		}
+		root := find(parent[f])
+		parent[f] = root
+		return root
+	}
+	union := func(a, b *ir.Func) { parent[find(a)] = find(b) }
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			for _, v := range b.Insts {
+				if v.Op == ir.OpCallInd && len(v.Targets) > 0 {
+					for _, tgt := range v.Targets[1:] {
+						union(v.Targets[0], tgt)
+					}
+				}
+			}
+		}
+	}
+	byRoot := make(map[*ir.Func][]*ir.Func)
+	for f := range parent {
+		r := find(f)
+		byRoot[r] = append(byRoot[r], f)
+	}
+	var out [][]*ir.Func
+	for _, g := range byRoot {
+		if len(g) > 1 {
+			sort.Slice(g, func(i, j int) bool { return g[i].Name < g[j].Name })
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// ParamRegs returns the registers a function keeps as parameters under a
+// classification (ESP plus the argument registers), ascending.
+func ParamRegs(c *[isa.NumRegs]Class) []isa.Reg {
+	var out []isa.Reg
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if r == isa.ESP || c[r] == Arg {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Apply rewrites the module under the classification: shrink parameter
+// lists, replace saved-register extracts with the caller's pre-call values,
+// compute the demanded return registers, and shrink return tuples.
+func Apply(mod *ir.Module, classes Classes) error {
+	// 1. Caller side: extracts of saved registers use the pre-call value.
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			for _, v := range b.Insts {
+				if v.Op != ir.OpExtract {
+					continue
+				}
+				call := v.Args[0]
+				cls := calleeClasses(call, classes)
+				if cls == nil {
+					continue
+				}
+				r := isa.Reg(v.Idx)
+				if r != isa.ESP && cls[r] == Saved {
+					base := 0
+					if call.Op == ir.OpCallInd {
+						base = 1
+					}
+					opt.ReplaceUses(f, v, call.Args[base+v.Idx])
+				}
+			}
+		}
+	}
+	opt.DCEModule(mod)
+
+	// 2. Demand analysis for return registers.
+	rets := make(map[*ir.Func]map[isa.Reg]bool, len(mod.Funcs))
+	for _, f := range mod.Funcs {
+		rets[f] = map[isa.Reg]bool{isa.EAX: true, isa.ESP: true}
+	}
+	usesByFunc := make(map[*ir.Func]opt.Uses, len(mod.Funcs))
+	for _, f := range mod.Funcs {
+		usesByFunc[f] = opt.BuildUses(f)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range mod.Funcs {
+			uses := usesByFunc[f]
+			for _, b := range f.Blocks {
+				for _, v := range b.Insts {
+					if v.Op != ir.OpExtract {
+						continue
+					}
+					call := v.Args[0]
+					var targets []*ir.Func
+					switch call.Op {
+					case ir.OpCall:
+						targets = []*ir.Func{call.Callee}
+					case ir.OpCallInd:
+						targets = call.Targets
+					default:
+						continue
+					}
+					r := isa.Reg(v.Idx)
+					demanded := false
+					for _, u := range uses[v] {
+						if u.Op != ir.OpRet {
+							demanded = true
+							break
+						}
+						// Pass-through: demanded iff the forwarding
+						// function itself returns that register slot.
+						for j, a := range u.Args {
+							if a == v && rets[f][isa.Reg(j)] {
+								demanded = true
+							}
+						}
+						if demanded {
+							break
+						}
+					}
+					if !demanded {
+						continue
+					}
+					for _, tgt := range targets {
+						if !rets[tgt][r] {
+							rets[tgt][r] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// 3. Rewrite signatures, returns, calls and extracts.
+	newParamRegs := make(map[*ir.Func][]isa.Reg)
+	newRetRegs := make(map[*ir.Func][]isa.Reg)
+	for _, f := range mod.Funcs {
+		newParamRegs[f] = ParamRegs(classes[f])
+		var rr []isa.Reg
+		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+			if rets[f][r] {
+				rr = append(rr, r)
+			}
+		}
+		newRetRegs[f] = rr
+	}
+	for _, f := range mod.Funcs {
+		// Parameters.
+		keep := map[isa.Reg]bool{}
+		for _, r := range newParamRegs[f] {
+			keep[r] = true
+		}
+		var params []*ir.Value
+		entry := f.Entry()
+		var dropped []*ir.Value
+		for _, p := range f.Params {
+			if keep[p.RegHint] {
+				p.Idx = len(params)
+				params = append(params, p)
+			} else {
+				// The save/restore stores still reference the old value;
+				// it becomes an arbitrary constant (the register is dead
+				// from the caller's point of view).
+				p.Op = ir.OpConst
+				p.Const = 0
+				p.Block = entry
+				dropped = append(dropped, p)
+			}
+		}
+		f.Params = params
+		if len(dropped) > 0 {
+			entry.Insts = append(dropped, entry.Insts...)
+		}
+		// Returns.
+		retKeep := newRetRegs[f]
+		f.NumRet = len(retKeep)
+		f.RetRegs = retKeep
+		for _, b := range f.Blocks {
+			t := b.Term()
+			if t == nil || t.Op != ir.OpRet {
+				continue
+			}
+			var args []*ir.Value
+			for _, r := range retKeep {
+				args = append(args, t.Args[r])
+			}
+			t.Args = args
+		}
+	}
+	// Call sites.
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			for _, v := range b.Insts {
+				switch v.Op {
+				case ir.OpCall, ir.OpCallInd:
+					cls := calleeClasses(v, classes)
+					if cls == nil {
+						return fmt.Errorf("regsave: call %s without classification", v)
+					}
+					var callee *ir.Func
+					if v.Op == ir.OpCall {
+						callee = v.Callee
+					} else {
+						callee = v.Targets[0]
+					}
+					base := 0
+					var args []*ir.Value
+					if v.Op == ir.OpCallInd {
+						base = 1
+						args = append(args, v.Args[0])
+					}
+					for _, r := range newParamRegs[callee] {
+						args = append(args, v.Args[base+int(r)])
+					}
+					v.Args = args
+					v.NumRet = len(newRetRegs[callee])
+				case ir.OpExtract:
+					call := v.Args[0]
+					var callee *ir.Func
+					switch call.Op {
+					case ir.OpCall:
+						callee = call.Callee
+					case ir.OpCallInd:
+						callee = call.Targets[0]
+					default:
+						continue
+					}
+					// Map old register index to new tuple index.
+					r := isa.Reg(v.Idx)
+					idx := -1
+					for i, rr := range newRetRegs[callee] {
+						if rr == r {
+							idx = i
+							break
+						}
+					}
+					if idx < 0 {
+						// Must be unused (not demanded); make it inert.
+						v.Op = ir.OpConst
+						v.Const = 0
+						v.Args = nil
+					} else {
+						v.Idx = idx
+					}
+				}
+			}
+		}
+	}
+	opt.DCEModule(mod)
+	return ir.Verify(mod)
+}
+
+func calleeClasses(call *ir.Value, classes Classes) *[isa.NumRegs]Class {
+	switch call.Op {
+	case ir.OpCall:
+		return classes[call.Callee]
+	case ir.OpCallInd:
+		if len(call.Targets) == 0 {
+			return nil
+		}
+		return classes[call.Targets[0]]
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package sanitize implements a stack-bounds sanitizer over symbolized IR —
+// the downstream application the paper uses to motivate precise variable
+// recovery (§1: "Any transformations that affect the program's
+// memory-layout (e.g., AddressSanitizer) cannot be applied to local ...
+// variables" without symbolization; §7.2 suggests hardening recompiled
+// binaries this way). Every load/store whose address provably derives from
+// a recovered stack object gets a bounds check; violations exit with a
+// distinctive status instead of silently corrupting neighbouring objects.
+//
+// The pass is meaningless on unsymbolized modules: with the stack lifted as
+// one opaque byte array there are no object bounds to enforce — running it
+// there instruments nothing, which is exactly the paper's point.
+package sanitize
+
+import (
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/isa"
+)
+
+// ViolationExitCode is the status a sanitized binary exits with on an
+// out-of-bounds stack access.
+const ViolationExitCode = 253
+
+// Apply instruments every provably-stack-derived memory access in the
+// module. It returns the number of checks inserted.
+func Apply(mod *ir.Module) int {
+	n := 0
+	for _, f := range mod.Funcs {
+		n += instrumentFunc(f)
+	}
+	return n
+}
+
+// allocaBase walks add/sub-with-constant chains to the anchoring alloca.
+// Dynamic components (scaled indexes) are fine: the runtime check validates
+// the final address.
+func allocaBase(v *ir.Value) *ir.Value {
+	for depth := 0; depth < 32; depth++ {
+		switch v.Op {
+		case ir.OpAlloca:
+			return v
+		case ir.OpAdd:
+			// Follow whichever side can reach an alloca.
+			if reachesAlloca(v.Args[0], 8) {
+				v = v.Args[0]
+				continue
+			}
+			if reachesAlloca(v.Args[1], 8) {
+				v = v.Args[1]
+				continue
+			}
+			return nil
+		case ir.OpSub:
+			if reachesAlloca(v.Args[0], 8) {
+				v = v.Args[0]
+				continue
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func reachesAlloca(v *ir.Value, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	switch v.Op {
+	case ir.OpAlloca:
+		return true
+	case ir.OpAdd:
+		return reachesAlloca(v.Args[0], depth-1) || reachesAlloca(v.Args[1], depth-1)
+	case ir.OpSub:
+		return reachesAlloca(v.Args[0], depth-1)
+	}
+	return false
+}
+
+type site struct {
+	block *ir.Block
+	index int
+	op    *ir.Value
+	base  *ir.Value
+}
+
+func instrumentFunc(f *ir.Func) int {
+	// Collect sites first: instrumentation splits blocks.
+	var sites []site
+	for _, b := range f.Blocks {
+		for i, v := range b.Insts {
+			if v.Op != ir.OpLoad && v.Op != ir.OpStore {
+				continue
+			}
+			addr := v.Args[0]
+			if addr.Op == ir.OpAlloca {
+				continue // constant offset 0, size-checked statically below
+			}
+			if base := allocaBase(addr); base != nil {
+				sites = append(sites, site{block: b, index: i, op: v, base: base})
+			}
+		}
+	}
+	// Instrument back to front so indices stay valid per block.
+	for i := len(sites) - 1; i >= 0; i-- {
+		insertCheck(f, sites[i])
+	}
+	return len(sites)
+}
+
+// insertCheck splits the block before the access:
+//
+//	... prefix ...
+//	ok1 = cmp.ae addr, base
+//	end = add base, size
+//	lim = add addr, accessSize
+//	ok2 = cmp.be lim, end
+//	ok  = and ok1, ok2
+//	br ok -> cont, fail
+//	fail: callext exit(253); trap
+//	cont: <the access> ... suffix ...
+func insertCheck(f *ir.Func, s site) {
+	b := s.block
+	prefix := b.Insts[:s.index]
+	suffix := b.Insts[s.index:]
+
+	cont := f.NewBlock(0)
+	fail := f.NewBlock(0)
+
+	// Move the access and everything after it into cont.
+	cont.Insts = append(cont.Insts, suffix...)
+	for _, v := range cont.Insts {
+		v.Block = cont
+	}
+	// cont inherits b's successors.
+	cont.Succs = b.Succs
+	for _, succ := range cont.Succs {
+		for pi, p := range succ.Preds {
+			if p == b {
+				succ.Preds[pi] = cont
+			}
+		}
+	}
+
+	// Build the check in b.
+	b.Insts = prefix
+	addr := s.op.Args[0]
+	newv := func(op ir.Op, args ...*ir.Value) *ir.Value {
+		v := f.NewValue(op, args...)
+		b.Append(v)
+		return v
+	}
+	ok1 := newv(ir.OpCmp, addr, s.base)
+	ok1.Cond = isa.CondAE
+	size := f.NewValue(ir.OpConst)
+	size.Const = int32(s.base.AllocSize)
+	b.Append(size)
+	end := newv(ir.OpAdd, s.base, size)
+	acc := f.NewValue(ir.OpConst)
+	acc.Const = int32(s.op.Size)
+	b.Append(acc)
+	lim := newv(ir.OpAdd, addr, acc)
+	ok2 := newv(ir.OpCmp, lim, end)
+	ok2.Cond = isa.CondBE
+	ok := newv(ir.OpAnd, ok1, ok2)
+	br := f.NewValue(ir.OpBr, ok)
+	b.Append(br)
+	b.Succs = []*ir.Block{cont, fail}
+	cont.Preds = []*ir.Block{b}
+	fail.Preds = []*ir.Block{b}
+
+	// Fail path: report and stop.
+	code := f.NewValue(ir.OpConst)
+	code.Const = ViolationExitCode
+	fail.Append(code)
+	call := f.NewValue(ir.OpCallExt, code)
+	call.Sym = "exit"
+	call.NumRet = 1
+	fail.Append(call)
+	fail.Append(f.NewValue(ir.OpTrap))
+}

@@ -1,0 +1,213 @@
+package stackref_test
+
+import (
+	"bytes"
+	"testing"
+
+	"wytiwyg/internal/core"
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/irexec"
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/minicc/gen"
+)
+
+func pipelineTo(t *testing.T, src string, prof gen.Profile, inputs []machine.Input) *core.Pipeline {
+	t.Helper()
+	img, err := gen.Build(src, prof, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.LiftBinary(img, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RefineRegSave(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RefineVarArgs(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RefineStackRef(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func checkBehaviour(t *testing.T, p *core.Pipeline, label string) {
+	t.Helper()
+	for i, input := range p.Inputs {
+		var nat, lift bytes.Buffer
+		n, err := machine.Execute(p.Img, input, &nat)
+		if err != nil {
+			t.Fatalf("%s input %d native: %v", label, i, err)
+		}
+		r, err := irexec.Run(p.Mod, input, &lift, nil)
+		if err != nil {
+			t.Fatalf("%s input %d refined: %v", label, i, err)
+		}
+		if r.ExitCode != n.ExitCode || lift.String() != nat.String() {
+			t.Errorf("%s input %d: exit %d/%d out %q/%q",
+				label, i, r.ExitCode, n.ExitCode, lift.String(), nat.String())
+		}
+	}
+}
+
+const frameSrc = `
+extern int printf(char *fmt, ...);
+int helper(int a, int b) {
+	int tmp[4];
+	tmp[0] = a; tmp[1] = b; tmp[2] = a + b; tmp[3] = a * b;
+	return tmp[2] + tmp[3];
+}
+int main() {
+	int x = 3, y = 4;
+	int r = helper(x, y);
+	printf("r=%d\n", r);
+	return r;
+}
+`
+
+func TestFoldAndBehaviour(t *testing.T) {
+	for _, prof := range gen.Profiles {
+		p := pipelineTo(t, frameSrc, prof, nil)
+		checkBehaviour(t, p, prof.Name)
+
+		// Every load/store in helper whose address is a direct stack
+		// reference must now have an address of the canonical shape
+		// (esp param, or add(esp, const)).
+		helper := p.Mod.FuncByName("helper")
+		if helper == nil {
+			t.Fatalf("%s: helper missing", prof.Name)
+		}
+		offs := p.SPOffsets[helper]
+		if offs == nil {
+			t.Fatalf("%s: no offsets for helper", prof.Name)
+		}
+		esp := helper.ParamByReg(isa.ESP)
+		direct := 0
+		for _, b := range helper.Blocks {
+			for _, v := range b.Insts {
+				if v.Op != ir.OpLoad && v.Op != ir.OpStore {
+					continue
+				}
+				a := v.Args[0]
+				if _, ok := offs[a]; !ok {
+					continue
+				}
+				direct++
+				canonical := a == esp ||
+					(a.Op == ir.OpAdd && a.Args[0] == esp && a.Args[1].Op == ir.OpConst)
+				if !canonical {
+					t.Errorf("%s: direct ref %s(%s) not canonical", prof.Name, a, a.Op)
+				}
+			}
+		}
+		// helper stores 4 array elements and (depending on profile) spills;
+		// there must be a healthy number of direct references.
+		if direct < 4 {
+			t.Errorf("%s: only %d direct stack accesses found", prof.Name, direct)
+		}
+	}
+}
+
+func TestArgSlotOffsets(t *testing.T) {
+	// Incoming argument loads must fold to positive offsets (sp0+4, sp0+8).
+	p := pipelineTo(t, frameSrc, gen.GCC12O0, nil)
+	helper := p.Mod.FuncByName("helper")
+	offs := p.SPOffsets[helper]
+	havePos := map[int32]bool{}
+	for v, c := range offs {
+		if c >= 4 && v.Op == ir.OpAdd {
+			havePos[c] = true
+		}
+	}
+	if !havePos[4] || !havePos[8] {
+		t.Errorf("argument slots not identified: %v", havePos)
+	}
+}
+
+func TestVarargsLifted(t *testing.T) {
+	for _, prof := range gen.Profiles {
+		p := pipelineTo(t, frameSrc, prof, nil)
+		for _, f := range p.Mod.Funcs {
+			for _, b := range f.Blocks {
+				for _, v := range b.Insts {
+					if v.Op == ir.OpCallExtRaw {
+						t.Errorf("%s: raw variadic call to %s survived in %s",
+							prof.Name, v.Sym, f.Name)
+					}
+					if v.Op == ir.OpCallExt && v.Sym == "printf" && len(v.Args) != 2 {
+						t.Errorf("%s: printf lifted with %d args, want 2", prof.Name, len(v.Args))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMultipleFormatsMaxCount(t *testing.T) {
+	src := `
+extern int printf(char *fmt, ...);
+extern int input_int(int i);
+int main() {
+	if (input_int(0) > 0) printf("%d %d %d\n", 1, 2, 3);
+	else printf("none\n");
+	return 0;
+}`
+	img, err := gen.Build(src, gen.GCC12O3, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []machine.Input{{Ints: []int32{1}}, {Ints: []int32{-1}}}
+	p, err := core.LiftBinary(img, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RefineRegSave(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RefineVarArgs(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RefineStackRef(); err != nil {
+		t.Fatal(err)
+	}
+	checkBehaviour(t, p, "maxcount")
+	// Two distinct printf sites: one with 4 args, one with 1.
+	var counts []int
+	for _, f := range p.Mod.Funcs {
+		for _, b := range f.Blocks {
+			for _, v := range b.Insts {
+				if v.Op == ir.OpCallExt && v.Sym == "printf" {
+					counts = append(counts, len(v.Args))
+				}
+			}
+		}
+	}
+	has4, has1 := false, false
+	for _, c := range counts {
+		if c == 4 {
+			has4 = true
+		}
+		if c == 1 {
+			has1 = true
+		}
+	}
+	if !has4 || !has1 {
+		t.Errorf("printf arg counts = %v, want both 4 and 1", counts)
+	}
+}
+
+func TestDeepCallChainOffsets(t *testing.T) {
+	src := `
+int f3(int z) { return z + 1; }
+int f2(int y) { return f3(y * 2) + 1; }
+int f1(int x) { return f2(x + 3) + 1; }
+int main() { return f1(5); }
+`
+	for _, prof := range gen.Profiles {
+		p := pipelineTo(t, src, prof, nil)
+		checkBehaviour(t, p, prof.Name)
+	}
+}

@@ -1,0 +1,183 @@
+// Package staticsym is the reproduction's SecondWrite stand-in: a purely
+// static, conservative stack symbolizer used as the comparison system in
+// the paper's evaluation (§6). It consumes the same lifted IR as WYTIWYG's
+// dynamic refinements but derives stack layouts without executing anything:
+//
+//   - frames are partitioned at the statically visible direct-reference
+//     offsets, with each object's size guessed as the gap to the next
+//     reference;
+//   - functions "beyond a certain complexity" — any dynamically computed
+//     stack address, or too many distinct references — collapse all locals
+//     into a single blob symbol, exactly the behaviour the paper observed
+//     in SecondWrite;
+//   - jump tables defeat it (the paper found SecondWrite's disassembler
+//     missing jump-table targets); such programs are reported as failures,
+//     producing the "—" cells of Table 1.
+package staticsym
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/layout"
+	"wytiwyg/internal/stackref"
+	"wytiwyg/internal/symbolize"
+	"wytiwyg/internal/vartrack"
+)
+
+// ErrUnsupported marks binaries the static symbolizer cannot process.
+var ErrUnsupported = errors.New("staticsym: unsupported binary")
+
+// BlobThreshold is the distinct-reference count beyond which a frame
+// collapses into one symbol.
+const BlobThreshold = 12
+
+// Apply statically symbolizes a lifted module (which must already have had
+// the saved-register and stack-reference refinements applied — those model
+// SecondWrite's own register analysis). It returns the recovered layout.
+func Apply(mod *ir.Module, offs map[*ir.Func]stackref.Offsets) (*layout.Program, error) {
+	// Jump tables are fatal (missed control-flow targets).
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			if t := b.Term(); t != nil && t.Op == ir.OpSwitch && len(t.Cases) > 1 {
+				return nil, fmt.Errorf("%w: jump table in %s", ErrUnsupported, f.Name)
+			}
+		}
+	}
+
+	res := &vartrack.Result{
+		Vars:     make(map[*ir.Value]*vartrack.StackVar),
+		ByFn:     make(map[*ir.Func][]*vartrack.StackVar),
+		ArgSlots: make(map[*ir.Func]map[int]bool),
+	}
+	id := 0
+	for _, f := range mod.Funcs {
+		fo := offs[f]
+		if fo == nil {
+			continue
+		}
+		// Distinct negative offsets = candidate variable boundaries;
+		// positive offsets = stack arguments.
+		offsets := map[int32][]*ir.Value{}
+		var negs []int32
+		maxArg := -1
+		complex := hasDynamicStackAddressing(f, fo)
+		for v, c := range fo {
+			offsets[c] = append(offsets[c], v)
+			if c < 0 {
+				negs = append(negs, c)
+			} else if c >= 4 {
+				slot := int((c - 4) / 4)
+				if slot > maxArg {
+					maxArg = slot
+				}
+				slots := res.ArgSlots[f]
+				if slots == nil {
+					slots = map[int]bool{}
+					res.ArgSlots[f] = slots
+				}
+				slots[slot] = true
+			}
+		}
+		sort.Slice(negs, func(i, j int) bool { return negs[i] < negs[j] })
+		negs = dedup(negs)
+		if len(negs) == 0 {
+			continue
+		}
+
+		if complex || len(negs) > BlobThreshold {
+			// One blob symbol for the whole local area.
+			low := negs[0]
+			blob := &vartrack.StackVar{
+				ID: id, Fn: f, SPOff: low, Defined: true,
+				Low: 0, High: -low,
+			}
+			id++
+			res.ByFn[f] = append(res.ByFn[f], blob)
+			for c, vals := range offsets {
+				if c >= 0 {
+					continue
+				}
+				for _, v := range vals {
+					// Every local reference labels the blob; symbolize
+					// resolves deltas through the shared group.
+					res.Vars[v] = blob
+				}
+			}
+			// Positive (argument) references still get slot variables.
+			addArgVars(res, f, offsets, &id)
+			continue
+		}
+
+		// Fine splitting: [offset, next offset) per reference.
+		for i, c := range negs {
+			end := int32(0)
+			if i+1 < len(negs) {
+				end = negs[i+1]
+			}
+			sv := &vartrack.StackVar{
+				ID: id, Fn: f, SPOff: c, Defined: true,
+				Low: 0, High: end - c,
+			}
+			id++
+			res.ByFn[f] = append(res.ByFn[f], sv)
+			for _, v := range offsets[c] {
+				res.Vars[v] = sv
+			}
+		}
+		addArgVars(res, f, offsets, &id)
+	}
+	return symbolize.Apply(mod, offs, res)
+}
+
+// addArgVars creates 4-byte variables for argument-area references.
+func addArgVars(res *vartrack.Result, f *ir.Func, offsets map[int32][]*ir.Value, id *int) {
+	for c, vals := range offsets {
+		if c < 4 {
+			continue
+		}
+		sv := &vartrack.StackVar{
+			ID: *id, Fn: f, SPOff: c, Defined: true, Low: 0, High: 4,
+		}
+		*id++
+		res.ByFn[f] = append(res.ByFn[f], sv)
+		for _, v := range vals {
+			res.Vars[v] = sv
+		}
+	}
+}
+
+// hasDynamicStackAddressing reports whether any stack pointer is combined
+// with a non-constant value — the case static analysis cannot bound
+// (§2.2's sp0-44+f3(24)*8 example).
+func hasDynamicStackAddressing(f *ir.Func, fo stackref.Offsets) bool {
+	for _, b := range f.Blocks {
+		for _, v := range b.Insts {
+			switch v.Op {
+			case ir.OpAdd, ir.OpSub:
+				_, a0 := fo[v.Args[0]]
+				_, a1 := fo[v.Args[1]]
+				k0 := v.Args[0].Op == ir.OpConst
+				k1 := v.Args[1].Op == ir.OpConst
+				if (a0 && !k1 && !a1) || (a1 && !k0 && !a0) {
+					if _, self := fo[v]; !self {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func dedup(xs []int32) []int32 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package symbolize_test
+
+import (
+	"testing"
+
+	"wytiwyg/internal/asm"
+	"wytiwyg/internal/core"
+	"wytiwyg/internal/irexec"
+	"wytiwyg/internal/layout"
+	"wytiwyg/internal/machine"
+)
+
+// A near-literal transcription of the paper's Figure 2(b) x86 listing into
+// the reproduction's ISA: frame pointer, lea-computed pointers, stack-passed
+// arguments, a scaled-index store through a dynamically computed element
+// address, and a write through a pointer returned by a callee.
+//
+//	f3 returns sizeof(b)/12 = 2, f2 returns its first argument, so the
+//	store b[f3(24)] = a lands in b[2] and ptr->y = b[1].x writes through &a.
+const figure2Asm = `
+main:
+    call f1
+    halt
+
+f1:
+    push ebp                      ; sav ebp
+    mov ebp, esp
+    subi esp, 64
+    storei4 [ebp-20], 3           ; a.x = 3
+    storei4 [ebp-16], 4           ; a.y = 4
+    lea eax, [ebp-44]
+    push eax                      ; arg2 = b
+    lea eax, [ebp-20]
+    push eax                      ; arg1 = &a
+    call f2
+    addi esp, 8
+    store4 [ebp-12], eax          ; ptr = f2(...)
+    pushi 24                      ; arg1 = sizeof(b)
+    call f3
+    addi esp, 4
+    load4 ecx, [ebp-20]           ; a.x
+    store4 [ebp-44+eax*8], ecx    ; b[f3].x = a.x
+    load4 ecx, [ebp-16]           ; a.y
+    store4 [ebp-40+eax*8], ecx    ; b[f3].y = a.y
+    load4 ecx, [ebp-36]           ; b[1].x
+    load4 eax, [ebp-12]           ; ptr
+    store4 [eax+4], ecx           ; ptr->y = b[1].x
+    load4 eax, [ebp-12]
+    load4 eax, [eax+4]            ; return ptr->y (== b[1].x)
+    addi esp, 64
+    pop ebp
+    ret
+
+f2:                               ; p* f2(p*, p*) { return arg1; }
+    load4 eax, [esp+4]
+    ret
+
+f3:                               ; size_t f3(n) { return n/12; }
+    load4 eax, [esp+4]
+    divi eax, 12
+    ret
+`
+
+func TestFigure2AssemblyTranscription(t *testing.T) {
+	img, err := asm.Assemble("figure2", figure2Asm, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := machine.Execute(img, machine.Input{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ptr->y was b[1].x, which nothing wrote: 0.
+	if nat.ExitCode != 0 {
+		t.Fatalf("native exit = %d", nat.ExitCode)
+	}
+
+	p, err := core.LiftBinary(img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Refine(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := irexec.Run(p.Mod, machine.Input{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ExitCode != nat.ExitCode {
+		t.Fatalf("symbolized exit %d vs %d", r.ExitCode, nat.ExitCode)
+	}
+
+	// The frame layout of Figure 2(c): b at sp0-48 (24 bytes), a at
+	// sp0-24 (8 bytes), ptr at sp0-16 (4 bytes). With f3 observed
+	// returning 2 and ptr->y writing into a, the recovery must produce
+	// one object covering all of b and one covering a.
+	fr := p.Recovered.Frame("f1")
+	if fr == nil {
+		t.Fatal("no recovered frame for f1")
+	}
+	wantB := layout.Var{Name: "b", Offset: -48, Size: 24}
+	wantA := layout.Var{Name: "a", Offset: -24, Size: 8}
+	foundB, foundA := false, false
+	for _, v := range fr.Vars {
+		if v.Offset == wantB.Offset && v.Size >= wantB.Size {
+			foundB = true
+		}
+		if v.Offset == wantA.Offset && v.Size >= wantA.Size {
+			foundA = true
+		}
+	}
+	if !foundB {
+		t.Errorf("array b not recovered as one object at sp0-48: %v", fr)
+	}
+	if !foundA {
+		t.Errorf("struct a not recovered at sp0-24: %v", fr)
+	}
+
+	// f2/f3 take one and two stack arguments respectively (observed).
+	if f2 := p.Mod.FuncByName("f2"); f2 == nil || f2.StackArgs < 1 {
+		t.Errorf("f2 stack args not recovered")
+	}
+	if f3 := p.Mod.FuncByName("f3"); f3 == nil || f3.StackArgs != 1 {
+		t.Errorf("f3 stack args = %v", p.Mod.FuncByName("f3"))
+	}
+}

@@ -1,0 +1,63 @@
+package symbolize_test
+
+import (
+	"testing"
+
+	"wytiwyg/internal/core"
+	"wytiwyg/internal/minicc/gen"
+	"wytiwyg/internal/opt"
+	"wytiwyg/internal/symbolize"
+)
+
+// RecoveredLayout reflects the final binary: only surviving local-area
+// allocas count — no call-plumbing ("cp_") objects, no stack-argument
+// areas (non-negative offsets), and objects the optimizer deleted are
+// gone.
+func TestRecoveredLayoutPostOpt(t *testing.T) {
+	src := `
+extern int printf(char *fmt, ...);
+int use(int *p) { return p[0] + p[5]; }
+int main() {
+	int live[8];      /* address escapes: must survive */
+	int i, dead = 3;  /* scalar: promoted away by mem2reg */
+	for (i = 0; i < 8; i++) live[i] = i + dead;
+	printf("%d\n", use(live));
+	return 0;
+}`
+	img, err := gen.Build(src, gen.GCC12O0, "rl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.LiftBinary(img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Refine(); err != nil {
+		t.Fatal(err)
+	}
+	opt.Pipeline(p.Mod)
+
+	prog := symbolize.RecoveredLayout(p.Mod)
+	fr := prog.Frames["main"]
+	if fr == nil {
+		t.Fatal("no main frame")
+	}
+	var hasArray bool
+	for _, v := range fr.Vars {
+		if v.Offset >= 0 {
+			t.Errorf("non-local object %s in recovered layout", v)
+		}
+		if v.Size >= 32 {
+			hasArray = true
+		}
+	}
+	if !hasArray {
+		t.Errorf("escaping 32-byte array missing from recovered layout: %v", fr)
+	}
+	// The promoted scalars must NOT be reported: the final binary holds
+	// them in registers.
+	if len(fr.Vars) > 3 {
+		t.Errorf("too many surviving objects (%d), mem2reg results not reflected: %v",
+			len(fr.Vars), fr)
+	}
+}

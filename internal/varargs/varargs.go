@@ -1,0 +1,132 @@
+// Package varargs implements the variadic-call refinement of §5.2: calls to
+// external functions with variable argument lists are initially lifted in
+// BinRec's stack-switching form (OpCallExtRaw, arguments living in emulated
+// stack memory). This refinement inspects each call site at runtime — for
+// printf-style functions it parses the format string — to determine the
+// exact per-site argument count, then rewrites the site into a fully lifted
+// call with explicit arguments so that stack symbolization can proceed.
+package varargs
+
+import (
+	"fmt"
+
+	"wytiwyg/internal/extdb"
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/irexec"
+	"wytiwyg/internal/machine"
+)
+
+// Tracer records observed argument counts per raw variadic call site.
+type Tracer struct {
+	ip *irexec.Interp
+	// Counts is the maximal observed argument count per call site.
+	Counts map[*ir.Value]int
+	// failed records sites whose format string could not be interpreted.
+	failed map[*ir.Value]error
+}
+
+// NewTracer returns an empty varargs analysis.
+func NewTracer() *Tracer {
+	return &Tracer{
+		Counts: make(map[*ir.Value]int),
+		failed: make(map[*ir.Value]error),
+	}
+}
+
+// Bind gives the tracer access to the interpreter's memory (the core
+// pipeline calls this before each run).
+func (t *Tracer) Bind(ip *irexec.Interp) { t.ip = ip }
+
+// FnEnter implements irexec.Tracer.
+func (t *Tracer) FnEnter(fr *irexec.Frame) {}
+
+// FnExit implements irexec.Tracer.
+func (t *Tracer) FnExit(fr *irexec.Frame, ret *ir.Value, rets []uint32) {}
+
+// Phi implements irexec.Tracer.
+func (t *Tracer) Phi(fr *irexec.Frame, phi *ir.Value, incoming *ir.Value, val uint32) {}
+
+// CallPre implements irexec.Tracer.
+func (t *Tracer) CallPre(fr *irexec.Frame, call *ir.Value, args []uint32) {}
+
+// Exec watches raw variadic calls and derives their exact signatures.
+func (t *Tracer) Exec(fr *irexec.Frame, v *ir.Value, args []uint32, res uint32) {
+	if v.Op != ir.OpCallExtRaw || t.ip == nil {
+		return
+	}
+	sig, ok := extdb.Lookup(v.Sym)
+	if !ok {
+		t.failed[v] = fmt.Errorf("external %q not in database", v.Sym)
+		return
+	}
+	count := sig.Params
+	for _, eff := range sig.Effects {
+		if eff.Kind != extdb.FormatStr {
+			continue
+		}
+		// The format string is fixed argument eff.A; arguments live on the
+		// emulated stack at the call's ESP.
+		fmtAddr, err := t.ip.Mem.Load(args[0]+uint32(4*eff.A), 4)
+		if err != nil {
+			t.failed[v] = err
+			return
+		}
+		format, err := t.ip.Mem.CString(fmtAddr)
+		if err != nil {
+			t.failed[v] = err
+			return
+		}
+		count = sig.Params + machine.CountPrintfArgs(format)
+	}
+	if count > t.Counts[v] {
+		t.Counts[v] = count
+	}
+}
+
+// Apply rewrites every observed raw call into an explicit-argument call
+// (loads from the emulated stack inserted before the call). Raw sites never
+// observed are left in place only if they are unreachable; reaching one
+// at runtime would mean incomplete coverage, so Apply reports them.
+func Apply(mod *ir.Module, counts map[*ir.Value]int) error {
+	for _, f := range mod.Funcs {
+		for _, b := range f.Blocks {
+			for i := 0; i < len(b.Insts); i++ {
+				v := b.Insts[i]
+				if v.Op != ir.OpCallExtRaw {
+					continue
+				}
+				n, ok := counts[v]
+				if !ok {
+					return fmt.Errorf("varargs: %s: raw call to %s at %s never observed",
+						f.Name, v.Sym, v)
+				}
+				sp := v.Args[0]
+				var loads []*ir.Value
+				var args []*ir.Value
+				for j := 0; j < n; j++ {
+					addr := sp
+					if j > 0 {
+						k := f.NewValue(ir.OpConst)
+						k.Const = int32(4 * j)
+						k.Block = b
+						add := f.NewValue(ir.OpAdd, sp, k)
+						add.Block = b
+						loads = append(loads, k, add)
+						addr = add
+					}
+					ld := f.NewValue(ir.OpLoad, addr)
+					ld.Size = 4
+					ld.Block = b
+					loads = append(loads, ld)
+					args = append(args, ld)
+				}
+				v.Op = ir.OpCallExt
+				v.Args = args
+				// Splice the loads in before the call.
+				b.Insts = append(b.Insts[:i], append(loads, b.Insts[i:]...)...)
+				i += len(loads)
+			}
+		}
+	}
+	return ir.Verify(mod)
+}

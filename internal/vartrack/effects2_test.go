@@ -1,0 +1,150 @@
+package vartrack_test
+
+import (
+	"testing"
+
+	"wytiwyg/internal/core"
+	"wytiwyg/internal/irexec"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/minicc/gen"
+	"wytiwyg/internal/vartrack"
+)
+
+// pipeRun compiles src at the -O0 profile, runs the full refinement
+// pipeline, asserts the symbolized module still computes wantExit, and
+// returns the recovered frame sizes of main.
+func pipeRun(t *testing.T, src string, wantExit int32) []uint32 {
+	t.Helper()
+	img, err := gen.Build(src, gen.GCC12O0, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := machine.Execute(img, machine.Input{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nat.ExitCode != wantExit {
+		t.Fatalf("native exit = %d, want %d", nat.ExitCode, wantExit)
+	}
+	p, err := core.LiftBinary(img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Refine(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := irexec.Run(p.Mod, machine.Input{}, nil, nil)
+	if err != nil || r.ExitCode != wantExit {
+		t.Fatalf("symbolized exit = %d err %v, want %d", r.ExitCode, err, wantExit)
+	}
+	fr := p.Recovered.Frame("main")
+	if fr == nil {
+		t.Fatal("no recovered frame for main")
+	}
+	var sizes []uint32
+	for _, v := range fr.Vars {
+		sizes = append(sizes, v.Size)
+	}
+	return sizes
+}
+
+func maxSize(sizes []uint32) uint32 {
+	var m uint32
+	for _, s := range sizes {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// memset's Clear effect (§5.3) writes n bytes through its pointer: the
+// buffer's bounds must cover all n even though the program dereferences
+// only byte 0 directly.
+func TestMemsetBoundsObject(t *testing.T) {
+	src := `
+extern int memset(char *p, int c, int n);
+int main() {
+	char buf[24];
+	memset(buf, 7, 24);
+	return buf[0];
+}`
+	sizes := pipeRun(t, src, 7)
+	if maxSize(sizes) < 24 {
+		t.Errorf("memset Clear effect missing: frame sizes %v, want one >= 24", sizes)
+	}
+}
+
+// memcpy's Copy effect bounds BOTH operands by the explicit byte count.
+func TestMemcpyBoundsBothObjects(t *testing.T) {
+	src := `
+extern int memcpy(char *d, char *s, int n);
+extern int memset(char *p, int c, int n);
+int main() {
+	char a[20];
+	char b[20];
+	memset(a, 5, 20);
+	memcpy(b, a, 20);
+	return b[19];
+}`
+	sizes := pipeRun(t, src, 5)
+	n := 0
+	for _, s := range sizes {
+		if s >= 20 {
+			n++
+		}
+	}
+	if n < 2 {
+		t.Errorf("memcpy Copy effect should bound src and dst: sizes %v", sizes)
+	}
+}
+
+// strcpy's Copy effect uses the source's NUL-terminated length when no
+// explicit count exists.
+func TestStrcpyBoundsByStringLength(t *testing.T) {
+	src := `
+extern int strcpy(char *d, char *s);
+extern int strlen(char *s);
+int main() {
+	char s[16];
+	strcpy(s, "abcde");
+	return strlen(s);
+}`
+	sizes := pipeRun(t, src, 5)
+	if maxSize(sizes) < 6 { // "abcde" + NUL
+		t.Errorf("strcpy bounds too small: %v, want >= 6", sizes)
+	}
+}
+
+// printf's FormatStr effect: a %s argument is a NUL-terminated read of its
+// object, which must extend the object's bounds.
+func TestPrintfStringArgBounds(t *testing.T) {
+	src := `
+extern int printf(char *fmt, ...);
+extern int strcpy(char *d, char *s);
+int main() {
+	char nm[12];
+	strcpy(nm, "xyz");
+	printf("%s %d\n", nm, 3);
+	return 0;
+}`
+	sizes := pipeRun(t, src, 0)
+	if maxSize(sizes) < 4 { // "xyz" + NUL
+		t.Errorf("printf %%s bounds missing: %v, want >= 4", sizes)
+	}
+}
+
+func TestStackVarString(t *testing.T) {
+	v := &vartrack.StackVar{ID: 3, SPOff: -16}
+	if got := v.String(); got != "var3@-16(undef)" {
+		t.Errorf("undef String = %q", got)
+	}
+	v.Defined = true
+	v.Low, v.High = 0, 8
+	if got := v.String(); got != "var3@-16[0,8)" {
+		t.Errorf("defined String = %q", got)
+	}
+	if lo, hi := v.AbsRange(); lo != -16 || hi != -8 {
+		t.Errorf("AbsRange = [%d,%d)", lo, hi)
+	}
+}
