@@ -1,0 +1,37 @@
+#!/bin/sh
+# Tier-1 gate. Every change must pass this script before it lands:
+# formatting, vet, a clean build, the full test suite, and a lint run
+# (the static verification stage) over the examples and the benchmark
+# corpus with zero proven violations.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== wytiwyg lint (benchmark corpus)"
+go build -o /tmp/wytiwyg-ci ./cmd/wytiwyg
+/tmp/wytiwyg-ci lint -all
+
+echo "== examples"
+for dir in examples/*/; do
+    echo "-- go run ./$dir"
+    go run "./$dir" >/dev/null
+done
+
+echo "ci: all checks passed"

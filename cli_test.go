@@ -95,6 +95,50 @@ int main() {
 		}
 	})
 
+	t.Run("wytiwyg-lint-src", func(t *testing.T) {
+		out, err := exec.Command(wytiwyg, "lint", "-src", srcFile).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "lint: 0 error(s)") {
+			t.Errorf("clean source should lint with zero errors:\n%s", out)
+		}
+	})
+
+	t.Run("wytiwyg-lint-json", func(t *testing.T) {
+		out, err := exec.Command(wytiwyg, "lint", "-bench", "mcf", "-json").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		s := string(out)
+		for _, want := range []string{`"program": "mcf"`, `"errors": 0`, `"diagnostics"`} {
+			if !strings.Contains(s, want) {
+				t.Errorf("JSON output lacks %q:\n%.600s", want, s)
+			}
+		}
+	})
+
+	t.Run("wytiwyg-debug-passes", func(t *testing.T) {
+		out, err := exec.Command(wytiwyg, "-src", srcFile, "-debug-passes").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "MATCH") {
+			t.Errorf("recompiled binary diverged under -debug-passes:\n%s", out)
+		}
+	})
+
+	t.Run("wytiwyg-lint-fail-mode", func(t *testing.T) {
+		// -lint fail on a clean program must not abort refinement.
+		out, err := exec.Command(wytiwyg, "-src", srcFile, "-lint", "fail").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "lint: 0 error(s)") {
+			t.Errorf("expected lint summary line:\n%s", out)
+		}
+	})
+
 	t.Run("experiments-table1", func(t *testing.T) {
 		out, err := exec.Command(experiments, "-exp", "table1", "-scale", "2", "-progs", "mcf").CombinedOutput()
 		if err != nil {

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wytiwyg/internal/analysis"
+	"wytiwyg/internal/bench/progs"
+	"wytiwyg/internal/core"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/minicc/gen"
+)
+
+// The lint subcommand: run the pipeline through refinement on one or more
+// programs and print the static verification report instead of
+// recompiling. Exit status 1 means at least one proven violation (Error).
+
+func parseLintMode(s string) core.LintMode {
+	switch s {
+	case "off":
+		return core.LintOff
+	case "warn":
+		return core.LintWarn
+	case "fail":
+		return core.LintFail
+	}
+	fail("unknown -lint mode %q (want off, warn, fail)", s)
+	return core.LintOff
+}
+
+// lintTarget is one program to audit.
+type lintTarget struct {
+	name   string
+	src    string
+	inputs []machine.Input
+}
+
+func lintMain(args []string) int {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	srcPath := fs.String("src", "", "mini-C source file to lint")
+	benchName := fs.String("bench", "", "built-in benchmark name")
+	all := fs.Bool("all", false, "lint every built-in benchmark")
+	profName := fs.String("profile", "gcc12-O3", "compiler profile")
+	inputsFlag := fs.String("inputs", "", "comma-separated integer inputs for tracing")
+	jsonOut := fs.Bool("json", false, "machine-readable JSON output")
+	fs.Parse(args)
+
+	prof, ok := gen.ProfileByName(*profName)
+	if !ok {
+		fail("unknown profile %q", *profName)
+	}
+
+	var targets []lintTarget
+	switch {
+	case *all:
+		for _, p := range progs.All {
+			targets = append(targets, lintTarget{name: p.Name, src: p.Src, inputs: p.Inputs()})
+		}
+	case *benchName != "":
+		p, ok := progs.ByName(*benchName)
+		if !ok {
+			fail("unknown benchmark %q", *benchName)
+		}
+		targets = append(targets, lintTarget{name: p.Name, src: p.Src, inputs: p.Inputs()})
+	case *srcPath != "":
+		data, err := os.ReadFile(*srcPath)
+		if err != nil {
+			fail("read source: %v", err)
+		}
+		targets = append(targets, lintTarget{name: *srcPath, src: string(data)})
+	default:
+		fs.Usage()
+		return 2
+	}
+	if *inputsFlag != "" {
+		var inputs []machine.Input
+		for _, f := range strings.Split(*inputsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fail("bad input %q", f)
+			}
+			inputs = append(inputs, machine.Input{Ints: []int32{int32(v)}})
+		}
+		for i := range targets {
+			targets[i].inputs = inputs
+		}
+	}
+
+	type jsonEntry struct {
+		Program string          `json:"program"`
+		Report  json.RawMessage `json:"report"`
+	}
+	var entries []jsonEntry
+	errors := 0
+	for _, tgt := range targets {
+		rep, err := lintOne(tgt, prof)
+		if err != nil {
+			fail("%s: %v", tgt.name, err)
+		}
+		errors += rep.Errors()
+		if *jsonOut {
+			raw, err := rep.JSON()
+			if err != nil {
+				fail("encode report: %v", err)
+			}
+			entries = append(entries, jsonEntry{Program: tgt.name, Report: raw})
+			continue
+		}
+		if len(targets) > 1 {
+			fmt.Printf("== %s\n", tgt.name)
+		}
+		fmt.Print(rep.String())
+	}
+	if *jsonOut {
+		out, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			fail("encode: %v", err)
+		}
+		fmt.Println(string(out))
+	}
+	if errors > 0 {
+		return 1
+	}
+	return 0
+}
+
+// lintOne builds, lifts and refines one program with linting enabled and
+// returns the verification report.
+func lintOne(tgt lintTarget, prof gen.Profile) (*analysis.Report, error) {
+	img, err := gen.Build(tgt.src, prof, "input")
+	if err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	p, err := core.LiftBinary(img, tgt.inputs)
+	if err != nil {
+		return nil, fmt.Errorf("lift: %w", err)
+	}
+	p.Lint = core.LintWarn
+	if err := p.Refine(); err != nil {
+		return nil, fmt.Errorf("refine: %w", err)
+	}
+	p.Report.Sort()
+	return p.Report, nil
+}

@@ -7,10 +7,13 @@
 //
 //	wytiwyg -src prog.c [-profile gcc12-O3] [-inputs 3,9] [-emit ir|asm|layout] [-sanitize]
 //	wytiwyg -bench hmmer [-profile gcc44-O3]
+//	wytiwyg lint [-src prog.c | -bench hmmer | -all] [-json]
 //
 // Steps and outputs mirror the paper's Figure 4: the tool reports the trace
 // size, recovered functions, refined signatures, recovered stack layout and
-// the performance of the recompiled binary.
+// the performance of the recompiled binary. The lint subcommand runs the
+// pipeline up to symbolization and prints the static verification report
+// (internal/analysis) instead of recompiling.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"wytiwyg/internal/analysis"
 	"wytiwyg/internal/bench/progs"
 	"wytiwyg/internal/codegen"
 	"wytiwyg/internal/core"
@@ -32,18 +36,24 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		os.Exit(lintMain(os.Args[2:]))
+	}
 	srcPath := flag.String("src", "", "mini-C source file to recompile")
 	benchName := flag.String("bench", "", "built-in benchmark name (alternative to -src)")
 	profName := flag.String("profile", "gcc12-O3", "compiler profile: gcc12-O3, gcc12-O0, clang16-O3, gcc44-O3")
 	inputsFlag := flag.String("inputs", "", "comma-separated integer inputs for tracing/validation")
 	emit := flag.String("emit", "", "additionally print: ir, asm, layout")
 	sanitizeFlag := flag.Bool("sanitize", false, "retrofit stack-bounds checks onto the recompiled binary")
+	lintMode := flag.String("lint", "warn", "post-refinement verification: off, warn, fail")
+	debugPasses := flag.Bool("debug-passes", false, "re-verify IR invariants between every optimization pass")
 	flag.Parse()
 
 	prof, ok := gen.ProfileByName(*profName)
 	if !ok {
 		fail("unknown profile %q", *profName)
 	}
+	lint := parseLintMode(*lintMode)
 
 	var src string
 	var inputs []machine.Input
@@ -99,6 +109,7 @@ func main() {
 	fmt.Printf("trace: %d instructions covered, %d functions recovered, %d tail calls\n",
 		len(p.Trace.Executed), len(p.Rec.Funcs), len(p.Rec.TailCalls))
 
+	p.Lint = lint
 	if err := p.Refine(); err != nil {
 		fail("refinement lifting: %v", err)
 	}
@@ -106,12 +117,29 @@ func main() {
 	for _, f := range p.Mod.Funcs {
 		fmt.Printf("  %-20s %2d params (%d from the stack)\n", f.Name, len(f.Params), f.StackArgs)
 	}
+	if p.Report != nil {
+		fmt.Printf("lint: %d error(s), %d warning(s), %d info\n",
+			p.Report.Errors(), p.Report.Count(analysis.Warn), p.Report.Count(analysis.Info))
+	}
 
 	if *sanitizeFlag {
 		checks := sanitize.Apply(p.Mod)
 		fmt.Printf("sanitizer: %d stack-bounds checks inserted\n", checks)
 	}
-	opt.Pipeline(p.Mod)
+	if *debugPasses {
+		if _, err := opt.PipelineWithDebug(p.Mod, opt.PipelineOpts{}, func(pass string) error {
+			var rep analysis.Report
+			analysis.LintIR(p.Mod, &rep)
+			if rep.Errors() > 0 {
+				return fmt.Errorf("after pass %s:\n%s", pass, rep.String())
+			}
+			return nil
+		}); err != nil {
+			fail("debug-passes: %v", err)
+		}
+	} else {
+		opt.Pipeline(p.Mod)
+	}
 
 	if *emit == "layout" || *emit == "ir" {
 		if *emit == "ir" {

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"wytiwyg/internal/ir"
+)
+
+// Severity ranks a diagnostic.
+type Severity uint8
+
+// Diagnostic severities. Error means the analysis *proved* a violation of a
+// layout invariant (a miscompilation witness); Warn means it could not
+// prove safety (an access it cannot bound, a possibly-uninitialized read);
+// Info carries facts that are useful but not suspicious (dead stores).
+const (
+	Info Severity = iota
+	Warn
+	Error
+)
+
+var severityNames = [...]string{"info", "warn", "error"}
+
+func (s Severity) String() string {
+	if int(s) < len(severityNames) {
+		return severityNames[s]
+	}
+	return fmt.Sprintf("sev%d", uint8(s))
+}
+
+// MarshalJSON renders the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// Diag is one finding.
+type Diag struct {
+	// Check names the analysis that produced the finding (frame, bounds,
+	// height, init, deadstore, verify).
+	Check    string   `json:"check"`
+	Severity Severity `json:"severity"`
+	// Func is the function the finding is in.
+	Func string `json:"func"`
+	// Loc is the stable func:block:idx location of the offending value
+	// (empty for function-level findings).
+	Loc string `json:"loc,omitempty"`
+	Msg string `json:"msg"`
+}
+
+func (d Diag) String() string {
+	loc := d.Loc
+	if loc == "" {
+		loc = d.Func
+	}
+	return fmt.Sprintf("%s [%s] %s: %s", d.Severity, d.Check, loc, d.Msg)
+}
+
+// Report collects the diagnostics of one lint run.
+type Report struct {
+	Diags []Diag `json:"diagnostics"`
+}
+
+// Add records one finding.
+func (r *Report) Add(d Diag) { r.Diags = append(r.Diags, d) }
+
+// Addf records a finding located at value v (which may be nil for
+// function-level findings).
+func (r *Report) Addf(check string, sev Severity, fn string, v *ir.Value, format string, args ...any) {
+	d := Diag{Check: check, Severity: sev, Func: fn, Msg: fmt.Sprintf(format, args...)}
+	if v != nil {
+		d.Loc = v.Location()
+	}
+	r.Add(d)
+}
+
+// Merge appends another report's findings.
+func (r *Report) Merge(o *Report) {
+	if o != nil {
+		r.Diags = append(r.Diags, o.Diags...)
+	}
+}
+
+// Count returns the number of findings at exactly the given severity.
+func (r *Report) Count(sev Severity) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// Errors is shorthand for Count(Error): the number of proven violations.
+func (r *Report) Errors() int { return r.Count(Error) }
+
+// Sort orders findings by severity (errors first), then function, then
+// location, for stable output.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		a, b := r.Diags[i], r.Diags[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Loc < b.Loc
+	})
+}
+
+// String renders the report as human-readable text, one finding per line,
+// followed by a summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, d := range r.Diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "lint: %d error(s), %d warning(s), %d info\n",
+		r.Count(Error), r.Count(Warn), r.Count(Info))
+	return b.String()
+}
+
+// jsonReport is the envelope of the machine-readable output.
+type jsonReport struct {
+	Diagnostics []Diag `json:"diagnostics"`
+	Errors      int    `json:"errors"`
+	Warnings    int    `json:"warnings"`
+	Infos       int    `json:"infos"`
+}
+
+// JSON renders the report as a structured document.
+func (r *Report) JSON() ([]byte, error) {
+	env := jsonReport{
+		Diagnostics: r.Diags,
+		Errors:      r.Count(Error),
+		Warnings:    r.Count(Warn),
+		Infos:       r.Count(Info),
+	}
+	if env.Diagnostics == nil {
+		env.Diagnostics = []Diag{}
+	}
+	return json.MarshalIndent(env, "", "  ")
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import "wytiwyg/internal/ir"
+
+// Problem defines one monotone dataflow problem over a function's CFG. The
+// state type S is an element of a join semilattice: Join is the merge
+// operator (union for may-analyses, intersection for must-analyses) and
+// Bottom its identity element (the optimistic initial state). The engine
+// drives a worklist to a fixpoint; for lattices of unbounded height an
+// optional widening operator accelerates convergence at loop heads.
+type Problem[S any] struct {
+	// Forward selects the direction: facts flow along CFG edges (block
+	// in-state = join of predecessor out-states) or against them.
+	Forward bool
+
+	// Boundary produces the in-state of the entry block (forward) or the
+	// out-state of every exit block (backward).
+	Boundary func(f *ir.Func) S
+
+	// Bottom produces the identity element of Join: the state every other
+	// block boundary starts from.
+	Bottom func() S
+
+	// Join merges src into dst and reports whether dst changed. dst may be
+	// mutated in place; the merged state is returned.
+	Join func(dst, src S) (S, bool)
+
+	// Transfer computes a block's out-state (forward) or in-state
+	// (backward) from the given boundary state. The argument is a private
+	// copy the transfer function may mutate freely.
+	Transfer func(b *ir.Block, in S) S
+
+	// Clone deep-copies a state.
+	Clone func(S) S
+
+	// Widen, when non-nil, is applied to a block's boundary state once the
+	// block has been visited more than WidenAfter times: it must return a
+	// state at least as large as both arguments, jumping far enough up the
+	// lattice that the chain terminates (typically to ±infinity bounds).
+	Widen func(prev, next S) S
+
+	// WidenAfter is the visit count that triggers widening (default 4).
+	WidenAfter int
+}
+
+// Result carries the fixpoint: the state at each block's entry and exit (in
+// execution order, regardless of analysis direction).
+type Result[S any] struct {
+	In  map[*ir.Block]S
+	Out map[*ir.Block]S
+}
+
+// Solve runs the worklist algorithm to a fixpoint over f's reachable
+// blocks. Blocks are processed in reverse post order (post order for
+// backward problems) so that acyclic regions converge in one pass; loops
+// iterate until their states stabilize or widening forces termination.
+func Solve[S any](f *ir.Func, p Problem[S]) Result[S] {
+	order := rpo(f)
+	if !p.Forward {
+		rev := make([]*ir.Block, len(order))
+		for i, b := range order {
+			rev[len(order)-1-i] = b
+		}
+		order = rev
+	}
+	widenAfter := p.WidenAfter
+	if widenAfter <= 0 {
+		widenAfter = 4
+	}
+
+	idx := make(map[*ir.Block]int, len(order))
+	for i, b := range order {
+		idx[b] = i
+	}
+	// sources(b) are the blocks whose post-transfer states feed b;
+	// sinks(b) the blocks to reenqueue when b's state changes.
+	sources := func(b *ir.Block) []*ir.Block {
+		if p.Forward {
+			return b.Preds
+		}
+		return b.Succs
+	}
+	sinks := func(b *ir.Block) []*ir.Block {
+		if p.Forward {
+			return b.Succs
+		}
+		return b.Preds
+	}
+	isBoundary := func(b *ir.Block) bool {
+		if p.Forward {
+			return b == f.Entry()
+		}
+		return len(b.Succs) == 0
+	}
+
+	// pre[b] is the state flowing into the transfer, post[b] the state it
+	// produced. They map onto Result.In/Out according to direction.
+	pre := make(map[*ir.Block]S, len(order))
+	post := make(map[*ir.Block]S, len(order))
+	visited := make(map[*ir.Block]bool, len(order))
+	visits := make(map[*ir.Block]int, len(order))
+
+	inQueue := make([]bool, len(order))
+	queue := make([]int, 0, len(order))
+	push := func(b *ir.Block) {
+		i, ok := idx[b]
+		if !ok || inQueue[i] {
+			return
+		}
+		inQueue[i] = true
+		queue = append(queue, i)
+	}
+	for _, b := range order {
+		push(b)
+	}
+
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		inQueue[i] = false
+		b := order[i]
+
+		next := p.Bottom()
+		if isBoundary(b) {
+			next, _ = p.Join(next, p.Boundary(f))
+		}
+		for _, s := range sources(b) {
+			if out, ok := post[s]; ok {
+				next, _ = p.Join(next, out)
+			}
+		}
+		visits[b]++
+		first := !visited[b]
+		if !first {
+			merged, changed := p.Join(p.Clone(pre[b]), next)
+			if !changed {
+				continue
+			}
+			if p.Widen != nil && visits[b] > widenAfter {
+				merged = p.Widen(pre[b], merged)
+			}
+			next = merged
+		}
+		visited[b] = true
+		pre[b] = next
+		post[b] = p.Transfer(b, p.Clone(next))
+		for _, s := range sinks(b) {
+			push(s)
+		}
+	}
+
+	res := Result[S]{In: pre, Out: post}
+	if !p.Forward {
+		res.In, res.Out = post, pre
+	}
+	return res
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import "fmt"
+
+// Interval is a signed integer interval [Lo, Hi], the abstract domain of
+// the bounds checker. The lattice has unbounded height, so fixpoints over
+// loops rely on the engine's widening. Arithmetic is conservative: any
+// operation that could wrap 32-bit space or whose transfer is not worth
+// modelling returns Top.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Infinite endpoints. Kept far inside the int64 range so endpoint
+// arithmetic (Lo+Lo, Hi+Hi) cannot overflow.
+const (
+	NegInf int64 = -(1 << 40)
+	PosInf int64 = 1 << 40
+)
+
+// Top is the unconstrained interval.
+var Top = Interval{Lo: NegInf, Hi: PosInf}
+
+// Const returns the singleton interval {c}.
+func Const(c int64) Interval { return Interval{Lo: c, Hi: c} }
+
+// Span returns [lo, hi].
+func Span(lo, hi int64) Interval { return Interval{Lo: lo, Hi: hi} }
+
+// IsTop reports whether the interval is unconstrained.
+func (iv Interval) IsTop() bool { return iv.Lo <= NegInf && iv.Hi >= PosInf }
+
+// Exact returns the single concrete value, if the interval is a singleton.
+func (iv Interval) Exact() (int64, bool) {
+	if iv.Lo == iv.Hi {
+		return iv.Lo, true
+	}
+	return 0, false
+}
+
+func (iv Interval) String() string {
+	lo, hi := "-inf", "+inf"
+	if iv.Lo > NegInf {
+		lo = fmt.Sprint(iv.Lo)
+	}
+	if iv.Hi < PosInf {
+		hi = fmt.Sprint(iv.Hi)
+	}
+	return fmt.Sprintf("[%s,%s]", lo, hi)
+}
+
+func clamp(x int64) int64 {
+	if x < NegInf {
+		return NegInf
+	}
+	if x > PosInf {
+		return PosInf
+	}
+	return x
+}
+
+// norm32 widens to Top any interval that leaves the 32-bit value range:
+// runtime arithmetic wraps there, so keeping the out-of-range bounds would
+// let the checker "prove" violations that wraparound makes unreachable.
+func norm32(iv Interval) Interval {
+	if iv.Lo < -(1<<31) || iv.Hi >= (1<<32) {
+		return Top
+	}
+	return iv
+}
+
+// Union is the lattice join.
+func (iv Interval) Union(o Interval) Interval {
+	if o.Lo < iv.Lo {
+		iv.Lo = o.Lo
+	}
+	if o.Hi > iv.Hi {
+		iv.Hi = o.Hi
+	}
+	return iv
+}
+
+// WidenFrom jumps an endpoint that grew since prev to infinity.
+func (iv Interval) WidenFrom(prev Interval) Interval {
+	if iv.Lo < prev.Lo {
+		iv.Lo = NegInf
+	}
+	if iv.Hi > prev.Hi {
+		iv.Hi = PosInf
+	}
+	return iv
+}
+
+// Add is interval addition (Top on possible 32-bit wrap).
+func (iv Interval) Add(o Interval) Interval {
+	return norm32(Interval{Lo: clamp(iv.Lo + o.Lo), Hi: clamp(iv.Hi + o.Hi)})
+}
+
+// Sub is interval subtraction (Top on possible 32-bit wrap).
+func (iv Interval) Sub(o Interval) Interval {
+	return norm32(Interval{Lo: clamp(iv.Lo - o.Hi), Hi: clamp(iv.Hi - o.Lo)})
+}
+
+// Neg negates the interval.
+func (iv Interval) Neg() Interval {
+	return norm32(Interval{Lo: clamp(-iv.Hi), Hi: clamp(-iv.Lo)})
+}
+
+// Mul is interval multiplication; unbounded operands go to Top.
+func (iv Interval) Mul(o Interval) Interval {
+	if iv.IsTop() || o.IsTop() || iv.Lo <= NegInf || iv.Hi >= PosInf ||
+		o.Lo <= NegInf || o.Hi >= PosInf {
+		return Top
+	}
+	candidates := [4]int64{iv.Lo * o.Lo, iv.Lo * o.Hi, iv.Hi * o.Lo, iv.Hi * o.Hi}
+	lo, hi := candidates[0], candidates[0]
+	for _, c := range candidates[1:] {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	return norm32(Interval{Lo: clamp(lo), Hi: clamp(hi)})
+}
+
+// AndMask bounds v & mask for a non-negative constant mask: the result lies
+// in [0, mask] regardless of v.
+func AndMask(mask int64) Interval {
+	if mask < 0 {
+		return Top
+	}
+	return Interval{Lo: 0, Hi: mask}
+}
+
+// ZextBound is the range of a zero-extended size-byte value.
+func ZextBound(size uint8) Interval {
+	switch size {
+	case 1:
+		return Interval{Lo: 0, Hi: 0xFF}
+	case 2:
+		return Interval{Lo: 0, Hi: 0xFFFF}
+	}
+	return Interval{Lo: 0, Hi: 0xFFFFFFFF}
+}
+
+// SextBound is the range of a sign-extended size-byte value.
+func SextBound(size uint8) Interval {
+	switch size {
+	case 1:
+		return Interval{Lo: -0x80, Hi: 0x7F}
+	case 2:
+		return Interval{Lo: -0x8000, Hi: 0x7FFF}
+	}
+	return Top
+}

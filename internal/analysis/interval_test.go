@@ -1,0 +1,76 @@
+package analysis
+
+import "testing"
+
+func TestIntervalArith(t *testing.T) {
+	a := Span(1, 3)
+	b := Span(10, 20)
+	if got := a.Add(b); got != Span(11, 23) {
+		t.Errorf("add: %v", got)
+	}
+	if got := b.Sub(a); got != Span(7, 19) {
+		t.Errorf("sub: %v", got)
+	}
+	if got := a.Neg(); got != Span(-3, -1) {
+		t.Errorf("neg: %v", got)
+	}
+	if got := a.Mul(Span(-2, 2)); got != Span(-6, 6) {
+		t.Errorf("mul: %v", got)
+	}
+	if got := a.Union(Span(-5, 2)); got != Span(-5, 3) {
+		t.Errorf("union: %v", got)
+	}
+}
+
+func TestIntervalWrapGuard(t *testing.T) {
+	// Arithmetic that can wrap 32-bit space must give up rather than claim
+	// impossible bounds.
+	big := Const(1 << 31)
+	if got := big.Add(big); !got.IsTop() {
+		t.Errorf("2^31+2^31 should be Top, got %v", got)
+	}
+	low := Const(-(1 << 30))
+	if got := low.Add(low).Add(low); !got.IsTop() {
+		t.Errorf("-3*2^30 should be Top, got %v", got)
+	}
+	if got := Const(1 << 20).Mul(Const(1 << 20)); !got.IsTop() {
+		t.Errorf("2^40 product should be Top, got %v", got)
+	}
+}
+
+func TestIntervalWiden(t *testing.T) {
+	prev := Span(0, 4)
+	next := Span(0, 8)
+	w := next.WidenFrom(prev)
+	if w.Lo != 0 || w.Hi != PosInf {
+		t.Errorf("widen grew-hi: %v", w)
+	}
+	w = Span(-4, 4).WidenFrom(prev)
+	if w.Lo != NegInf || w.Hi != 4 {
+		t.Errorf("widen grew-lo: %v", w)
+	}
+	if w := prev.WidenFrom(prev); w != prev {
+		t.Errorf("widen stable: %v", w)
+	}
+}
+
+func TestIntervalBounds(t *testing.T) {
+	if got := AndMask(0xFF); got != Span(0, 0xFF) {
+		t.Errorf("andmask: %v", got)
+	}
+	if !AndMask(-1).IsTop() {
+		t.Error("negative mask must be Top")
+	}
+	if got := ZextBound(1); got != Span(0, 0xFF) {
+		t.Errorf("zext1: %v", got)
+	}
+	if got := SextBound(2); got != Span(-0x8000, 0x7FFF) {
+		t.Errorf("sext2: %v", got)
+	}
+	if c, ok := Const(7).Exact(); !ok || c != 7 {
+		t.Error("const not exact")
+	}
+	if _, ok := Span(1, 2).Exact(); ok {
+		t.Error("span reported exact")
+	}
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"strings"
+
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/layout"
+)
+
+// Lint orchestration: the post-refinement verification stage. It audits a
+// symbolized module against its recovered layout table with every check in
+// the package and collects the findings into one Report. The severity
+// contract is the one diag.go documents — an Error is a proven violation
+// of a layout invariant and means the recompiled program may be broken.
+
+// cpPrefix marks call-plumbing allocas (outgoing argument slots); the
+// symbolizer excludes them from the recovered layout table.
+const cpPrefix = "cp_"
+
+// CheckFrame proves the recovered layout table and the symbolized IR agree
+// about f's frame: every non-call-plumbing alloca must appear in the frame
+// with exactly its offset and size, the frame must not promise objects the
+// IR does not have, and the frame's objects must not overlap. A mismatch is
+// a proven violation — the table is the contract the recompiler emits
+// debug info and the evaluation (Figure 7) from, so it must describe the
+// code.
+func CheckFrame(f *ir.Func, frame *layout.Frame, rep *Report) {
+	var vars []layout.Var
+	if frame != nil {
+		vars = frame.Vars
+	}
+	matched := make([]bool, len(vars))
+	for _, b := range f.Blocks {
+		for _, v := range b.Insts {
+			if v.Op != ir.OpAlloca || strings.HasPrefix(v.Name, cpPrefix) {
+				continue
+			}
+			if v.Const >= 0 {
+				// Incoming stack arguments materialized as objects: the
+				// layout table records only locals (negative sp0 offsets).
+				continue
+			}
+			found := false
+			for i, lv := range vars {
+				if lv.Offset == v.Const && lv.Size == v.AllocSize {
+					matched[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				rep.Addf("frame", Error, f.Name, v,
+					"stack object %q [%d,%d) has no matching entry in the recovered layout",
+					v.Name, v.Const, v.Const+int32(v.AllocSize))
+			}
+		}
+	}
+	for i, lv := range vars {
+		if !matched[i] {
+			rep.Addf("frame", Error, f.Name, nil,
+				"recovered layout lists %s but the IR has no such stack object", lv)
+		}
+		for _, ov := range vars[i+1:] {
+			if lv.Overlaps(ov) {
+				rep.Addf("frame", Error, f.Name, nil,
+					"recovered layout objects %s and %s overlap", lv, ov)
+			}
+		}
+	}
+}
+
+// LintFunc runs every per-function check against f. frame may be nil
+// (function absent from the layout table) and facts may be the zero value
+// (no pre-symbolization height capture available).
+func LintFunc(f *ir.Func, frame *layout.Frame, facts HeightFacts, rep *Report) {
+	esc := Escape(f)
+	CheckFrame(f, frame, rep)
+	CheckRefCoverage(f, facts, rep)
+	CheckBounds(f, rep)
+	CheckInit(f, esc, rep)
+	CheckDeadStores(f, esc, rep)
+}
+
+// LintIR runs only the layout-independent checks: IR well-formedness,
+// bounds, initialization and dead stores. Suitable between optimization
+// passes, where stack objects may legitimately have been promoted away and
+// the layout table no longer describes the IR.
+func LintIR(m *ir.Module, rep *Report) {
+	if err := ir.Verify(m); err != nil {
+		rep.Add(Diag{Check: "verify", Severity: Error, Func: m.Name, Msg: err.Error()})
+	}
+	for _, f := range m.Funcs {
+		esc := Escape(f)
+		CheckBounds(f, rep)
+		CheckInit(f, esc, rep)
+		CheckDeadStores(f, esc, rep)
+	}
+	rep.Sort()
+}
+
+// LintModule audits a symbolized module against its recovered layout.
+// heights carries the per-function stack-height facts captured before
+// symbolization (nil when unavailable). The report is returned sorted.
+func LintModule(m *ir.Module, recovered *layout.Program, heights map[*ir.Func]HeightFacts, rep *Report) {
+	if err := ir.Verify(m); err != nil {
+		rep.Add(Diag{Check: "verify", Severity: Error, Func: m.Name, Msg: err.Error()})
+	}
+	if m.EmuStackSize != 0 {
+		rep.Add(Diag{Check: "frame", Severity: Warn, Func: m.Name,
+			Msg: "module still carries an emulated stack after symbolization"})
+	}
+	for _, f := range m.Funcs {
+		var frame *layout.Frame
+		if recovered != nil {
+			frame = recovered.Frame(f.Name)
+		}
+		LintFunc(f, frame, heights[f], rep)
+	}
+	rep.Sort()
+}

@@ -1,0 +1,215 @@
+// Package irgen generates random well-defined IR modules for differential
+// testing: value graphs the mini-C compiler would never emit, but that the
+// optimizer, the code generator and the static analyses must all handle
+// without changing behaviour. Generation is deterministic per seed.
+package irgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/isa"
+)
+
+type gen struct {
+	r    *rand.Rand
+	f    *ir.Func
+	b    *ir.Block // current block
+	pool []*ir.Value
+	// stored offsets within the alloca, for safe loads
+	alloca *ir.Value
+	stored []int32
+}
+
+func (g *gen) konst(c int32) *ir.Value {
+	v := g.f.NewValue(ir.OpConst)
+	v.Const = c
+	g.b.Append(v)
+	return v
+}
+
+func (g *gen) pick() *ir.Value { return g.pool[g.r.Intn(len(g.pool))] }
+
+// op emits one random well-defined operation over the pool and returns it.
+func (g *gen) op() *ir.Value {
+	f, b := g.f, g.b
+	switch g.r.Intn(12) {
+	case 0, 1, 2: // plain binary ALU
+		ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor}
+		v := f.NewValue(ops[g.r.Intn(len(ops))], g.pick(), g.pick())
+		b.Append(v)
+		return v
+	case 3: // shifts with a bounded count
+		ops := []ir.Op{ir.OpShl, ir.OpShr, ir.OpSar}
+		v := f.NewValue(ops[g.r.Intn(3)], g.pick(), g.konst(int32(g.r.Intn(31))))
+		b.Append(v)
+		return v
+	case 4: // signed division by a positive constant
+		op := ir.OpDiv
+		if g.r.Intn(2) == 0 {
+			op = ir.OpMod
+		}
+		v := f.NewValue(op, g.pick(), g.konst(int32(1+g.r.Intn(13))))
+		b.Append(v)
+		return v
+	case 5: // unary
+		op := ir.OpNeg
+		if g.r.Intn(2) == 0 {
+			op = ir.OpNot
+		}
+		v := f.NewValue(op, g.pick())
+		b.Append(v)
+		return v
+	case 6: // compare, every condition
+		v := f.NewValue(ir.OpCmp, g.pick(), g.pick())
+		v.Cond = isa.Cond(g.r.Intn(int(isa.NumConds)))
+		b.Append(v)
+		return v
+	case 7: // width ops
+		op := ir.OpSext
+		if g.r.Intn(2) == 0 {
+			op = ir.OpZext
+		}
+		v := f.NewValue(op, g.pick())
+		v.Size = []uint8{1, 2, 4}[g.r.Intn(3)]
+		b.Append(v)
+		return v
+	case 8: // sub-register write
+		v := f.NewValue(ir.OpSubreg8, g.pick(), g.pick())
+		b.Append(v)
+		return v
+	case 9: // store a value into the alloca, remember the slot
+		off := int32(4 * g.r.Intn(16))
+		addr := f.NewValue(ir.OpAdd, g.alloca, g.konst(off))
+		b.Append(addr)
+		st := f.NewValue(ir.OpStore, addr, g.pick())
+		st.Size = 4
+		b.Append(st)
+		g.stored = append(g.stored, off)
+		return nil
+	case 10: // load from a previously stored slot
+		if len(g.stored) == 0 {
+			return nil
+		}
+		off := g.stored[g.r.Intn(len(g.stored))]
+		addr := f.NewValue(ir.OpAdd, g.alloca, g.konst(off))
+		b.Append(addr)
+		ld := f.NewValue(ir.OpLoad, addr)
+		ld.Size = 4
+		b.Append(ld)
+		return ld
+	default: // scaled address: alloca + idx*4 within bounds, store+load
+		idx := f.NewValue(ir.OpAnd, g.pick(), g.konst(15))
+		b.Append(idx)
+		sc := f.NewValue(ir.OpMul, idx, g.konst(4))
+		b.Append(sc)
+		addr := f.NewValue(ir.OpAdd, g.alloca, sc)
+		b.Append(addr)
+		st := f.NewValue(ir.OpStore, addr, g.pick())
+		st.Size = 4
+		b.Append(st)
+		ld := f.NewValue(ir.OpLoad, addr)
+		ld.Size = 4
+		b.Append(ld)
+		return ld
+	}
+}
+
+// Build returns a module whose f(a,b) runs a random op chain with one phi
+// diamond, called from _start with the given arguments.
+func Build(seed int64, a, b int32) *ir.Module {
+	r := rand.New(rand.NewSource(seed))
+	m := ir.NewModule(fmt.Sprintf("rnd%d", seed))
+
+	f := m.NewFunc("f", 0x2000)
+	f.NumRet = 1
+	pa := f.NewParam(isa.EAX, "a")
+	pb := f.NewParam(isa.ECX, "b")
+	entry := f.NewBlock(0)
+
+	g := &gen{r: r, f: f, b: entry, pool: []*ir.Value{pa, pb}}
+	al := f.NewValue(ir.OpAlloca)
+	al.AllocSize = 64
+	al.Name = "buf"
+	al.Const = -64
+	entry.Append(al)
+	g.alloca = al
+	g.pool = append(g.pool, g.konst(int32(r.Intn(1000)-500)))
+
+	n := 6 + r.Intn(10)
+	for i := 0; i < n; i++ {
+		if v := g.op(); v != nil {
+			g.pool = append(g.pool, v)
+		}
+	}
+
+	// Diamond with a phi join.
+	cond := f.NewValue(ir.OpCmp, g.pick(), g.pick())
+	cond.Cond = isa.Cond(r.Intn(int(isa.NumConds)))
+	entry.Append(cond)
+	thenB := f.NewBlock(0)
+	elseB := f.NewBlock(0)
+	join := f.NewBlock(0)
+	br := f.NewValue(ir.OpBr, cond)
+	entry.Append(br)
+	entry.Succs = []*ir.Block{thenB, elseB}
+	thenB.Preds = []*ir.Block{entry}
+	elseB.Preds = []*ir.Block{entry}
+
+	g.b = thenB
+	tv := f.NewValue(ir.OpAdd, g.pick(), g.konst(7))
+	thenB.Append(tv)
+	thenB.Append(f.NewValue(ir.OpJmp))
+	thenB.Succs = []*ir.Block{join}
+
+	g.b = elseB
+	ev := f.NewValue(ir.OpXor, g.pick(), g.konst(21))
+	elseB.Append(ev)
+	elseB.Append(f.NewValue(ir.OpJmp))
+	elseB.Succs = []*ir.Block{join}
+
+	join.Preds = []*ir.Block{thenB, elseB}
+	phi := f.NewValue(ir.OpPhi, tv, ev)
+	join.AddPhi(phi)
+	g.b = join
+	g.pool = append(g.pool, phi)
+
+	n = 4 + r.Intn(8)
+	for i := 0; i < n; i++ {
+		if v := g.op(); v != nil {
+			g.pool = append(g.pool, v)
+		}
+	}
+	// Fold the pool tail into one result so late values are live.
+	res := g.pool[len(g.pool)-1]
+	for i := 0; i < 3; i++ {
+		res = f.NewValue(ir.OpXor, res, g.pick())
+		join.Append(res)
+	}
+	join.Append(f.NewValue(ir.OpRet, res))
+
+	// _start: call f(a, b) and exit with the result.
+	start := m.NewFunc("_start", 0x1000)
+	sb := start.NewBlock(0)
+	ka := start.NewValue(ir.OpConst)
+	ka.Const = a
+	sb.Append(ka)
+	kb := start.NewValue(ir.OpConst)
+	kb.Const = b
+	sb.Append(kb)
+	call := start.NewValue(ir.OpCall, ka, kb)
+	call.Callee = f
+	call.NumRet = 1
+	sb.Append(call)
+	ex := start.NewValue(ir.OpExtract, call)
+	ex.Idx = 0
+	sb.Append(ex)
+	ec := start.NewValue(ir.OpCallExt, ex)
+	ec.Sym = "exit"
+	ec.NumRet = 1
+	sb.Append(ec)
+	sb.Append(start.NewValue(ir.OpTrap))
+	m.Entry = start
+	return m
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"wytiwyg/internal/codegen"
+	"wytiwyg/internal/codegen/irgen"
 	"wytiwyg/internal/irexec"
 	"wytiwyg/internal/machine"
 )
@@ -20,7 +21,7 @@ func TestCodegenOptionsPreserveBehaviour(t *testing.T) {
 		{NoTiles: true, NoEAXFuse: true, NoCoalesce: true},
 	}
 	for seed := int64(101); seed <= 120; seed++ {
-		m := buildRandomModule(seed, int32(seed*3), int32(100-seed))
+		m := irgen.Build(seed, int32(seed*3), int32(100-seed))
 		want, err := irexec.Run(m, machine.Input{}, nil, nil)
 		if err != nil {
 			t.Fatalf("seed %d: irexec: %v", seed, err)
@@ -47,7 +48,7 @@ func TestCodegenOptionsPreserveBehaviour(t *testing.T) {
 // Disabling a feature must never make code faster: the full generator is
 // the lower envelope (cycles measured on the deterministic machine).
 func TestCodegenOptionsNeverFaster(t *testing.T) {
-	m := buildRandomModule(7, 100, 200)
+	m := irgen.Build(7, 100, 200)
 	full, err := codegen.Compile(m, "full")
 	if err != nil {
 		t.Fatal(err)

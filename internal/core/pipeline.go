@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 
+	"wytiwyg/internal/analysis"
 	"wytiwyg/internal/funcrec"
 	"wytiwyg/internal/ir"
 	"wytiwyg/internal/irexec"
@@ -25,10 +26,32 @@ import (
 	"wytiwyg/internal/vartrack"
 )
 
+// LintMode selects how the post-refinement verification stage behaves.
+type LintMode int
+
+// Verification modes: LintOff skips the stage, LintWarn runs every check
+// and keeps the findings in Pipeline.Report, LintFail additionally turns
+// proven violations (Error findings) into a pipeline failure.
+const (
+	LintOff LintMode = iota
+	LintWarn
+	LintFail
+)
+
 // Pipeline carries the state of one recompilation.
 type Pipeline struct {
 	Img    *obj.Image
 	Inputs []machine.Input
+
+	// Lint selects the post-refinement verification stage's behaviour.
+	Lint LintMode
+	// Report accumulates the verification findings (nil until a lint-enabled
+	// refinement stage has run).
+	Report *analysis.Report
+	// Heights holds the per-function stack-height facts captured after the
+	// stack-reference refinement — they must be taken before symbolization
+	// erases the ESP parameters they are phrased in.
+	Heights map[*ir.Func]analysis.HeightFacts
 
 	Trace *tracer.Trace
 	CFG   *tracer.CFG
@@ -124,13 +147,42 @@ func (p *Pipeline) RefineVarArgs() error {
 }
 
 // RefineStackRef folds constant stack displacements into canonical
-// sp0+offset form (the static part of §4.1).
+// sp0+offset form (the static part of §4.1). With linting enabled it also
+// captures the independent stack-height facts and cross-checks them
+// against the displacements just canonicalized.
 func (p *Pipeline) RefineStackRef() error {
 	offs, err := stackref.Apply(p.Mod)
 	if err != nil {
 		return fmt.Errorf("core: stackref: %w", err)
 	}
 	p.SPOffsets = offs
+	if p.Lint == LintOff {
+		return nil
+	}
+	p.ensureReport()
+	p.Heights = make(map[*ir.Func]analysis.HeightFacts, len(p.Mod.Funcs))
+	for _, f := range p.Mod.Funcs {
+		facts := analysis.Heights(f)
+		p.Heights[f] = facts
+		analysis.CheckHeights(f, facts, p.SPOffsets[f], p.Report)
+	}
+	return p.lintGate("stackref")
+}
+
+func (p *Pipeline) ensureReport() {
+	if p.Report == nil {
+		p.Report = &analysis.Report{}
+	}
+}
+
+// lintGate fails the pipeline when verification proved a violation and the
+// mode asks for failure.
+func (p *Pipeline) lintGate(stage string) error {
+	if p.Lint == LintFail && p.Report.Errors() > 0 {
+		p.Report.Sort()
+		return fmt.Errorf("core: %s verification found %d proven violation(s):\n%s",
+			stage, p.Report.Errors(), p.Report)
+	}
 	return nil
 }
 
@@ -148,6 +200,13 @@ func (p *Pipeline) RefineSymbolize() (*layout.Program, error) {
 		return nil, fmt.Errorf("core: symbolize: %w", err)
 	}
 	p.Recovered = prog
+	if p.Lint != LintOff {
+		p.ensureReport()
+		analysis.LintModule(p.Mod, p.Recovered, p.Heights, p.Report)
+		if err := p.lintGate("symbolize"); err != nil {
+			return nil, err
+		}
+	}
 	return prog, nil
 }
 

@@ -45,6 +45,41 @@ func (f *Func) String() string {
 	return b.String()
 }
 
+// Location returns a stable, greppable position for a value in the form
+// "func:bN:iK" (instruction K of block N), "func:bN:pK" (phi K) or
+// "func:paramK". Diagnostics use it so that a finding maps back to one line
+// of the printed IR. An unplaced or detached value reports "?" components.
+func (v *Value) Location() string {
+	if v == nil {
+		return "?"
+	}
+	if v.Op == OpParam {
+		if v.Block != nil && v.Block.Func != nil {
+			return fmt.Sprintf("%s:param%d", v.Block.Func.Name, v.Idx)
+		}
+		return fmt.Sprintf("param%d", v.Idx)
+	}
+	b := v.Block
+	if b == nil {
+		return fmt.Sprintf("?:?:%s", v)
+	}
+	fn := "?"
+	if b.Func != nil {
+		fn = b.Func.Name
+	}
+	for i, p := range b.Phis {
+		if p == v {
+			return fmt.Sprintf("%s:b%d:p%d", fn, b.ID, i)
+		}
+	}
+	for i, in := range b.Insts {
+		if in == v {
+			return fmt.Sprintf("%s:b%d:i%d", fn, b.ID, i)
+		}
+	}
+	return fmt.Sprintf("%s:b%d:%s", fn, b.ID, v)
+}
+
 func (v *Value) describe() string {
 	var b strings.Builder
 	if v.Op.HasResult() {

@@ -4,8 +4,10 @@ import "fmt"
 
 // Verify checks structural invariants of a module: every block ends in
 // exactly one terminator, successor/predecessor edges are symmetric, phi
-// arity matches predecessors, arguments belong to the same function, and
-// parameter/return counts are consistent at call sites.
+// arity matches predecessors, arguments belong to the same function,
+// parameter/return counts are consistent at call sites, and every use of a
+// value is dominated by its definition (SSA well-formedness; phi arguments
+// must be defined by the end of the corresponding predecessor).
 func Verify(m *Module) error {
 	for _, f := range m.Funcs {
 		if err := verifyFunc(f); err != nil {
@@ -151,7 +153,149 @@ func verifyFunc(f *Func) error {
 			}
 		}
 	}
+	return verifyDominance(f)
+}
+
+// verifyDominance checks that every value use is dominated by its
+// definition. Parameters dominate everything; a phi's i-th argument must be
+// defined by the end of the i-th predecessor. Unreachable blocks are
+// skipped: passes in flight may leave them behind and dominance is
+// undefined there.
+func verifyDominance(f *Func) error {
+	idom := Dominators(f)
+	// Definition order within a block: phis first (they all "define at the
+	// top"), then instructions in list order.
+	defIdx := map[*Value]int{}
+	for _, b := range f.Blocks {
+		for _, v := range b.Phis {
+			defIdx[v] = -1
+		}
+		for i, v := range b.Insts {
+			defIdx[v] = i
+		}
+	}
+	isParam := map[*Value]bool{}
+	for _, p := range f.Params {
+		isParam[p] = true
+	}
+	// dominates reports whether block a dominates block b (both reachable).
+	dominates := func(a, b *Block) bool {
+		for ; b != nil; b = idom[b] {
+			if b == a {
+				return true
+			}
+			if b == f.Entry() {
+				return false
+			}
+		}
+		return false
+	}
+	// defReaches reports whether def's value is available at (useBlock, pos).
+	defReaches := func(def *Value, useBlock *Block, pos int) bool {
+		if isParam[def] || def.Op == OpConst && def.Block == nil {
+			return true
+		}
+		db := def.Block
+		if db == nil {
+			return false
+		}
+		if db == useBlock {
+			return defIdx[def] < pos
+		}
+		return dominates(db, useBlock)
+	}
+	for _, b := range f.Blocks {
+		if _, reachable := idom[b]; !reachable && b != f.Entry() {
+			continue
+		}
+		for _, v := range b.Phis {
+			for i, a := range v.Args {
+				if i >= len(b.Preds) {
+					break // arity mismatch reported by the structural pass
+				}
+				p := b.Preds[i]
+				if _, ok := idom[p]; !ok && p != f.Entry() {
+					continue // value flows in from an unreachable edge
+				}
+				if !defReaches(a, p, len(p.Insts)) {
+					return fmt.Errorf("block b%d: phi %s arg %d (%s, def at %s) not available at end of pred b%d",
+						b.ID, v, i, a, a.Location(), p.ID)
+				}
+			}
+		}
+		for i, v := range b.Insts {
+			for _, a := range v.Args {
+				if !defReaches(a, b, i) {
+					return fmt.Errorf("block b%d: %s(%s) uses %s (def at %s) before its definition dominates it",
+						b.ID, v, v.Op, a, a.Location())
+				}
+			}
+		}
+	}
 	return nil
+}
+
+// Dominators computes the immediate-dominator tree of f's reachable blocks
+// (Cooper/Harvey/Kennedy iterative algorithm). The entry maps to itself;
+// unreachable blocks are absent from the result.
+func Dominators(f *Func) map[*Block]*Block {
+	// Reverse post order over reachable blocks.
+	seen := map[*Block]bool{}
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	entry := f.Entry()
+	dfs(entry)
+	rpo := make([]*Block, len(post))
+	rpoNum := make(map[*Block]int, len(post))
+	for i, b := range post {
+		rpo[len(post)-1-i] = b
+	}
+	for i, b := range rpo {
+		rpoNum[b] = i
+	}
+	idom := map[*Block]*Block{entry: entry}
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if idom[p] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
 }
 
 func hasBlock(list []*Block, b *Block) bool {

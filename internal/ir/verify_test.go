@@ -203,3 +203,126 @@ func TestVerifyViolations(t *testing.T) {
 		})
 	}
 }
+
+// Dominance: a use in a block that the definition does not dominate must be
+// rejected, both for plain instructions and for phi edge arguments.
+func TestVerifyDominance(t *testing.T) {
+	build := func() (*ir.Module, *ir.Func, *ir.Block, *ir.Block, *ir.Block, *ir.Block) {
+		// entry -> (then | else) -> join diamond.
+		m := ir.NewModule("d")
+		f := m.NewFunc("f", 0x1000)
+		f.NumRet = 1
+		entry := f.NewBlock(0)
+		thenB := f.NewBlock(0)
+		elseB := f.NewBlock(0)
+		join := f.NewBlock(0)
+		cond := f.NewValue(ir.OpConst)
+		cond.Const = 1
+		entry.Append(cond)
+		entry.Append(f.NewValue(ir.OpBr, cond))
+		entry.Succs = []*ir.Block{thenB, elseB}
+		thenB.Preds = []*ir.Block{entry}
+		elseB.Preds = []*ir.Block{entry}
+		thenB.Append(f.NewValue(ir.OpJmp))
+		thenB.Succs = []*ir.Block{join}
+		elseB.Append(f.NewValue(ir.OpJmp))
+		elseB.Succs = []*ir.Block{join}
+		join.Preds = []*ir.Block{thenB, elseB}
+		m.Entry = f
+		return m, f, entry, thenB, elseB, join
+	}
+
+	t.Run("cross-branch-use", func(t *testing.T) {
+		m, f, _, thenB, elseB, join := build()
+		tv := f.NewValue(ir.OpConst)
+		tv.Const = 7
+		tv.Block = thenB
+		thenB.Insts = append([]*ir.Value{tv}, thenB.Insts...)
+		// elseB uses a value defined only on the then path.
+		use := f.NewValue(ir.OpNeg, tv)
+		use.Block = elseB
+		elseB.Insts = append([]*ir.Value{use}, elseB.Insts...)
+		join.Append(f.NewValue(ir.OpRet, use))
+		err := ir.Verify(m)
+		if err == nil || !strings.Contains(err.Error(), "before its definition dominates it") {
+			t.Fatalf("cross-branch use not caught: %v", err)
+		}
+	})
+
+	t.Run("use-before-def-in-block", func(t *testing.T) {
+		m, f, entry, _, _, join := build()
+		k := f.NewValue(ir.OpConst)
+		k.Const = 3
+		use := f.NewValue(ir.OpNeg, k)
+		use.Block = entry
+		k.Block = entry
+		// use placed before its definition in the same block.
+		entry.Insts = append([]*ir.Value{use, k}, entry.Insts...)
+		join.Append(f.NewValue(ir.OpRet, use))
+		err := ir.Verify(m)
+		if err == nil || !strings.Contains(err.Error(), "before its definition") {
+			t.Fatalf("in-block use-before-def not caught: %v", err)
+		}
+	})
+
+	t.Run("phi-arg-wrong-pred", func(t *testing.T) {
+		m, f, _, thenB, elseB, join := build()
+		tv := f.NewValue(ir.OpConst)
+		tv.Const = 7
+		tv.Block = thenB
+		thenB.Insts = append([]*ir.Value{tv}, thenB.Insts...)
+		ev := f.NewValue(ir.OpConst)
+		ev.Const = 9
+		ev.Block = elseB
+		elseB.Insts = append([]*ir.Value{ev}, elseB.Insts...)
+		// Swapped: the else edge claims the then-path value and vice versa.
+		phi := f.NewValue(ir.OpPhi, ev, tv)
+		join.AddPhi(phi)
+		join.Append(f.NewValue(ir.OpRet, phi))
+		err := ir.Verify(m)
+		if err == nil || !strings.Contains(err.Error(), "not available at end of pred") {
+			t.Fatalf("phi edge mismatch not caught: %v", err)
+		}
+	})
+
+	t.Run("valid-diamond-with-phi", func(t *testing.T) {
+		m, f, _, thenB, elseB, join := build()
+		tv := f.NewValue(ir.OpConst)
+		tv.Const = 7
+		tv.Block = thenB
+		thenB.Insts = append([]*ir.Value{tv}, thenB.Insts...)
+		ev := f.NewValue(ir.OpConst)
+		ev.Const = 9
+		ev.Block = elseB
+		elseB.Insts = append([]*ir.Value{ev}, elseB.Insts...)
+		phi := f.NewValue(ir.OpPhi, tv, ev)
+		join.AddPhi(phi)
+		join.Append(f.NewValue(ir.OpRet, phi))
+		if err := ir.Verify(m); err != nil {
+			t.Fatalf("valid diamond rejected: %v", err)
+		}
+	})
+}
+
+// Location strings must be stable and greppable: func:bN:iK for
+// instructions, func:bN:pK for phis, paramN for detached parameters.
+func TestValueLocation(t *testing.T) {
+	m, f, b := valid()
+	_ = m
+	k := f.NewValue(ir.OpConst)
+	k.Const = 5
+	k.Block = b
+	b.Insts = append([]*ir.Value{k}, b.Insts...)
+	if got := k.Location(); got != "_start:b0:i0" {
+		t.Errorf("inst location = %q, want _start:b0:i0", got)
+	}
+	phi := f.NewValue(ir.OpPhi)
+	b.AddPhi(phi)
+	if got := phi.Location(); got != "_start:b0:p0" {
+		t.Errorf("phi location = %q, want _start:b0:p0", got)
+	}
+	p := f.NewParam(isa.EAX, "x")
+	if got := p.Location(); got != "param0" {
+		t.Errorf("param location = %q, want param0", got)
+	}
+}

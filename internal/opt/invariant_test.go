@@ -1,0 +1,113 @@
+package opt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wytiwyg/internal/codegen/irgen"
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/irexec"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/opt"
+)
+
+// Per-pass invariant testing over the random-IR generator: every
+// individual pass must leave the module verifiable (SSA + dominance) and
+// behaviour-preserving, not just the pipeline as a whole. Each pass runs
+// against a freshly generated module so a fault cannot hide behind an
+// earlier pass's cleanup.
+
+var passes = []struct {
+	name string
+	run  func(m *ir.Module)
+}{
+	{"mem2reg", func(m *ir.Module) { opt.Mem2RegModule(m) }},
+	{"fold", func(m *ir.Module) { opt.FoldModule(m) }},
+	{"licm", func(m *ir.Module) { opt.LICMModule(m) }},
+	{"cse", perFunc(opt.CSE)},
+	{"memopt", perFunc(opt.MemOpt)},
+	{"dseglobal", perFunc(opt.DSEGlobal)},
+	{"simplifycfg", func(m *ir.Module) {
+		for _, f := range m.Funcs {
+			opt.SimplifyCFG(f)
+		}
+	}},
+	{"dce", perFunc(opt.DCE)},
+}
+
+func perFunc(pass func(*ir.Func) int) func(m *ir.Module) {
+	return func(m *ir.Module) {
+		for _, f := range m.Funcs {
+			pass(f)
+		}
+	}
+}
+
+func TestPassInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			a := int32(seed*11 - 200)
+			b := int32(seed*-5 + 150)
+			ref := irgen.Build(seed, a, b)
+			want, err := irexec.Run(ref, machine.Input{}, nil, nil)
+			if err != nil {
+				t.Fatalf("irexec baseline: %v", err)
+			}
+			for _, p := range passes {
+				m := irgen.Build(seed, a, b)
+				p.run(m)
+				if err := ir.Verify(m); err != nil {
+					t.Errorf("%s broke IR invariants: %v", p.name, err)
+					continue
+				}
+				got, err := irexec.Run(m, machine.Input{}, nil, nil)
+				if err != nil {
+					t.Errorf("%s: irexec: %v", p.name, err)
+					continue
+				}
+				if got.ExitCode != want.ExitCode {
+					t.Errorf("%s changed behaviour: %d -> %d", p.name, want.ExitCode, got.ExitCode)
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineDebugChecks runs the full optimizer with the debug
+// pass-manager hook re-verifying the module between every pass.
+func TestPipelineDebugChecks(t *testing.T) {
+	for seed := int64(26); seed <= 40; seed++ {
+		m := irgen.Build(seed, int32(seed), int32(-seed))
+		var trail []string
+		_, err := opt.PipelineWithDebug(m, opt.PipelineOpts{}, func(pass string) error {
+			trail = append(trail, pass)
+			if err := ir.Verify(m); err != nil {
+				return fmt.Errorf("after %s: %w", pass, err)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v (trail %v)", seed, err, trail)
+		}
+		if len(trail) == 0 {
+			t.Fatal("debug hook never invoked")
+		}
+	}
+}
+
+// TestPipelineDebugAborts proves a failing check stops the pipeline.
+func TestPipelineDebugAborts(t *testing.T) {
+	m := irgen.Build(99, 1, 2)
+	calls := 0
+	_, err := opt.PipelineWithDebug(m, opt.PipelineOpts{}, func(pass string) error {
+		calls++
+		return fmt.Errorf("stop at %s", pass)
+	})
+	if err == nil {
+		t.Fatal("error from check not propagated")
+	}
+	if calls != 1 {
+		t.Fatalf("pipeline kept running after failed check (%d calls)", calls)
+	}
+}

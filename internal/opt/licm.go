@@ -12,6 +12,18 @@ func LICM(f *ir.Func) int {
 	for i, b := range order {
 		pos[b] = i
 	}
+	idom := ir.Dominators(f)
+	dominates := func(a, b *ir.Block) bool {
+		for ; b != nil; b = idom[b] {
+			if b == a {
+				return true
+			}
+			if b == f.Entry() {
+				return false
+			}
+		}
+		return false
+	}
 	moved := 0
 	for _, latch := range order {
 		for _, header := range latch.Succs {
@@ -50,17 +62,20 @@ func LICM(f *ir.Func) int {
 			if outside != 1 || pre == nil || len(pre.Succs) != 1 {
 				continue
 			}
-			// Values defined outside the loop (or hoisted) are invariant.
+			// Values defined outside the loop (or hoisted) are invariant —
+			// but hoisting a use into the preheader is only sound when the
+			// definition dominates the preheader (a def in a block merely
+			// *outside* the loop, e.g. past the exit, would end up below
+			// its new use).
 			hoisted := map[*ir.Value]bool{}
 			invariant := func(v *ir.Value) bool {
 				if hoisted[v] {
 					return true
 				}
-				switch v.Op {
-				case ir.OpConst, ir.OpParam, ir.OpAlloca:
+				if v.Op == ir.OpParam {
 					return true
 				}
-				return v.Block != nil && !inLoop(v.Block)
+				return v.Block != nil && !inLoop(v.Block) && dominates(v.Block, pre)
 			}
 			for changed := true; changed; {
 				changed = false
@@ -95,7 +110,7 @@ func hoistable(v *ir.Value) bool {
 	switch v.Op {
 	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
 		ir.OpShl, ir.OpShr, ir.OpSar, ir.OpNeg, ir.OpNot, ir.OpCmp,
-		ir.OpSext, ir.OpZext, ir.OpSubreg8:
+		ir.OpSext, ir.OpZext, ir.OpSubreg8, ir.OpConst:
 		return true
 	case ir.OpDiv, ir.OpMod:
 		d := v.Args[1]

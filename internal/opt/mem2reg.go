@@ -3,6 +3,7 @@ package opt
 import (
 	"strings"
 
+	"wytiwyg/internal/analysis"
 	"wytiwyg/internal/ir"
 	"wytiwyg/internal/layout"
 )
@@ -31,8 +32,15 @@ func Mem2RegLog(f *ir.Func, log *layout.Program) int {
 			}
 		}
 	}
+	// Escape gate: promotable() already rejects indirect uses, but the
+	// analysis layer's escape facts are the authoritative safety argument
+	// (an escaped slot may be written behind the optimizer's back).
+	escaped := analysis.Escapes(f)
 	promoted := 0
 	for _, a := range allocas {
+		if escaped[a] {
+			continue
+		}
 		// Recompute uses per promotion: earlier rewrites change them.
 		if size, ok := promotable(a, BuildUses(f)); ok {
 			if log != nil && a.Const < 0 && !strings.HasPrefix(a.Name, "cp_") {

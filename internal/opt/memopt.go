@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"wytiwyg/internal/analysis"
 	"wytiwyg/internal/ir"
 	"wytiwyg/internal/layout"
 )
@@ -110,91 +111,12 @@ func overlap(a memLoc, asz uint8, b memLoc, bsz uint8) bool {
 	return a.off < b.off+int32(bsz) && b.off < a.off+int32(asz)
 }
 
-// escapes computes the set of allocas whose address leaves load/store
-// address position (so unknown pointers or callees may touch them).
-func escapes(f *ir.Func) map[*ir.Value]bool {
-	esc := make(map[*ir.Value]bool)
-	// addrOnly marks values that are "addresses derived from an alloca";
-	// if such a value is used anywhere but as a load/store address or in
-	// further address arithmetic, the alloca escapes.
-	uses := BuildUses(f)
-	var markEscape func(a *ir.Value)
-	markEscape = func(a *ir.Value) { esc[a] = true }
-
-	var addrValues []*ir.Value
-	roots := make(map[*ir.Value]*ir.Value) // derived value -> alloca
-	for _, b := range f.Blocks {
-		for _, v := range b.Insts {
-			if v.Op == ir.OpAlloca {
-				addrValues = append(addrValues, v)
-				roots[v] = v
-			}
-		}
-	}
-	// Propagate through arithmetic.
-	for changed := true; changed; {
-		changed = false
-		for _, b := range f.Blocks {
-			for _, v := range b.Insts {
-				if roots[v] != nil {
-					continue
-				}
-				if v.Op == ir.OpAdd || v.Op == ir.OpSub {
-					if r := roots[v.Args[0]]; r != nil {
-						roots[v] = r
-						addrValues = append(addrValues, v)
-						changed = true
-					} else if v.Op == ir.OpAdd && roots[v.Args[1]] != nil {
-						roots[v] = roots[v.Args[1]]
-						addrValues = append(addrValues, v)
-						changed = true
-					}
-				}
-			}
-			for _, v := range b.Phis {
-				if roots[v] != nil {
-					continue
-				}
-				for _, a := range v.Args {
-					if r := roots[a]; r != nil {
-						roots[v] = r
-						addrValues = append(addrValues, v)
-						changed = true
-						break
-					}
-				}
-			}
-		}
-	}
-	for _, v := range addrValues {
-		root := roots[v]
-		for _, u := range uses[v] {
-			switch u.Op {
-			case ir.OpLoad:
-				// Address use: fine.
-			case ir.OpStore:
-				if u.Args[0] != v {
-					markEscape(root) // the address itself is stored
-				}
-			case ir.OpAdd, ir.OpSub:
-				// Further address arithmetic: covered by propagation.
-			case ir.OpPhi:
-				// Covered by propagation.
-			case ir.OpCmp:
-				// Comparing addresses does not escape them.
-			default:
-				markEscape(root)
-			}
-		}
-	}
-	return esc
-}
-
 // MemOpt performs block-local store-to-load forwarding, redundant load
 // elimination and dead store elimination. Returns the number of removed or
-// forwarded operations.
+// forwarded operations. Escape facts come from the analysis layer, the
+// same ones the lint stage audits.
 func MemOpt(f *ir.Func) int {
-	esc := escapes(f)
+	esc := analysis.Escapes(f)
 	n := 0
 	type av struct {
 		loc  memLoc
@@ -334,6 +256,31 @@ func MemOpt(f *ir.Func) int {
 	return n
 }
 
+// DSEGlobal removes stores that no later load can observe, across blocks:
+// the analysis layer's backward liveness proves which stack stores are
+// invisible (non-escaped object, no reachable load), strictly more than
+// the block-local DSE inside MemOpt can see.
+func DSEGlobal(f *ir.Func) int {
+	dead := analysis.DeadStores(f, analysis.Escape(f))
+	if len(dead) == 0 {
+		return 0
+	}
+	kill := make(map[*ir.Value]bool, len(dead))
+	for _, s := range dead {
+		kill[s] = true
+	}
+	for _, b := range f.Blocks {
+		insts := b.Insts[:0]
+		for _, v := range b.Insts {
+			if !kill[v] {
+				insts = append(insts, v)
+			}
+		}
+		b.Insts = insts
+	}
+	return len(dead)
+}
+
 // CSE performs block-local common-subexpression elimination over pure ops.
 func CSE(f *ir.Func) int {
 	n := 0
@@ -390,22 +337,48 @@ func Pipeline(m *ir.Module) { PipelineWith(m, PipelineOpts{}) }
 // the stack objects mem2reg promoted to SSA registers (still "recovered"
 // variables for accuracy accounting, just no longer memory-resident).
 func PipelineWith(m *ir.Module, o PipelineOpts) *layout.Program {
+	promoted, _ := PipelineWithDebug(m, o, nil)
+	return promoted
+}
+
+// PipelineWithDebug runs the optimizer like PipelineWith and additionally
+// invokes check after every pass application, with the pass name. A
+// non-nil error from check aborts optimization immediately and is returned
+// with the promotions made so far — the debug pass-manager mode used to
+// bisect which pass broke an invariant.
+func PipelineWithDebug(m *ir.Module, o PipelineOpts, check func(pass string) error) (*layout.Program, error) {
 	promoted := layout.NewProgram()
+	step := func(pass string) error {
+		if check == nil {
+			return nil
+		}
+		return check(pass)
+	}
 	for round := 0; round < 8; round++ {
 		changed := 0
 		if !o.NoMem2Reg {
 			for _, f := range m.Funcs {
 				changed += Mem2RegLog(f, promoted)
 			}
+			if err := step("mem2reg"); err != nil {
+				return promoted, err
+			}
 		}
 		changed += FoldModule(m)
+		if err := step("fold"); err != nil {
+			return promoted, err
+		}
 		if !o.NoLICM {
 			changed += LICMModule(m)
+			if err := step("licm"); err != nil {
+				return promoted, err
+			}
 		}
 		for _, f := range m.Funcs {
 			changed += CSE(f)
 			if !o.NoMemOpt {
 				changed += MemOpt(f)
+				changed += DSEGlobal(f)
 			}
 			if SimplifyCFG(f) {
 				changed++
@@ -413,9 +386,12 @@ func PipelineWith(m *ir.Module, o PipelineOpts) *layout.Program {
 			changed += DCE(f)
 			RemoveDeadAllocas(f)
 		}
+		if err := step("local"); err != nil {
+			return promoted, err
+		}
 		if changed == 0 {
 			break
 		}
 	}
-	return promoted
+	return promoted, nil
 }

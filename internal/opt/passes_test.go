@@ -40,10 +40,11 @@ func TestLICMHoistsInvariant(t *testing.T) {
 	body.Succs = []*ir.Block{header}
 	exit.Preds = []*ir.Block{header}
 
+	// entry: the zero feeding the phi must dominate the entry->header edge.
+	zero := konst(f, entry, 0)
 	entry.Append(f.NewValue(ir.OpJmp))
 
 	// header: i = phi(0, i2); cmp i < 10
-	zero := konst(f, header, 0)
 	iphi := f.NewValue(ir.OpPhi, zero, nil)
 	header.AddPhi(iphi)
 	ten := konst(f, header, 10)
