@@ -1,37 +1,50 @@
 #!/bin/sh
 # Tier-1 gate. Every change must pass this script before it lands:
-# formatting, vet, a clean build, the full test suite, and a lint run
-# (the static verification stage) over the examples and the benchmark
-# corpus with zero proven violations.
+# formatting, vet, the documentation bar, a clean build, the full test
+# suite, a race-detector pass over the parallel refinement paths, and a
+# lint run (the static verification stage) over the examples and the
+# benchmark corpus with zero proven violations.
+#
+# Each step prints its wall-clock cost so regressions in CI time are
+# visible in the log.
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "== gofmt"
-unformatted=$(gofmt -l .)
-if [ -n "$unformatted" ]; then
-    echo "gofmt: the following files need formatting:" >&2
-    echo "$unformatted" >&2
-    exit 1
-fi
+step() {
+    name=$1
+    shift
+    echo "== $name"
+    start=$(date +%s)
+    "$@"
+    echo "-- $name: $(($(date +%s) - start))s"
+}
 
-echo "== go vet"
-go vet ./...
+check_gofmt() {
+    unformatted=$(gofmt -l .)
+    if [ -n "$unformatted" ]; then
+        echo "gofmt: the following files need formatting:" >&2
+        echo "$unformatted" >&2
+        exit 1
+    fi
+}
 
-echo "== go build"
-go build ./...
+check_examples() {
+    for dir in examples/*/; do
+        echo "-- go run ./$dir"
+        go run "./$dir" >/dev/null
+    done
+}
 
-echo "== go test"
-go test ./...
-
-echo "== wytiwyg lint (benchmark corpus)"
-go build -o /tmp/wytiwyg-ci ./cmd/wytiwyg
-/tmp/wytiwyg-ci lint -all
-
-echo "== examples"
-for dir in examples/*/; do
-    echo "-- go run ./$dir"
-    go run "./$dir" >/dev/null
-done
+step "gofmt" check_gofmt
+step "go vet" go vet ./...
+step "doclint" go run ./cmd/doclint ./internal ./cmd
+step "go build" go build ./...
+step "go test" go test ./...
+step "go test -race" go test -race -short ./...
+step "wytiwyg lint (benchmark corpus)" sh -c '
+    go build -o /tmp/wytiwyg-ci ./cmd/wytiwyg
+    /tmp/wytiwyg-ci lint -all'
+step "examples" check_examples
 
 echo "ci: all checks passed"

@@ -1,0 +1,182 @@
+// Command doclint enforces the repository's documentation bar: every
+// package must carry a package comment and every exported identifier a doc
+// comment. It walks the directories given on the command line (the whole
+// module when none are given), prints one finding per line in
+// file:line: message form, and exits nonzero when anything is missing —
+// ci.sh runs it as a gate.
+//
+// String and Error methods are exempt: their contracts are fixed by
+// fmt.Stringer and the error interface, so a comment on them rarely says
+// more than the name does. Test files and generated files are skipped.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var dirs []string
+	for _, root := range roots {
+		filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+	}
+	sort.Strings(dirs)
+
+	findings := 0
+	for _, dir := range dirs {
+		findings += lintDir(dir)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// lintDir checks one directory's package and returns the finding count.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+		return 1
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		hasDoc := false
+		var files []string
+		for name, f := range pkg.Files {
+			files = append(files, name)
+			if f.Doc != nil {
+				hasDoc = true
+			}
+		}
+		if !hasDoc {
+			sort.Strings(files)
+			report(&findings, fset, token.NoPos, "%s: package %s has no package comment", files[0], pkg.Name)
+		}
+		for _, name := range files {
+			lintFile(&findings, fset, pkg.Files[name])
+		}
+	}
+	return findings
+}
+
+// lintFile checks the exported declarations of one file.
+func lintFile(findings *int, fset *token.FileSet, f *ast.File) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			lintFunc(findings, fset, d)
+		case *ast.GenDecl:
+			lintGen(findings, fset, d)
+		}
+	}
+}
+
+// lintFunc checks one function or method declaration.
+func lintFunc(findings *int, fset *token.FileSet, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	if d.Recv != nil {
+		// fmt.Stringer and error fix these contracts; the names say it all.
+		if d.Name.Name == "String" || d.Name.Name == "Error" {
+			return
+		}
+		// Methods on unexported types surface only through interfaces;
+		// their docs live there.
+		if !exportedRecv(d.Recv) {
+			return
+		}
+	}
+	report(findings, fset, d.Pos(), "exported %s %s is undocumented", kindOf(d), d.Name.Name)
+}
+
+// lintGen checks one const/var/type declaration group. A comment on the
+// group documents every name in it; otherwise each exported spec needs its
+// own.
+func lintGen(findings *int, fset *token.FileSet, d *ast.GenDecl) {
+	if d.Doc != nil {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				report(findings, fset, s.Pos(), "exported type %s is undocumented", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(findings, fset, n.Pos(), "exported %s %s is undocumented", d.Tok, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether a method's receiver base type is exported.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func kindOf(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// report prints one finding and bumps the count. A NoPos finding carries
+// its own location in the format string.
+func report(findings *int, fset *token.FileSet, pos token.Pos, format string, args ...any) {
+	*findings++
+	if pos != token.NoPos {
+		fmt.Printf("%s: ", fset.Position(pos))
+	}
+	fmt.Printf(format+"\n", args...)
+}

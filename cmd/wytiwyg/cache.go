@@ -1,0 +1,36 @@
+package main
+
+import (
+	"fmt"
+
+	"wytiwyg/internal/core"
+	"wytiwyg/internal/refcache"
+)
+
+// openCache resolves the -cache/-cache-dir flags into a cache handle, or
+// nil when caching is disabled.
+func openCache(enabled bool, dir string) *refcache.Cache {
+	if !enabled && dir == "" {
+		return nil
+	}
+	if dir == "" {
+		d, err := refcache.DefaultDir()
+		if err != nil {
+			fail("cache: %v", err)
+		}
+		dir = d
+	}
+	c, err := refcache.Open(dir)
+	if err != nil {
+		fail("cache: %v", err)
+	}
+	return c
+}
+
+// printTimings prints the per-stage wall-clock breakdown of one run.
+func printTimings(times []core.StageTime) {
+	fmt.Println("stage timings:")
+	for _, st := range times {
+		fmt.Printf("  %-10s %s\n", st.Stage, st.Elapsed)
+	}
+}

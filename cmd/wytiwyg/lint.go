@@ -47,7 +47,11 @@ func lintMain(args []string) int {
 	profName := fs.String("profile", "gcc12-O3", "compiler profile")
 	inputsFlag := fs.String("inputs", "", "comma-separated integer inputs for tracing")
 	jsonOut := fs.Bool("json", false, "machine-readable JSON output")
+	jobs := fs.Int("j", 0, "refinement worker pool size (0 = one per CPU)")
+	cacheOn := fs.Bool("cache", false, "memoize refinement results in the on-disk cache")
+	cacheDir := fs.String("cache-dir", "", "cache directory (implies -cache)")
 	fs.Parse(args)
+	cache := openCache(*cacheOn, *cacheDir)
 
 	prof, ok := gen.ProfileByName(*profName)
 	if !ok {
@@ -97,7 +101,7 @@ func lintMain(args []string) int {
 	var entries []jsonEntry
 	errors := 0
 	for _, tgt := range targets {
-		rep, err := lintOne(tgt, prof)
+		rep, err := lintOne(tgt, prof, core.Options{Jobs: *jobs, Lint: core.LintWarn, Cache: cache})
 		if err != nil {
 			fail("%s: %v", tgt.name, err)
 		}
@@ -121,6 +125,8 @@ func lintMain(args []string) int {
 			fail("encode: %v", err)
 		}
 		fmt.Println(string(out))
+	} else if cache != nil {
+		fmt.Printf("cache: %s (%s)\n", cache.Stats(), cache.Dir())
 	}
 	if errors > 0 {
 		return 1
@@ -129,18 +135,16 @@ func lintMain(args []string) int {
 }
 
 // lintOne builds, lifts and refines one program with linting enabled and
-// returns the verification report.
-func lintOne(tgt lintTarget, prof gen.Profile) (*analysis.Report, error) {
+// returns the verification report. With a cache in the options, an
+// unchanged program is served from its recorded entry without re-running
+// the pipeline.
+func lintOne(tgt lintTarget, prof gen.Profile, opts core.Options) (*analysis.Report, error) {
 	img, err := gen.Build(tgt.src, prof, "input")
 	if err != nil {
 		return nil, fmt.Errorf("compile: %w", err)
 	}
-	p, err := core.LiftBinary(img, tgt.inputs)
+	p, err := core.RecoverLayout(img, tgt.inputs, opts)
 	if err != nil {
-		return nil, fmt.Errorf("lift: %w", err)
-	}
-	p.Lint = core.LintWarn
-	if err := p.Refine(); err != nil {
 		return nil, fmt.Errorf("refine: %w", err)
 	}
 	p.Report.Sort()

@@ -6,14 +6,21 @@
 // Usage:
 //
 //	wytiwyg -src prog.c [-profile gcc12-O3] [-inputs 3,9] [-emit ir|asm|layout] [-sanitize]
-//	wytiwyg -bench hmmer [-profile gcc44-O3]
-//	wytiwyg lint [-src prog.c | -bench hmmer | -all] [-json]
+//	wytiwyg -bench hmmer [-profile gcc44-O3] [-j 8] [-cache] [-timings]
+//	wytiwyg lint [-src prog.c | -bench hmmer | -all] [-json] [-j 8] [-cache]
 //
 // Steps and outputs mirror the paper's Figure 4: the tool reports the trace
 // size, recovered functions, refined signatures, recovered stack layout and
 // the performance of the recompiled binary. The lint subcommand runs the
 // pipeline up to symbolization and prints the static verification report
 // (internal/analysis) instead of recompiling.
+//
+// -j bounds the refinement worker pool (0, the default, means one worker
+// per CPU); every output is byte-identical regardless of the worker count.
+// -cache memoizes refinement results in a content-addressed on-disk cache
+// so repeat runs on unchanged binaries skip recomputation; -cache-dir
+// overrides its location ($WYTIWYG_CACHE or the user cache directory by
+// default). -timings prints the per-stage wall-clock breakdown.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -47,6 +55,10 @@ func main() {
 	sanitizeFlag := flag.Bool("sanitize", false, "retrofit stack-bounds checks onto the recompiled binary")
 	lintMode := flag.String("lint", "warn", "post-refinement verification: off, warn, fail")
 	debugPasses := flag.Bool("debug-passes", false, "re-verify IR invariants between every optimization pass")
+	jobs := flag.Int("j", 0, "refinement worker pool size (0 = one per CPU)")
+	cacheOn := flag.Bool("cache", false, "memoize refinement results in the on-disk cache")
+	cacheDir := flag.String("cache-dir", "", "cache directory (implies -cache)")
+	timings := flag.Bool("timings", false, "print the per-stage wall-clock breakdown")
 	flag.Parse()
 
 	prof, ok := gen.ProfileByName(*profName)
@@ -54,6 +66,7 @@ func main() {
 		fail("unknown profile %q", *profName)
 	}
 	lint := parseLintMode(*lintMode)
+	cache := openCache(*cacheOn, *cacheDir)
 
 	var src string
 	var inputs []machine.Input
@@ -102,14 +115,13 @@ func main() {
 	}
 	fmt.Printf("native run: exit=%d cycles=%d\n", nat.ExitCode, nat.Cycles)
 
-	p, err := core.LiftBinary(img, inputs)
+	p, err := core.LiftBinaryOpts(img, inputs, core.Options{Jobs: *jobs, Lint: lint, Cache: cache})
 	if err != nil {
 		fail("lift: %v", err)
 	}
 	fmt.Printf("trace: %d instructions covered, %d functions recovered, %d tail calls\n",
 		len(p.Trace.Executed), len(p.Rec.Funcs), len(p.Rec.TailCalls))
 
-	p.Lint = lint
 	if err := p.Refine(); err != nil {
 		fail("refinement lifting: %v", err)
 	}
@@ -117,9 +129,23 @@ func main() {
 	for _, f := range p.Mod.Funcs {
 		fmt.Printf("  %-20s %2d params (%d from the stack)\n", f.Name, len(f.Params), f.StackArgs)
 	}
+	degraded := make([]string, 0, len(p.Degraded))
+	for name := range p.Degraded {
+		degraded = append(degraded, name)
+	}
+	sort.Strings(degraded)
+	for _, name := range degraded {
+		fmt.Printf("degraded: %s replaced by a trap stub (%v)\n", name, p.Degraded[name])
+	}
 	if p.Report != nil {
 		fmt.Printf("lint: %d error(s), %d warning(s), %d info\n",
 			p.Report.Errors(), p.Report.Count(analysis.Warn), p.Report.Count(analysis.Info))
+	}
+	if *timings {
+		printTimings(p.Times)
+	}
+	if cache != nil {
+		fmt.Printf("cache: %s (%s)\n", cache.Stats(), cache.Dir())
 	}
 
 	if *sanitizeFlag {

@@ -36,6 +36,22 @@ func (s Severity) MarshalJSON() ([]byte, error) {
 	return json.Marshal(s.String())
 }
 
+// UnmarshalJSON parses a severity name back (the refinement cache stores
+// reports as JSON and reads them on later runs).
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for i, n := range severityNames {
+		if n == name {
+			*s = Severity(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("analysis: unknown severity %q", name)
+}
+
 // Diag is one finding.
 type Diag struct {
 	// Check names the analysis that produced the finding (frame, bounds,

@@ -52,8 +52,18 @@ func refined(t *testing.T, p progs.Program) *core.Pipeline {
 	return pl
 }
 
+// shortCorpus trims the benchmark list in -short mode (the race-enabled
+// CI pass): a few programs exercise every check without blowing the
+// package time budget on small machines.
+func shortCorpus() []progs.Program {
+	if testing.Short() {
+		return progs.All[:3]
+	}
+	return progs.All
+}
+
 func TestLintCleanLayoutsNoFalsePositives(t *testing.T) {
-	for _, p := range progs.All {
+	for _, p := range shortCorpus() {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			pl := refined(t, p)
@@ -143,7 +153,7 @@ func findAlloca(f *ir.Func, v layout.Var) *ir.Value {
 func TestLintCatchesSeededMutations(t *testing.T) {
 	seeded, caught := 0, 0
 	var missed []string
-	for _, p := range progs.All {
+	for _, p := range shortCorpus() {
 		pl := refined(t, p)
 		for _, fname := range pl.Recovered.FuncNames() {
 			frame := pl.Recovered.Frame(fname)

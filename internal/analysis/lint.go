@@ -98,10 +98,11 @@ func LintIR(m *ir.Module, rep *Report) {
 	rep.Sort()
 }
 
-// LintModule audits a symbolized module against its recovered layout.
-// heights carries the per-function stack-height facts captured before
-// symbolization (nil when unavailable). The report is returned sorted.
-func LintModule(m *ir.Module, recovered *layout.Program, heights map[*ir.Func]HeightFacts, rep *Report) {
+// CheckModule runs only the module-level checks — IR well-formedness and
+// emulated-stack removal. The per-function checks are LintFunc's job; the
+// core pipeline separates the two so it can fan the per-function half out
+// over a worker pool.
+func CheckModule(m *ir.Module, rep *Report) {
 	if err := ir.Verify(m); err != nil {
 		rep.Add(Diag{Check: "verify", Severity: Error, Func: m.Name, Msg: err.Error()})
 	}
@@ -109,6 +110,13 @@ func LintModule(m *ir.Module, recovered *layout.Program, heights map[*ir.Func]He
 		rep.Add(Diag{Check: "frame", Severity: Warn, Func: m.Name,
 			Msg: "module still carries an emulated stack after symbolization"})
 	}
+}
+
+// LintModule audits a symbolized module against its recovered layout.
+// heights carries the per-function stack-height facts captured before
+// symbolization (nil when unavailable). The report is returned sorted.
+func LintModule(m *ir.Module, recovered *layout.Program, heights map[*ir.Func]HeightFacts, rep *Report) {
+	CheckModule(m, rep)
 	for _, f := range m.Funcs {
 		var frame *layout.Frame
 		if recovered != nil {

@@ -41,6 +41,9 @@ func TestProgramsRunNatively(t *testing.T) {
 // E1 (functionality) at reduced scale: the full pipeline must hold for
 // every benchmark; run one modern and one legacy profile to bound time.
 func TestFunctionalitySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus-scale pipeline run; the race-enabled short pass covers the pipeline in internal/core")
+	}
 	for _, p := range progs.All {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
@@ -68,6 +71,9 @@ func TestFunctionalitySmall(t *testing.T) {
 
 // Figure 7 shape at small scale: accuracy dominated by matched+oversized.
 func TestAccuracyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus-scale accuracy run")
+	}
 	var agg layout.Accuracy
 	for _, p := range progs.All {
 		p := p

@@ -123,7 +123,10 @@ func generate(seed int64) string {
 }
 
 func TestDifferentialRandomPrograms(t *testing.T) {
-	const programs = 30
+	programs := int64(30)
+	if testing.Short() {
+		programs = 6
+	}
 	for seed := int64(1); seed <= programs; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {

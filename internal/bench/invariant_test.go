@@ -36,7 +36,11 @@ func checkFrameInvariants(t *testing.T, fn string, fr *layout.Frame) {
 }
 
 func TestRandomProgramFrameInvariants(t *testing.T) {
-	for seed := int64(101); seed <= 112; seed++ {
+	last := int64(112)
+	if testing.Short() {
+		last = 104
+	}
+	for seed := int64(101); seed <= last; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			t.Parallel()

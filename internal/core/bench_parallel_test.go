@@ -1,0 +1,191 @@
+package core_test
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"wytiwyg/internal/bench"
+	"wytiwyg/internal/bench/progs"
+	"wytiwyg/internal/core"
+	"wytiwyg/internal/minicc/gen"
+	"wytiwyg/internal/refcache"
+)
+
+// refinedAt runs the full pipeline on one benchmark with the given worker
+// count and returns the finished pipeline.
+func refinedAt(t *testing.T, p progs.Program, jobs int) *core.Pipeline {
+	t.Helper()
+	img, err := gen.Build(p.Src, gen.GCC12O3, p.Name)
+	if err != nil {
+		t.Fatalf("%s: build: %v", p.Name, err)
+	}
+	pl, err := core.LiftBinaryOpts(img, p.Inputs(), core.Options{Jobs: jobs, Lint: core.LintWarn})
+	if err != nil {
+		t.Fatalf("%s: lift: %v", p.Name, err)
+	}
+	if err := pl.Refine(); err != nil {
+		t.Fatalf("%s: refine: %v", p.Name, err)
+	}
+	return pl
+}
+
+// fingerprint renders everything a worker count could plausibly perturb:
+// the refined IR, the recovered layout table and the verification report.
+func fingerprint(p *core.Pipeline) string {
+	var b strings.Builder
+	fmt.Fprint(&b, p.Mod)
+	for _, name := range p.Recovered.FuncNames() {
+		fmt.Fprintf(&b, "%s\n", p.Recovered.Frame(name))
+	}
+	if p.Report != nil {
+		p.Report.Sort()
+		b.WriteString(p.Report.String())
+	}
+	return b.String()
+}
+
+// The tentpole determinism invariant: over the whole benchmark corpus, a
+// single-worker run and a heavily parallel run produce byte-identical IR,
+// layouts and reports.
+func TestParallelDeterminism(t *testing.T) {
+	corpus := progs.All
+	if testing.Short() {
+		// The race-enabled CI pass runs in short mode: a few programs are
+		// enough to exercise every fork/join path under the race detector.
+		corpus = corpus[:3]
+	}
+	for _, p := range corpus {
+		p := bench.Scaled(p, 6)
+		seq := fingerprint(refinedAt(t, p, 1))
+		par := fingerprint(refinedAt(t, p, 8))
+		if seq != par {
+			t.Errorf("%s: -j1 and -j8 outputs differ\n-- j1:\n%.2000s\n-- j8:\n%.2000s", p.Name, seq, par)
+		}
+	}
+}
+
+// A warm cache must serve a repeat run at a small fraction of the cold
+// cost: the program-key hit skips tracing, lifting and every refinement.
+func TestWarmCacheSpeedup(t *testing.T) {
+	cache, err := refcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bench.Scaled(progs.All[0], 6)
+	img, err := gen.Build(p.Src, gen.GCC12O3, p.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Lint: core.LintWarn, Cache: cache}
+
+	start := time.Now()
+	cold, err := core.RecoverLayout(img, p.Inputs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTime := time.Since(start)
+	if cold.FromCache {
+		t.Fatal("first run reported a cache hit")
+	}
+
+	start = time.Now()
+	warm, err := core.RecoverLayout(img, p.Inputs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmTime := time.Since(start)
+	if !warm.FromCache {
+		t.Fatal("second run missed the cache")
+	}
+	if 2*warmTime > coldTime {
+		t.Errorf("warm run not at least 2x faster: cold %v, warm %v", coldTime, warmTime)
+	}
+
+	// The cached results must be indistinguishable from the recomputed ones.
+	for _, name := range cold.Recovered.FuncNames() {
+		if got, want := warm.Recovered.Frame(name).String(), cold.Recovered.Frame(name).String(); got != want {
+			t.Errorf("frame %s differs: cached %q, computed %q", name, got, want)
+		}
+	}
+	cold.Report.Sort()
+	warm.Report.Sort()
+	if warm.Report.String() != cold.Report.String() {
+		t.Errorf("cached report differs:\n%s\nvs\n%s", warm.Report, cold.Report)
+	}
+}
+
+// Parallel scaling needs real cores; on small machines only the
+// determinism guarantee is testable.
+func TestParallelSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a scaling assertion, have %d", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	programs := []string{"bzip2", "hmmer", "sjeng"}
+	elapsed := func(jobs int) time.Duration {
+		start := time.Now()
+		for _, name := range programs {
+			p, _ := progs.ByName(name)
+			refinedAt(t, bench.Scaled(p, 12), jobs)
+		}
+		return time.Since(start)
+	}
+	elapsed(1) // warm up code paths before measuring
+	seq := elapsed(1)
+	par := elapsed(4)
+	if float64(seq) < 1.5*float64(par) {
+		t.Errorf("-j4 not >= 1.5x faster: -j1 %v, -j4 %v", seq, par)
+	}
+}
+
+func benchmarkRefine(b *testing.B, jobs int) {
+	p := bench.Scaled(progs.All[0], 6)
+	img, err := gen.Build(p.Src, gen.GCC12O3, p.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := core.LiftBinaryOpts(img, p.Inputs(), core.Options{Jobs: jobs, Lint: core.LintWarn})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pl.Refine(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRefineJ1(b *testing.B) { benchmarkRefine(b, 1) }
+func BenchmarkRefineJ4(b *testing.B) { benchmarkRefine(b, 4) }
+
+func BenchmarkRecoverLayoutWarm(b *testing.B) {
+	cache, err := refcache.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := bench.Scaled(progs.All[0], 6)
+	img, err := gen.Build(p.Src, gen.GCC12O3, p.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Lint: core.LintWarn, Cache: cache}
+	if _, err := core.RecoverLayout(img, p.Inputs(), opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := core.RecoverLayout(img, p.Inputs(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !pl.FromCache {
+			b.Fatal("warm run missed the cache")
+		}
+	}
+}

@@ -4,11 +4,23 @@
 // refinement-lifting loop — each refinement instrumenting the current IR,
 // re-executing the inputs, and transforming the IR with the analysis
 // results — until the program is fully symbolized and can be recompiled.
+//
+// Since the refinement observations are per-input and the refinement
+// transformations are per-function, both halves of the loop run over a
+// bounded worker pool (Options.Jobs): refinement runs fork one tracer per
+// input and join the observations in input order, and the canonicalization,
+// symbolization and verification stages process functions concurrently
+// with results collected in module function order. The merge discipline
+// makes every output — IR, recovered layout, lint report — byte-identical
+// regardless of the worker count. Results are additionally memoized in a
+// content-addressed cache (Options.Cache, package refcache), so repeating
+// a run on an unchanged binary and input set skips the pipeline entirely.
 package core
 
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"wytiwyg/internal/analysis"
 	"wytiwyg/internal/funcrec"
@@ -18,6 +30,8 @@ import (
 	"wytiwyg/internal/lifter"
 	"wytiwyg/internal/machine"
 	"wytiwyg/internal/obj"
+	"wytiwyg/internal/par"
+	"wytiwyg/internal/refcache"
 	"wytiwyg/internal/regsave"
 	"wytiwyg/internal/stackref"
 	"wytiwyg/internal/symbolize"
@@ -38,10 +52,35 @@ const (
 	LintFail
 )
 
+// Options configures a pipeline run.
+type Options struct {
+	// Jobs bounds the worker pool used for refinement runs and
+	// per-function passes; values < 1 mean one worker per CPU.
+	Jobs int
+	// Lint selects the post-refinement verification behaviour.
+	Lint LintMode
+	// Cache, when non-nil, memoizes refinement results across runs.
+	Cache *refcache.Cache
+}
+
+// StageTime records one pipeline stage's wall-clock cost.
+type StageTime struct {
+	Stage   string
+	Elapsed time.Duration
+}
+
 // Pipeline carries the state of one recompilation.
 type Pipeline struct {
 	Img    *obj.Image
 	Inputs []machine.Input
+
+	// Jobs bounds the worker pool (see Options.Jobs).
+	Jobs int
+	// Cache memoizes refinement results across runs (nil disables).
+	Cache *refcache.Cache
+	// FromCache marks a pipeline whose results were served entirely from
+	// the cache; the trace/IR fields are nil on such a pipeline.
+	FromCache bool
 
 	// Lint selects the post-refinement verification stage's behaviour.
 	Lint LintMode
@@ -52,6 +91,14 @@ type Pipeline struct {
 	// stack-reference refinement — they must be taken before symbolization
 	// erases the ESP parameters they are phrased in.
 	Heights map[*ir.Func]analysis.HeightFacts
+
+	// Degraded lists functions whose refinement failed and that were
+	// replaced by trap stubs instead of failing the binary, keyed by
+	// function name with the causing error.
+	Degraded map[string]error
+
+	// Times records per-stage wall-clock costs in execution order.
+	Times []StageTime
 
 	Trace *tracer.Trace
 	CFG   *tracer.CFG
@@ -70,51 +117,120 @@ type Pipeline struct {
 	Recovered *layout.Program
 }
 
+// jobs returns the effective worker count.
+func (p *Pipeline) jobs() int { return par.N(p.Jobs) }
+
+// timed runs one stage and records its wall-clock cost.
+func (p *Pipeline) timed(stage string, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	p.Times = append(p.Times, StageTime{Stage: stage, Elapsed: time.Since(start)})
+	return err
+}
+
 // LiftBinary performs the front half of the pipeline: dynamic tracing, CFG
-// merge, function recovery, and lifting to IR.
+// merge, function recovery, and lifting to IR. It is LiftBinaryOpts with
+// default options.
 func LiftBinary(img *obj.Image, inputs []machine.Input) (*Pipeline, error) {
+	return LiftBinaryOpts(img, inputs, Options{Jobs: 1})
+}
+
+// LiftBinaryOpts performs the front half of the pipeline with explicit
+// options: the per-input traces run over the worker pool and merge in
+// input order, so the trace — and everything derived from it — is
+// independent of the worker count.
+func LiftBinaryOpts(img *obj.Image, inputs []machine.Input, opts Options) (*Pipeline, error) {
 	if len(inputs) == 0 {
 		inputs = []machine.Input{{}}
 	}
-	p := &Pipeline{Img: img, Inputs: inputs}
-	p.Trace = tracer.New(img)
-	if err := p.Trace.RunAll(inputs, io.Discard); err != nil {
+	p := &Pipeline{Img: img, Inputs: inputs, Jobs: opts.Jobs, Lint: opts.Lint, Cache: opts.Cache}
+	err := p.timed("trace", func() error {
+		p.Trace = tracer.New(img)
+		return p.Trace.RunAllJobs(inputs, io.Discard, p.jobs())
+	})
+	if err != nil {
 		return nil, fmt.Errorf("core: tracing: %w", err)
 	}
-	cfg, err := p.Trace.BuildCFG()
+	err = p.timed("cfg", func() error {
+		cfg, err := p.Trace.BuildCFG()
+		p.CFG = cfg
+		return err
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: cfg: %w", err)
 	}
-	p.CFG = cfg
-	rec, err := funcrec.Recover(cfg)
+	err = p.timed("funcrec", func() error {
+		rec, err := funcrec.Recover(p.CFG)
+		p.Rec = rec
+		return err
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: function recovery: %w", err)
 	}
-	p.Rec = rec
-	mod, err := lifter.Lift(img, cfg, rec)
+	err = p.timed("lift", func() error {
+		mod, err := lifter.Lift(img, p.CFG, p.Rec)
+		p.Mod = mod
+		return err
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: lifting: %w", err)
 	}
-	p.Mod = mod
 	return p, nil
 }
 
+// forkable is implemented by refinement tracers whose observations can be
+// collected per input and merged afterwards.
+type forkable interface {
+	irexec.Tracer
+	Fork() irexec.Tracer
+	Join(irexec.Tracer)
+}
+
 // runAll executes the current module under every input with a tracer
-// attached, discarding program output. Tracers that need interpreter access
-// (memory inspection) implement Bind.
+// attached, discarding program output. Tracers that implement Fork/Join
+// observe each input on a private fork — the forks run concurrently over
+// the worker pool and join in input order, so the merged observations are
+// identical for every worker count (including 1: the sequential path also
+// forks, keeping the observation semantics worker-count independent).
+// Tracers that need interpreter access (memory inspection) implement Bind.
 func (p *Pipeline) runAll(tr irexec.Tracer) error {
-	for i, input := range p.Inputs {
-		ip, err := irexec.New(p.Mod, input, io.Discard)
-		if err != nil {
-			return fmt.Errorf("core: refinement run, input %d: %w", i, err)
+	fk, ok := tr.(forkable)
+	if !ok {
+		for i := range p.Inputs {
+			if err := p.runOne(i, tr); err != nil {
+				return err
+			}
 		}
-		ip.Tr = tr
-		if b, ok := tr.(interface{ Bind(*irexec.Interp) }); ok {
-			b.Bind(ip)
+		return nil
+	}
+	subs, err := par.Map(p.jobs(), len(p.Inputs), func(i int) (irexec.Tracer, error) {
+		sub := fk.Fork()
+		if err := p.runOne(i, sub); err != nil {
+			return nil, err
 		}
-		if _, err := ip.Run(); err != nil {
-			return fmt.Errorf("core: refinement run, input %d: %w", i, err)
-		}
+		return sub, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, sub := range subs {
+		fk.Join(sub)
+	}
+	return nil
+}
+
+// runOne executes the module under one input with the given tracer.
+func (p *Pipeline) runOne(i int, tr irexec.Tracer) error {
+	ip, err := irexec.New(p.Mod, p.Inputs[i], io.Discard)
+	if err != nil {
+		return fmt.Errorf("core: refinement run, input %d: %w", i, err)
+	}
+	ip.Tr = tr
+	if b, ok := tr.(interface{ Bind(*irexec.Interp) }); ok {
+		b.Bind(ip)
+	}
+	if _, err := ip.Run(); err != nil {
+		return fmt.Errorf("core: refinement run, input %d: %w", i, err)
 	}
 	return nil
 }
@@ -146,13 +262,42 @@ func (p *Pipeline) RefineVarArgs() error {
 	return nil
 }
 
+// degrade replaces a function whose refinement failed with a trap stub: the
+// signature survives (callers keep working) but the body becomes a single
+// trap, exactly like the lifter's untraced paths — executing the function
+// in the recompiled binary aborts, everything else is unaffected. The
+// failure is recorded in Degraded and, when linting, as a warning.
+func (p *Pipeline) degrade(f *ir.Func, cause error) {
+	if p.Degraded == nil {
+		p.Degraded = make(map[string]error)
+	}
+	p.Degraded[f.Name] = cause
+	f.Blocks = nil
+	b := f.NewBlock(f.Addr)
+	b.Append(f.NewValue(ir.OpTrap))
+	if p.Lint != LintOff {
+		p.ensureReport()
+		p.Report.Addf("pipeline", analysis.Warn, f.Name, nil,
+			"refinement failed (%v); function degraded to a trap stub", cause)
+	}
+}
+
 // RefineStackRef folds constant stack displacements into canonical
-// sp0+offset form (the static part of §4.1). With linting enabled it also
-// captures the independent stack-height facts and cross-checks them
-// against the displacements just canonicalized.
+// sp0+offset form (the static part of §4.1), processing functions over the
+// worker pool. A function whose canonicalization fails is degraded to a
+// trap stub instead of failing the binary; if a later refinement run still
+// reaches such a function, that run reports the trap. With linting enabled
+// the stage also captures the independent stack-height facts and
+// cross-checks them against the displacements just canonicalized.
 func (p *Pipeline) RefineStackRef() error {
-	offs, err := stackref.Apply(p.Mod)
-	if err != nil {
+	offs, funcErrs := stackref.ApplyJobs(p.Mod, p.jobs())
+	for _, f := range p.Mod.Funcs {
+		if err := funcErrs[f]; err != nil {
+			p.degrade(f, err)
+			offs[f] = stackref.Analyze(f)
+		}
+	}
+	if err := ir.Verify(p.Mod); err != nil {
 		return fmt.Errorf("core: stackref: %w", err)
 	}
 	p.SPOffsets = offs
@@ -160,11 +305,18 @@ func (p *Pipeline) RefineStackRef() error {
 		return nil
 	}
 	p.ensureReport()
-	p.Heights = make(map[*ir.Func]analysis.HeightFacts, len(p.Mod.Funcs))
-	for _, f := range p.Mod.Funcs {
-		facts := analysis.Heights(f)
-		p.Heights[f] = facts
-		analysis.CheckHeights(f, facts, p.SPOffsets[f], p.Report)
+	funcs := p.Mod.Funcs
+	facts := make([]analysis.HeightFacts, len(funcs))
+	reps := make([]analysis.Report, len(funcs))
+	par.ForEach(p.jobs(), len(funcs), func(i int) error {
+		facts[i] = analysis.Heights(funcs[i])
+		analysis.CheckHeights(funcs[i], facts[i], p.SPOffsets[funcs[i]], &reps[i])
+		return nil
+	})
+	p.Heights = make(map[*ir.Func]analysis.HeightFacts, len(funcs))
+	for i, f := range funcs {
+		p.Heights[f] = facts[i]
+		p.Report.Merge(&reps[i])
 	}
 	return p.lintGate("stackref")
 }
@@ -187,22 +339,26 @@ func (p *Pipeline) lintGate(stage string) error {
 }
 
 // RefineSymbolize runs the object-bounds refinement (§4.2): the vartrack
-// runtime observes every input, then symbolization replaces the emulated
-// stack with explicit stack objects. It returns the recovered layout.
+// runtime observes every input (forked per input, joined in input order),
+// then symbolization replaces the emulated stack with explicit stack
+// objects, processing functions over the worker pool within each of its
+// phases. It returns the recovered layout.
 func (p *Pipeline) RefineSymbolize() (*layout.Program, error) {
 	tr := vartrack.NewTracer(p.SPOffsets)
 	if err := p.runAll(tr); err != nil {
 		return nil, err
 	}
 	p.VarResult = tr.Result()
-	prog, err := symbolize.Apply(p.Mod, p.SPOffsets, p.VarResult)
+	prog, err := symbolize.ApplyJobs(p.Mod, p.SPOffsets, p.VarResult, p.jobs())
 	if err != nil {
 		return nil, fmt.Errorf("core: symbolize: %w", err)
 	}
 	p.Recovered = prog
 	if p.Lint != LintOff {
 		p.ensureReport()
-		analysis.LintModule(p.Mod, p.Recovered, p.Heights, p.Report)
+		analysis.CheckModule(p.Mod, p.Report)
+		p.lintFuncs()
+		p.Report.Sort()
 		if err := p.lintGate("symbolize"); err != nil {
 			return nil, err
 		}
@@ -210,19 +366,66 @@ func (p *Pipeline) RefineSymbolize() (*layout.Program, error) {
 	return prog, nil
 }
 
+// lintFuncs runs the per-function verification checks over the worker pool
+// and merges the findings in module function order. With a cache attached,
+// a function whose content-addressed key hits reuses its recorded findings
+// and skips the checks; misses are computed and recorded.
+func (p *Pipeline) lintFuncs() {
+	funcs := p.Mod.Funcs
+	reps := make([]analysis.Report, len(funcs))
+	keys := make([]refcache.Key, len(funcs))
+	hit := make([]bool, len(funcs))
+	par.ForEach(p.jobs(), len(funcs), func(i int) error {
+		f := funcs[i]
+		if p.Cache != nil {
+			keys[i] = p.funcKeyFor(f.Name, f.Addr)
+			if e, ok := p.Cache.GetFunc(keys[i]); ok {
+				reps[i].Diags = e.Diags
+				hit[i] = true
+				return nil
+			}
+		}
+		analysis.LintFunc(f, p.Recovered.Frame(f.Name), p.Heights[f], &reps[i])
+		return nil
+	})
+	for i, f := range funcs {
+		p.Report.Merge(&reps[i])
+		if p.Cache != nil && !hit[i] {
+			var vars []layout.Var
+			if fr := p.Recovered.Frame(f.Name); fr != nil {
+				vars = fr.Vars
+			}
+			p.Cache.PutFunc(keys[i], &refcache.FuncEntry{
+				Func:  f.Name,
+				Frame: vars,
+				Diags: reps[i].Diags,
+			})
+		}
+	}
+}
+
 // Refine runs the complete refinement-lifting sequence on a lifted module.
+// On success, the recovered layout and verification report are recorded in
+// the cache under the binary's program key, so an identical future run can
+// skip the pipeline (see RecoverLayout).
 func (p *Pipeline) Refine() error {
-	if err := p.RefineRegSave(); err != nil {
+	if err := p.timed("regsave", p.RefineRegSave); err != nil {
 		return err
 	}
-	if err := p.RefineVarArgs(); err != nil {
+	if err := p.timed("varargs", p.RefineVarArgs); err != nil {
 		return err
 	}
-	if err := p.RefineStackRef(); err != nil {
+	if err := p.timed("stackref", p.RefineStackRef); err != nil {
 		return err
 	}
-	if _, err := p.RefineSymbolize(); err != nil {
+	if err := p.timed("symbolize", func() error {
+		_, err := p.RefineSymbolize()
 		return err
+	}); err != nil {
+		return err
+	}
+	if p.Cache != nil && p.Recovered != nil {
+		p.Cache.PutProgram(p.programKey(), refcache.ProgramFromLayout(p.Recovered, p.Report))
 	}
 	return nil
 }

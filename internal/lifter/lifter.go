@@ -216,7 +216,11 @@ func (l *fnLift) rpo() []uint32 {
 }
 
 func (l *fnLift) trySeal() {
-	for a, b := range l.blocks {
+	// Iterate the function's block list, not the address map: sealing can
+	// allocate values (transitive phis), so the order must be deterministic
+	// for value numbering to be reproducible across runs.
+	for _, a := range l.mf.Blocks {
+		b := l.blocks[a]
 		if l.sealed[b] {
 			continue
 		}
@@ -252,8 +256,13 @@ func (l *fnLift) predBlocks(b *ir.Block) []*ir.Block {
 }
 
 func (l *fnLift) seal(b *ir.Block) {
-	for r, phi := range l.incomplete[b] {
-		l.addPhiOperands(b, r, phi)
+	// Complete pending phis in register order (not map order): operand
+	// lookup can allocate values recursively, and value numbering must not
+	// depend on map iteration.
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if phi, ok := l.incomplete[b][r]; ok {
+			l.addPhiOperands(b, r, phi)
+		}
 	}
 	delete(l.incomplete, b)
 	l.sealed[b] = true

@@ -147,8 +147,11 @@ type Expr interface {
 	Type() *Type
 }
 
+// typed embeds the checked type into every expression node and provides
+// the Expr interface's Type accessor.
 type typed struct{ Typ *Type }
 
+// Type returns the checked type (valid after Check).
 func (t *typed) Type() *Type { return t.Typ }
 
 // NumLit is an integer (or char) literal.

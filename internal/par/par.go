@@ -1,0 +1,103 @@
+// Package par provides the bounded worker pools behind the pipeline's
+// parallel stages. Every helper preserves determinism by construction:
+// work items are identified by index, results land in index-addressed
+// slots, and error selection is by lowest index — so the observable
+// outcome of a parallel stage never depends on goroutine scheduling,
+// only on the input order. Callers merge per-index results in input
+// order afterwards, which is what makes `-j 1` and `-j N` byte-identical
+// (see ARCHITECTURE.md, "Determinism invariants").
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// N resolves a user-provided worker count: values < 1 mean "one worker
+// per available CPU" (runtime.GOMAXPROCS).
+func N(jobs int) int {
+	if jobs < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return jobs
+}
+
+// ForEach runs fn(i) for every i in [0, n) on min(N(jobs), n) workers and
+// waits for all of them. It returns the error of the lowest failing index
+// (not the first to fail in time), so the reported error is deterministic.
+// A panicking fn is converted into an error carrying the panic value; the
+// remaining items still run.
+func ForEach(jobs, n int, fn func(i int) error) error {
+	errs := ForEachErrs(jobs, n, fn)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEachErrs is ForEach returning the full per-index error slice, for
+// callers that isolate failures per item instead of failing the stage
+// (the pipeline's degraded-function path).
+func ForEachErrs(jobs, n int, fn func(i int) error) []error {
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
+	}
+	workers := N(jobs)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = protect(fn, i)
+		}
+		return errs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = protect(fn, i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// Map runs fn(i) for every i in [0, n) and collects the results in input
+// order. The error, if any, is the lowest failing index's.
+func Map[T any](jobs, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(jobs, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}
+
+// protect runs fn(i), converting a panic into an error so one bad work
+// item cannot take down the whole pool.
+func protect(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("par: item %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}

@@ -1,0 +1,96 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 0} {
+		n := 100
+		var hits [100]atomic.Int32
+		if err := ForEach(jobs, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("jobs=%d: index %d ran %d times", jobs, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	wantErr := errors.New("boom-3")
+	for _, jobs := range []int{1, 4} {
+		err := ForEach(jobs, 10, func(i int) error {
+			if i == 3 {
+				return wantErr
+			}
+			if i == 7 {
+				return errors.New("boom-7")
+			}
+			return nil
+		})
+		if !errors.Is(err, wantErr) {
+			t.Errorf("jobs=%d: err = %v, want the index-3 error", jobs, err)
+		}
+	}
+}
+
+func TestForEachErrsIsolatesFailures(t *testing.T) {
+	errs := ForEachErrs(4, 5, func(i int) error {
+		if i%2 == 1 {
+			return fmt.Errorf("odd %d", i)
+		}
+		return nil
+	})
+	for i, err := range errs {
+		if (err != nil) != (i%2 == 1) {
+			t.Errorf("index %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestForEachRecoversPanics(t *testing.T) {
+	errs := ForEachErrs(4, 4, func(i int) error {
+		if i == 2 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if errs[2] == nil {
+		t.Fatal("panic was not converted into an error")
+	}
+	for i, err := range errs {
+		if i != 2 && err != nil {
+			t.Errorf("index %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	out, err := Map(8, 50, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestN(t *testing.T) {
+	if N(0) < 1 || N(-5) < 1 {
+		t.Error("N must be at least 1")
+	}
+	if N(7) != 7 {
+		t.Error("explicit job counts pass through")
+	}
+}

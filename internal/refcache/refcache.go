@@ -1,0 +1,265 @@
+// Package refcache is the content-addressed refinement cache: recovered
+// stack layouts and verification findings persist across wytiwyg runs,
+// keyed by a hash of everything the result depends on — the pass version,
+// the traced input set, and the relevant machine code (the whole binary
+// for program-level entries, the function plus its traced callees for
+// function-level entries). Because keys are content hashes, invalidation
+// is automatic: recompiling a function, changing the input set, or bumping
+// the pass version changes the key and the stale entry is simply never
+// found again. Entries live as one JSON file per key under a cache
+// directory; a corrupted or truncated entry is indistinguishable from a
+// miss (it is deleted and recomputed), so the cache can never make a run
+// fail — only faster.
+package refcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"wytiwyg/internal/analysis"
+	"wytiwyg/internal/layout"
+)
+
+// Key is the 256-bit content address of one cache entry.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex (the on-disk entry name).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// NewKey hashes a domain-separation tag and the dependency parts into a
+// key. Each part is length-prefixed so distinct part boundaries can never
+// collide ("ab","c" vs "a","bc").
+func NewKey(tag string, parts ...[]byte) Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d:%s", len(tag), tag)
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:", len(p))
+		h.Write(p)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// FuncEntry is the cached refinement outcome for one function: its
+// recovered frame layout and the per-function verification findings.
+type FuncEntry struct {
+	// Func is the function's recovered name (diagnostic only; the key
+	// carries the identity).
+	Func string `json:"func"`
+	// Frame lists the recovered local stack objects, sorted by offset.
+	Frame []layout.Var `json:"frame"`
+	// Diags holds the function's lint findings from the run that produced
+	// the entry.
+	Diags []analysis.Diag `json:"diags"`
+}
+
+// ProgramEntry is the cached outcome of a whole binary's refinement: the
+// full recovered layout table and the sorted verification report. A hit
+// lets a repeat run skip tracing, lifting and every refinement pass.
+type ProgramEntry struct {
+	// Frames maps function names to their recovered local objects.
+	Frames map[string][]layout.Var `json:"frames"`
+	// Diags is the full, sorted lint report of the original run.
+	Diags []analysis.Diag `json:"diags"`
+}
+
+// Stats counts cache traffic for one Cache handle.
+type Stats struct {
+	Hits, Misses, Puts int
+	// Corrupt counts entries that existed but failed to decode (each was
+	// removed and counted as a miss too).
+	Corrupt int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d hit(s), %d miss(es), %d new entr(ies)", s.Hits, s.Misses, s.Puts)
+}
+
+// Cache is a handle on one on-disk cache directory. All methods are safe
+// for concurrent use.
+type Cache struct {
+	dir string
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// version is the on-disk envelope format version. It protects the JSON
+// schema; semantic invalidation of results belongs in the key's pass
+// version.
+const version = 1
+
+// envelope wraps every entry with the format version and the payload.
+type envelope struct {
+	Version int             `json:"version"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Open returns a cache rooted at dir, creating it if needed.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("refcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// path places an entry in a two-level fan-out (git-style) so directories
+// stay small on big corpora.
+func (c *Cache) path(k Key) string {
+	name := k.String()
+	return filepath.Join(c.dir, name[:2], name[2:]+".json")
+}
+
+// get decodes the entry for k into out. Any failure — absent file,
+// unreadable file, corrupt JSON, foreign format version — is a miss;
+// corrupt entries are removed so they are recomputed and rewritten.
+func (c *Cache) get(k Key, out any) bool {
+	p := c.path(k)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		c.count(func(s *Stats) { s.Misses++ })
+		return false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err == nil && env.Version == version {
+		if err := json.Unmarshal(env.Payload, out); err == nil {
+			c.count(func(s *Stats) { s.Hits++ })
+			return true
+		}
+	}
+	os.Remove(p)
+	c.count(func(s *Stats) { s.Misses++; s.Corrupt++ })
+	return false
+}
+
+// put stores v under k. Entries are written to a temporary file and
+// renamed into place so readers never observe a half-written entry.
+func (c *Cache) put(k Key, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("refcache: encode: %w", err)
+	}
+	data, err := json.Marshal(envelope{Version: version, Payload: payload})
+	if err != nil {
+		return fmt.Errorf("refcache: encode: %w", err)
+	}
+	p := c.path(k)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("refcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "tmp-*")
+	if err != nil {
+		return fmt.Errorf("refcache: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("refcache: write: %w", errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("refcache: %w", err)
+	}
+	c.count(func(s *Stats) { s.Puts++ })
+	return nil
+}
+
+// GetFunc looks up a function-level entry.
+func (c *Cache) GetFunc(k Key) (*FuncEntry, bool) {
+	var e FuncEntry
+	if !c.get(k, &e) {
+		return nil, false
+	}
+	return &e, true
+}
+
+// PutFunc stores a function-level entry.
+func (c *Cache) PutFunc(k Key, e *FuncEntry) error { return c.put(k, e) }
+
+// GetProgram looks up a program-level entry.
+func (c *Cache) GetProgram(k Key) (*ProgramEntry, bool) {
+	var e ProgramEntry
+	if !c.get(k, &e) {
+		return nil, false
+	}
+	return &e, true
+}
+
+// PutProgram stores a program-level entry.
+func (c *Cache) PutProgram(k Key, e *ProgramEntry) error { return c.put(k, e) }
+
+// Len counts the entries currently on disk (test and tooling helper).
+func (c *Cache) Len() int {
+	n := 0
+	filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+func (c *Cache) count(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// DefaultDir returns the conventional cache location: $WYTIWYG_CACHE if
+// set, else the wytiwyg subdirectory of the user cache directory.
+func DefaultDir() (string, error) {
+	if d := os.Getenv("WYTIWYG_CACHE"); d != "" {
+		return d, nil
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("refcache: no cache directory: %w", err)
+	}
+	return filepath.Join(base, "wytiwyg"), nil
+}
+
+// ProgramFromLayout converts a recovered layout and report into a
+// program-level entry.
+func ProgramFromLayout(prog *layout.Program, rep *analysis.Report) *ProgramEntry {
+	e := &ProgramEntry{Frames: make(map[string][]layout.Var, len(prog.Frames))}
+	for _, name := range prog.FuncNames() {
+		e.Frames[name] = append([]layout.Var(nil), prog.Frame(name).Vars...)
+	}
+	if rep != nil {
+		e.Diags = append([]analysis.Diag(nil), rep.Diags...)
+	}
+	return e
+}
+
+// LayoutFromProgram reconstructs the layout table and report of a cached
+// program-level entry.
+func LayoutFromProgram(e *ProgramEntry) (*layout.Program, *analysis.Report) {
+	prog := layout.NewProgram()
+	for name, vars := range e.Frames {
+		fr := &layout.Frame{Func: name, Vars: append([]layout.Var(nil), vars...)}
+		fr.Sort()
+		prog.Add(fr)
+	}
+	rep := &analysis.Report{Diags: append([]analysis.Diag(nil), e.Diags...)}
+	return prog, rep
+}

@@ -94,6 +94,38 @@ func NewTracer() *Tracer {
 	}
 }
 
+// Fork returns a fresh, independent tracer for one input's run. Symbols,
+// shadow entries and frame metadata are run-local (they are keyed by frame
+// identity), so per-input tracers observe exactly what one shared
+// sequential tracer would; the classification sets they produce merge with
+// Join.
+func (t *Tracer) Fork() irexec.Tracer { return NewTracer() }
+
+// Join folds a forked tracer's observations into t. All three result
+// structures are sets (argument uses, return-condition violations,
+// forwarding constraints), so the union is order-independent and joining
+// per-input tracers in any order yields the same classification as one
+// tracer observing all inputs sequentially.
+func (t *Tracer) Join(o irexec.Tracer) {
+	ot := o.(*Tracer)
+	for k := range ot.arg {
+		t.arg[k] = true
+	}
+	for k := range ot.violated {
+		t.violated[k] = true
+	}
+	for k, tos := range ot.forwards {
+		m := t.forwards[k]
+		if m == nil {
+			m = make(map[fnReg]bool, len(tos))
+			t.forwards[k] = m
+		}
+		for to := range tos {
+			m[to] = true
+		}
+	}
+}
+
 const frameLimit = 1 << 16
 
 func (t *Tracer) meta(fr *irexec.Frame, v *ir.Value) *symbol {

@@ -13,6 +13,7 @@ import (
 	"wytiwyg/internal/ir"
 	"wytiwyg/internal/isa"
 	"wytiwyg/internal/opt"
+	"wytiwyg/internal/par"
 )
 
 // Offsets maps each value that is a constant displacement from sp0 to that
@@ -164,74 +165,111 @@ func constOf(v *ir.Value) (int32, bool) {
 // ESP parameter when c == 0). It returns the per-function offset maps of
 // the REWRITTEN module, which the symbolization refinement consumes.
 func Apply(mod *ir.Module) (map[*ir.Func]Offsets, error) {
-	out := make(map[*ir.Func]Offsets, len(mod.Funcs))
+	out, funcErrs := ApplyJobs(mod, 1)
 	for _, f := range mod.Funcs {
-		off := Analyze(f)
-		if off == nil {
-			return nil, fmt.Errorf("stackref: %s has no ESP parameter", f.Name)
+		if ferr := funcErrs[f]; ferr != nil {
+			return nil, ferr
 		}
-		esp := f.ParamByReg(isa.ESP)
-		for _, b := range f.Blocks {
-			// Phis that turned out to be constant displacements move into
-			// the block body as adds.
-			var keepPhis []*ir.Value
-			var newAdds []*ir.Value
-			for _, v := range b.Phis {
-				c, ok := off[v]
-				if !ok {
-					keepPhis = append(keepPhis, v)
-					continue
-				}
-				if c == 0 {
-					opt.ReplaceUses(f, v, esp)
-					delete(off, v)
-					continue
-				}
-				k := f.NewValue(ir.OpConst)
-				k.Const = c
-				k.Block = b
-				v.Op = ir.OpAdd
-				v.Args = []*ir.Value{esp, k}
-				v.Block = b
-				newAdds = append(newAdds, k, v)
-			}
-			b.Phis = keepPhis
-			if len(newAdds) > 0 {
-				b.Insts = append(newAdds, b.Insts...)
-			}
-			for i := 0; i < len(b.Insts); i++ {
-				v := b.Insts[i]
-				c, ok := off[v]
-				if !ok || v.Op == ir.OpParam || v.Op == ir.OpConst {
-					continue
-				}
-				if v.Op == ir.OpAdd && v.Args[0] == esp && v.Args[1].Op == ir.OpConst {
-					continue // already canonical
-				}
-				if c == 0 {
-					opt.ReplaceUses(f, v, esp)
-					delete(off, v)
-					// The value is now dead; leave removal to DCE unless it
-					// has side effects (extract of a call keeps the call).
-					continue
-				}
-				k := f.NewValue(ir.OpConst)
-				k.Const = c
-				k.Block = b
-				v.Op = ir.OpAdd
-				v.Args = []*ir.Value{esp, k}
-				// Insert the constant before its use.
-				b.Insts = append(b.Insts[:i], append([]*ir.Value{k}, b.Insts[i:]...)...)
-				i++
-			}
-		}
-		opt.DCE(f)
-		// Rebuild the offsets over the cleaned function so symbolize sees
-		// exactly the surviving direct references.
-		out[f] = Analyze(f)
 	}
 	if err := ir.Verify(mod); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// ApplyJobs is Apply over a bounded worker pool. The analysis and rewrite
+// touch only the function they run on, so functions proceed independently;
+// results are collected in module function order. A function that cannot
+// be analyzed (no ESP parameter, or a panic during its rewrite) is reported
+// in the per-function error map instead of failing the module — the caller
+// decides whether to degrade or abort, and is responsible for verifying the
+// module once it has dealt with the failures.
+func ApplyJobs(mod *ir.Module, jobs int) (map[*ir.Func]Offsets, map[*ir.Func]error) {
+	offs := make([]Offsets, len(mod.Funcs))
+	errs := par.ForEachErrs(jobs, len(mod.Funcs), func(i int) error {
+		off, err := applyFunc(mod.Funcs[i])
+		if err != nil {
+			return err
+		}
+		offs[i] = off
+		return nil
+	})
+	out := make(map[*ir.Func]Offsets, len(mod.Funcs))
+	funcErrs := make(map[*ir.Func]error)
+	for i, f := range mod.Funcs {
+		if errs[i] != nil {
+			funcErrs[f] = errs[i]
+			continue
+		}
+		out[f] = offs[i]
+	}
+	return out, funcErrs
+}
+
+// applyFunc canonicalizes one function and returns its post-rewrite offset
+// map. It reads and writes only f.
+func applyFunc(f *ir.Func) (Offsets, error) {
+	off := Analyze(f)
+	if off == nil {
+		return nil, fmt.Errorf("stackref: %s has no ESP parameter", f.Name)
+	}
+	esp := f.ParamByReg(isa.ESP)
+	for _, b := range f.Blocks {
+		// Phis that turned out to be constant displacements move into
+		// the block body as adds.
+		var keepPhis []*ir.Value
+		var newAdds []*ir.Value
+		for _, v := range b.Phis {
+			c, ok := off[v]
+			if !ok {
+				keepPhis = append(keepPhis, v)
+				continue
+			}
+			if c == 0 {
+				opt.ReplaceUses(f, v, esp)
+				delete(off, v)
+				continue
+			}
+			k := f.NewValue(ir.OpConst)
+			k.Const = c
+			k.Block = b
+			v.Op = ir.OpAdd
+			v.Args = []*ir.Value{esp, k}
+			v.Block = b
+			newAdds = append(newAdds, k, v)
+		}
+		b.Phis = keepPhis
+		if len(newAdds) > 0 {
+			b.Insts = append(newAdds, b.Insts...)
+		}
+		for i := 0; i < len(b.Insts); i++ {
+			v := b.Insts[i]
+			c, ok := off[v]
+			if !ok || v.Op == ir.OpParam || v.Op == ir.OpConst {
+				continue
+			}
+			if v.Op == ir.OpAdd && v.Args[0] == esp && v.Args[1].Op == ir.OpConst {
+				continue // already canonical
+			}
+			if c == 0 {
+				opt.ReplaceUses(f, v, esp)
+				delete(off, v)
+				// The value is now dead; leave removal to DCE unless it
+				// has side effects (extract of a call keeps the call).
+				continue
+			}
+			k := f.NewValue(ir.OpConst)
+			k.Const = c
+			k.Block = b
+			v.Op = ir.OpAdd
+			v.Args = []*ir.Value{esp, k}
+			// Insert the constant before its use.
+			b.Insts = append(b.Insts[:i], append([]*ir.Value{k}, b.Insts[i:]...)...)
+			i++
+		}
+	}
+	opt.DCE(f)
+	// Rebuild the offsets over the cleaned function so symbolize sees
+	// exactly the surviving direct references.
+	return Analyze(f), nil
 }

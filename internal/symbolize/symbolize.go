@@ -25,6 +25,7 @@ import (
 	"wytiwyg/internal/isa"
 	"wytiwyg/internal/layout"
 	"wytiwyg/internal/opt"
+	"wytiwyg/internal/par"
 	"wytiwyg/internal/stackref"
 	"wytiwyg/internal/vartrack"
 )
@@ -60,6 +61,18 @@ type fnInfo struct {
 // (locals only, for the Figure 7 comparison).
 func Apply(mod *ir.Module, offs map[*ir.Func]stackref.Offsets,
 	res *vartrack.Result) (*layout.Program, error) {
+	return ApplyJobs(mod, offs, res, 1)
+}
+
+// ApplyJobs is Apply over a bounded worker pool. The phases keep their
+// barrier structure — every function finishes phase N before any enters
+// phase N+1 — but within a phase, functions are processed concurrently:
+// coalescing, frame building and reference replacement touch only their
+// own function, and call-site rewriting reads only callee state frozen by
+// the preceding barrier. Results and errors are collected in module
+// function order, so the outcome is independent of the worker count.
+func ApplyJobs(mod *ir.Module, offs map[*ir.Func]stackref.Offsets,
+	res *vartrack.Result, jobs int) (*layout.Program, error) {
 
 	infos := make(map[*ir.Func]*fnInfo, len(mod.Funcs))
 
@@ -88,18 +101,27 @@ func Apply(mod *ir.Module, offs map[*ir.Func]stackref.Offsets,
 	}
 
 	// Phase A: coalesce each function's variables.
-	for _, f := range mod.Funcs {
+	fis := make([]*fnInfo, len(mod.Funcs))
+	if err := par.ForEach(jobs, len(mod.Funcs), func(i int) error {
+		f := mod.Funcs[i]
 		fi, err := coalesce(f, res, argCount[f])
 		if err != nil {
-			return nil, fmt.Errorf("symbolize: %s: %w", f.Name, err)
+			return fmt.Errorf("symbolize: %s: %w", f.Name, err)
 		}
-		infos[f] = fi
+		fis[i] = fi
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, f := range mod.Funcs {
+		infos[f] = fis[i]
 	}
 
 	// Phase B: materialize allocas and stack-argument parameters.
-	for _, f := range mod.Funcs {
-		buildFrame(infos[f])
-	}
+	par.ForEach(jobs, len(mod.Funcs), func(i int) error {
+		buildFrame(infos[mod.Funcs[i]])
+		return nil
+	})
 
 	// Phase C: shrink return tuples (drop ESP).
 	for _, f := range mod.Funcs {
@@ -122,10 +144,16 @@ func Apply(mod *ir.Module, offs map[*ir.Func]stackref.Offsets,
 	}
 
 	// Phase D: rewrite call sites (explicit stack arguments, no ESP).
-	for _, f := range mod.Funcs {
+	// rewriteCalls mutates only its own function; the callee facts it reads
+	// (Params, stackArgs, newRetRegs) were frozen by phases B and C.
+	if err := par.ForEach(jobs, len(mod.Funcs), func(i int) error {
+		f := mod.Funcs[i]
 		if err := rewriteCalls(infos[f], infos, offs[f]); err != nil {
-			return nil, fmt.Errorf("symbolize: %s: %w", f.Name, err)
+			return fmt.Errorf("symbolize: %s: %w", f.Name, err)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	// External calls read their arguments from outgoing slots too: those
 	// slots are call plumbing, not recovered variables.
@@ -159,10 +187,14 @@ func Apply(mod *ir.Module, offs map[*ir.Func]stackref.Offsets,
 	opt.DCEModule(mod)
 
 	// Phase E: replace surviving direct stack references.
-	for _, f := range mod.Funcs {
+	if err := par.ForEach(jobs, len(mod.Funcs), func(i int) error {
+		f := mod.Funcs[i]
 		if err := replaceRefs(infos[f], offs[f]); err != nil {
-			return nil, fmt.Errorf("symbolize: %s: %w", f.Name, err)
+			return fmt.Errorf("symbolize: %s: %w", f.Name, err)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// Phase F: finalize parameter lists (drop ESP, add stack args).

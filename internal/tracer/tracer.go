@@ -13,6 +13,7 @@ import (
 	"wytiwyg/internal/isa"
 	"wytiwyg/internal/machine"
 	"wytiwyg/internal/obj"
+	"wytiwyg/internal/par"
 )
 
 // Trace is the merged dynamic CFG information for one binary.
@@ -89,10 +90,36 @@ func (t *Trace) Run(input machine.Input, out io.Writer) (machine.Result, error) 
 // RunAll merges traces for several inputs (incremental lifting's "provide
 // more inputs until coverage suffices").
 func (t *Trace) RunAll(inputs []machine.Input, out io.Writer) error {
-	for i := range inputs {
-		if _, err := t.Run(inputs[i], out); err != nil {
-			return fmt.Errorf("input %d: %w", i, err)
+	return t.RunAllJobs(inputs, out, 1)
+}
+
+// RunAllJobs is RunAll over a bounded worker pool: every input is traced
+// into its own fresh Trace and the per-input traces are merged into t in
+// input order. Because a Trace is a collection of sets and Merge is a
+// union, the merged result is identical for every worker count; the
+// per-input program output is discarded (out only receives output under
+// jobs == 1, where inputs run in order).
+func (t *Trace) RunAllJobs(inputs []machine.Input, out io.Writer, jobs int) error {
+	if par.N(jobs) == 1 || len(inputs) == 1 {
+		for i := range inputs {
+			if _, err := t.Run(inputs[i], out); err != nil {
+				return fmt.Errorf("input %d: %w", i, err)
+			}
 		}
+		return nil
+	}
+	subs, err := par.Map(jobs, len(inputs), func(i int) (*Trace, error) {
+		sub := New(t.Img)
+		if _, err := sub.Run(inputs[i], io.Discard); err != nil {
+			return nil, fmt.Errorf("input %d: %w", i, err)
+		}
+		return sub, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, sub := range subs {
+		t.Merge(sub)
 	}
 	return nil
 }

@@ -37,6 +37,27 @@ func NewTracer() *Tracer {
 // pipeline calls this before each run).
 func (t *Tracer) Bind(ip *irexec.Interp) { t.ip = ip }
 
+// Fork returns a fresh tracer for one input's run; per-input argument
+// counts merge with Join.
+func (t *Tracer) Fork() irexec.Tracer { return NewTracer() }
+
+// Join folds a forked tracer's observations into t: the per-site count is
+// the maximum across runs (a max-merge is commutative, so the join order
+// does not matter), and failed sites accumulate.
+func (t *Tracer) Join(o irexec.Tracer) {
+	ot := o.(*Tracer)
+	for v, n := range ot.Counts {
+		if n > t.Counts[v] {
+			t.Counts[v] = n
+		}
+	}
+	for v, err := range ot.failed {
+		if _, ok := t.failed[v]; !ok {
+			t.failed[v] = err
+		}
+	}
+}
+
 // FnEnter implements irexec.Tracer.
 func (t *Tracer) FnEnter(fr *irexec.Frame) {}
 

@@ -90,6 +90,10 @@ type Tracer struct {
 	res     *Result
 	nextID  int
 	addrMap map[uint32]PointerInfo
+	// order remembers base-pointer values in StackVar allocation order, so
+	// Join can renumber a forked tracer's variables exactly as a sequential
+	// run would have.
+	order []*ir.Value
 
 	// pending carries argument metadata from CallPre to the callee's
 	// FnEnter; lastExit carries return metadata from FnExit to the
@@ -143,7 +147,60 @@ func (t *Tracer) varFor(fn *ir.Func, v *ir.Value, spoff int32) *StackVar {
 	t.nextID++
 	t.res.Vars[v] = sv
 	t.res.ByFn[fn] = append(t.res.ByFn[fn], sv)
+	t.order = append(t.order, v)
 	return sv
+}
+
+// Fork returns a fresh tracer over the same direct-reference table for one
+// input's run. Each fork tracks its own StackVars, address map and
+// marshalling state; Join folds the fork's observations back.
+func (t *Tracer) Fork() irexec.Tracer { return NewTracer(t.offs) }
+
+// Join merges a forked tracer's result into t. StackVars are keyed by
+// their static base-pointer value, so the fork's variables map onto t's by
+// identity: bounds union (the §4.2.4 deferred rules are interval joins,
+// which commute), alignment takes the strongest observation, and linked
+// pairs and argument slots accumulate. Joining forks in input order
+// allocates IDs in exactly the order one sequential tracer observing the
+// same inputs back-to-back would have, which keeps downstream coalescing
+// deterministic in the worker count.
+func (t *Tracer) Join(o irexec.Tracer) {
+	ot := o.(*Tracer)
+	remap := make(map[*StackVar]*StackVar, len(ot.order))
+	for _, base := range ot.order {
+		osv := ot.res.Vars[base]
+		sv := t.varFor(osv.Fn, base, osv.SPOff)
+		remap[osv] = sv
+		if osv.Defined {
+			if !sv.Defined {
+				sv.Defined = true
+				sv.Low, sv.High = osv.Low, osv.High
+			} else {
+				if osv.Low < sv.Low {
+					sv.Low = osv.Low
+				}
+				if osv.High > sv.High {
+					sv.High = osv.High
+				}
+			}
+		}
+		if osv.Align > sv.Align {
+			sv.Align = osv.Align
+		}
+	}
+	for _, pair := range ot.res.Linked {
+		t.res.Linked = append(t.res.Linked, [2]*StackVar{remap[pair[0]], remap[pair[1]]})
+	}
+	for fn, slots := range ot.res.ArgSlots {
+		dst := t.res.ArgSlots[fn]
+		if dst == nil {
+			dst = make(map[int]bool, len(slots))
+			t.res.ArgSlots[fn] = dst
+		}
+		for s := range slots {
+			dst[s] = true
+		}
+	}
 }
 
 func (t *Tracer) pi(fr *irexec.Frame, v *ir.Value) *PointerInfo {
