@@ -47,4 +47,14 @@ step "wytiwyg lint (benchmark corpus)" sh -c '
     /tmp/wytiwyg-ci lint -all'
 step "examples" check_examples
 
+# Bench smoke: one iteration of every interpreter/emulator micro-benchmark.
+# Catches benchmarks that stop compiling or crash, and refreshes the
+# "current" numbers in BENCH_interp.json (the committed baseline is kept).
+check_bench() {
+    go test -bench=. -benchtime=1x -run '^$' \
+        ./internal/machine/ ./internal/irexec/ |
+        go run ./cmd/benchjson -o BENCH_interp.json
+}
+step "bench smoke" check_bench
+
 echo "ci: all checks passed"

@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` output (on stdin) into a JSON
+// artifact tracking the interpreter/emulator micro-benchmarks. The output
+// file keeps two sections: "baseline", written once (or refreshed with
+// -set-baseline) to pin the pre-optimization numbers, and "current",
+// overwritten on every run. When both are present a "speedup" section
+// reports baseline/current per benchmark.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x ./... | benchjson -o BENCH_interp.json
+//	go test -bench=. ./... | benchjson -o BENCH_interp.json -set-baseline
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's parsed result line.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations,omitempty"`
+}
+
+// File is the on-disk artifact layout.
+type File struct {
+	Baseline map[string]Metrics `json:"baseline,omitempty"`
+	Current  map[string]Metrics `json:"current"`
+	Speedup  map[string]float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_interp.json", "output JSON file (merged if it exists)")
+	setBaseline := flag.Bool("set-baseline", false, "record this run as the baseline instead of the current numbers")
+	flag.Parse()
+
+	parsed, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(parsed) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	var f File
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: existing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	if *setBaseline {
+		f.Baseline = parsed
+	} else {
+		f.Current = parsed
+	}
+	f.Speedup = nil
+	if len(f.Baseline) > 0 && len(f.Current) > 0 {
+		f.Speedup = make(map[string]float64)
+		for name, base := range f.Baseline {
+			if cur, ok := f.Current[name]; ok && cur.NsPerOp > 0 {
+				f.Speedup[name] = round2(base.NsPerOp / cur.NsPerOp)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(parsed), *out)
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+// parse extracts benchmark result lines ("BenchmarkX-8  N  T ns/op ...")
+// from mixed go-test output.
+func parse(src *os.File) (map[string]Metrics, error) {
+	out := make(map[string]Metrics)
+	sc := bufio.NewScanner(src)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+		var m Metrics
+		m.Iterations, _ = strconv.ParseInt(fields[1], 10, 64)
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op %q for %s", val, name)
+				}
+				m.NsPerOp = f
+				ok = true
+			case "B/op":
+				m.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				m.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		if ok {
+			out[name] = m
+		}
+	}
+	return out, sc.Err()
+}

@@ -20,13 +20,23 @@ import (
 	"wytiwyg/internal/bench"
 	"wytiwyg/internal/bench/progs"
 	"wytiwyg/internal/minicc/gen"
+	"wytiwyg/internal/profiling"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, table1, figure6, figure7, functionality, ablation")
 	scale := flag.Int("scale", -1, "override ref input scale (-1 = full ref datasets)")
 	progList := flag.String("progs", "", "comma-separated benchmark subset (default: all)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	selected := progs.All
 	if *progList != "" {

@@ -39,6 +39,7 @@ import (
 	"wytiwyg/internal/machine"
 	"wytiwyg/internal/minicc/gen"
 	"wytiwyg/internal/opt"
+	"wytiwyg/internal/profiling"
 	"wytiwyg/internal/sanitize"
 	"wytiwyg/internal/symbolize"
 )
@@ -59,7 +60,15 @@ func main() {
 	cacheOn := flag.Bool("cache", false, "memoize refinement results in the on-disk cache")
 	cacheDir := flag.String("cache-dir", "", "cache directory (implies -cache)")
 	timings := flag.Bool("timings", false, "print the per-stage wall-clock breakdown")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer stopProf()
 
 	prof, ok := gen.ProfileByName(*profName)
 	if !ok {
@@ -214,6 +223,7 @@ func main() {
 	fmt.Printf("normalized runtime: %.3f (recovered / input)\n",
 		float64(rec.Cycles)/float64(nat.Cycles))
 	if status != "MATCH" {
+		stopProf()
 		os.Exit(1)
 	}
 }

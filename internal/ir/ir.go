@@ -11,6 +11,8 @@ package ir
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"wytiwyg/internal/isa"
 )
@@ -174,6 +176,11 @@ type Value struct {
 	Cases []SwitchCase
 
 	uses int
+
+	// slot and tupleOff are the dense execution indices assigned by
+	// Func.reindex (see layout.go); -1 while unassigned.
+	slot     int32
+	tupleOff int32
 }
 
 // AddArg appends an argument.
@@ -228,6 +235,11 @@ type Func struct {
 
 	nextValueID int
 	nextBlockID int
+
+	// layout caches the dense execution layout (see layout.go); layoutOK
+	// marks it current and is cleared by NewValue.
+	layout   Layout
+	layoutOK atomic.Bool
 }
 
 // Entry returns the entry block.
@@ -241,10 +253,12 @@ func (f *Func) NewBlock(addr uint32) *Block {
 	return b
 }
 
-// NewValue creates a value without inserting it anywhere.
+// NewValue creates a value without inserting it anywhere. Creating a value
+// invalidates the function's cached dense layout (layout.go).
 func (f *Func) NewValue(op Op, args ...*Value) *Value {
-	v := &Value{ID: f.nextValueID, Op: op, Args: args}
+	v := &Value{ID: f.nextValueID, Op: op, Args: args, slot: -1, tupleOff: -1}
 	f.nextValueID++
+	f.layoutOK.Store(false)
 	return v
 }
 
@@ -288,6 +302,10 @@ type Module struct {
 	// FuncByAddr finds lifted functions by original entry address (for
 	// indirect calls through original code addresses).
 	funcsByAddr map[uint32]*Func
+
+	// layoutMu serializes lazy dense-layout computation across concurrent
+	// executors (see Func.EnsureLayout).
+	layoutMu sync.Mutex
 }
 
 // NewModule returns an empty module.

@@ -1,0 +1,118 @@
+package ir
+
+// Dense execution layout. Interpreting a function is much cheaper when every
+// SSA value carries a small dense index: the executor can keep per-frame
+// state (SSA values, call tuples, tracer metadata) in flat slices instead of
+// maps keyed by *Value. The layout is computed lazily and cached on the
+// Func; creating a new value through NewValue invalidates it, and ir.Verify
+// — which every transformation pass runs after mutating a module — refreshes
+// it. Slot numbers are an execution artifact only: they are assigned
+// independently of Value.ID, so value numbering (and with it every printed
+// or digested form of the IR) is untouched by re-layouts.
+//
+// The invariant consumers rely on ("the dense-ID invariant"): between a
+// mutation that adds values to a function and the next execution of that
+// function, either ir.Verify ran or the executor's lazy EnsureLayout call
+// reindexes it. Structural edits that do not create values (argument
+// rewiring, op replacement, dead-value removal) keep an existing layout
+// valid — stale slots simply go unused.
+
+// Layout holds the per-function totals the executor sizes its frame slices
+// from. All counts are valid only while Func.LayoutOK reports true.
+type Layout struct {
+	// NumSlots is the number of dense value slots (params, phis and
+	// instructions; removed values leave unused holes).
+	NumSlots int
+	// TupleWords is the total width of all call-result tuples.
+	TupleWords int
+	// MaxArgs is the widest argument list of any value in the function.
+	MaxArgs int
+	// MaxPhis is the largest phi count of any block.
+	MaxPhis int
+}
+
+// Slot returns the value's dense per-function index, or -1 before the
+// owning function's layout has been computed (see Func.EnsureLayout).
+func (v *Value) Slot() int { return int(v.slot) }
+
+// TupleOff returns the value's offset into the function's flat tuple arena,
+// or -1 when the value produces no tuple (or the layout is stale).
+func (v *Value) TupleOff() int { return int(v.tupleOff) }
+
+// TupleWidth returns the number of result words a call-like value occupies
+// in the tuple arena: NumRet for internal calls, at least one word for
+// external calls (which always produce a single result), zero for
+// everything else.
+func (v *Value) TupleWidth() int {
+	switch v.Op {
+	case OpCall, OpCallInd:
+		return v.NumRet
+	case OpCallExt, OpCallExtRaw:
+		if v.NumRet > 1 {
+			return v.NumRet
+		}
+		return 1
+	}
+	return 0
+}
+
+// Layout returns the cached dense layout totals. Call EnsureLayout first;
+// the zero Layout is returned while the cache is stale.
+func (f *Func) Layout() Layout { return f.layout }
+
+// LayoutOK reports whether the cached dense layout is current.
+func (f *Func) LayoutOK() bool { return f.layoutOK.Load() }
+
+// EnsureLayout computes the dense slot layout if it is stale. It is safe to
+// call from concurrent executors as long as no goroutine is mutating the
+// function (the pipeline's phases guarantee this: passes mutate
+// single-threaded and run ir.Verify before the next parallel execution).
+func (f *Func) EnsureLayout() {
+	if f.layoutOK.Load() {
+		return
+	}
+	if f.Mod != nil {
+		f.Mod.layoutMu.Lock()
+		defer f.Mod.layoutMu.Unlock()
+		if f.layoutOK.Load() {
+			return
+		}
+	}
+	f.reindex()
+}
+
+// reindex assigns dense slots to every value the function owns: parameters
+// first, then per block phis and instructions. Call-like values additionally
+// receive an offset into the flat tuple arena.
+func (f *Func) reindex() {
+	var lay Layout
+	assign := func(v *Value) {
+		v.slot = int32(lay.NumSlots)
+		lay.NumSlots++
+		if n := len(v.Args); n > lay.MaxArgs {
+			lay.MaxArgs = n
+		}
+		if w := v.TupleWidth(); w > 0 {
+			v.tupleOff = int32(lay.TupleWords)
+			lay.TupleWords += w
+		} else {
+			v.tupleOff = -1
+		}
+	}
+	for _, p := range f.Params {
+		assign(p)
+	}
+	for _, b := range f.Blocks {
+		if len(b.Phis) > lay.MaxPhis {
+			lay.MaxPhis = len(b.Phis)
+		}
+		for _, v := range b.Phis {
+			assign(v)
+		}
+		for _, v := range b.Insts {
+			assign(v)
+		}
+	}
+	f.layout = lay
+	f.layoutOK.Store(true)
+}

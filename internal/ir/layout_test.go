@@ -1,0 +1,142 @@
+package ir
+
+import (
+	"testing"
+
+	"wytiwyg/internal/isa"
+)
+
+func layoutTestFunc() (*Module, *Func) {
+	m := NewModule("layout")
+	callee := m.NewFunc("callee", 0x2000)
+	callee.NumRet = 2
+	cesp := callee.NewParam(isa.ESP, "esp")
+	cblk := callee.NewBlock(0)
+	cblk.Append(callee.NewValue(OpRet, cesp, cesp))
+
+	f := m.NewFunc("f", 0x1000)
+	f.NumRet = 1
+	esp := f.NewParam(isa.ESP, "esp")
+	a := f.NewParam(isa.EAX, "a")
+	b0 := f.NewBlock(0)
+	b1 := f.NewBlock(0)
+	sum := b0.Append(f.NewValue(OpAdd, esp, a))
+	b0.Append(f.NewValue(OpJmp))
+	b0.Succs = []*Block{b1}
+	b1.Preds = []*Block{b0}
+	phi := f.NewValue(OpPhi, sum)
+	b1.AddPhi(phi)
+	call := f.NewValue(OpCall, phi)
+	call.Callee = callee
+	call.NumRet = 2
+	b1.Append(call)
+	ext := f.NewValue(OpExtract, call)
+	ext.Idx = 1
+	b1.Append(ext)
+	b1.Append(f.NewValue(OpRet, ext))
+	return m, f
+}
+
+// TestLayoutSlotsUniqueAndDense checks that every value a function owns gets
+// its own slot, that slots are dense, and that tuple offsets partition the
+// arena.
+func TestLayoutSlotsUniqueAndDense(t *testing.T) {
+	_, f := layoutTestFunc()
+	f.EnsureLayout()
+	lay := f.Layout()
+	seen := map[int]bool{}
+	walk := func(v *Value) {
+		s := v.Slot()
+		if s < 0 || s >= lay.NumSlots {
+			t.Fatalf("%s(%s): slot %d outside [0,%d)", v, v.Op, s, lay.NumSlots)
+		}
+		if seen[s] {
+			t.Fatalf("%s(%s): slot %d assigned twice", v, v.Op, s)
+		}
+		seen[s] = true
+	}
+	n := 0
+	for _, p := range f.Params {
+		walk(p)
+		n++
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Phis {
+			walk(v)
+			n++
+		}
+		for _, v := range b.Insts {
+			walk(v)
+			n++
+		}
+	}
+	if n != lay.NumSlots {
+		t.Fatalf("NumSlots = %d, function owns %d values", lay.NumSlots, n)
+	}
+	if lay.TupleWords != 2 {
+		t.Fatalf("TupleWords = %d, want 2 (one 2-ret call)", lay.TupleWords)
+	}
+	if lay.MaxArgs < 2 {
+		t.Fatalf("MaxArgs = %d, want >= 2", lay.MaxArgs)
+	}
+	if lay.MaxPhis != 1 {
+		t.Fatalf("MaxPhis = %d, want 1", lay.MaxPhis)
+	}
+}
+
+// TestLayoutInvalidation checks the dense-ID invariant's maintenance side:
+// NewValue marks the layout stale and EnsureLayout refreshes it.
+func TestLayoutInvalidation(t *testing.T) {
+	_, f := layoutTestFunc()
+	f.EnsureLayout()
+	if !f.LayoutOK() {
+		t.Fatal("layout stale after EnsureLayout")
+	}
+	before := f.Layout().NumSlots
+	v := f.NewValue(OpAdd, f.Params[0], f.Params[1])
+	if f.LayoutOK() {
+		t.Fatal("NewValue did not invalidate the layout")
+	}
+	if v.Slot() >= 0 {
+		t.Fatalf("fresh value has slot %d before reindex", v.Slot())
+	}
+	f.Entry().Insts = append([]*Value{v}, f.Entry().Insts...)
+	v.Block = f.Entry()
+	f.EnsureLayout()
+	if got := f.Layout().NumSlots; got != before+1 {
+		t.Fatalf("NumSlots after insertion = %d, want %d", got, before+1)
+	}
+	if v.Slot() < 0 {
+		t.Fatal("inserted value still unassigned after EnsureLayout")
+	}
+}
+
+// TestLayoutDoesNotPerturbIDs checks that slot assignment never changes
+// Value.ID: value numbering (and with it every printed or digested form of
+// the IR) is independent of execution layout.
+func TestLayoutDoesNotPerturbIDs(t *testing.T) {
+	_, f := layoutTestFunc()
+	ids := map[*Value]int{}
+	each := func(fn func(v *Value)) {
+		for _, p := range f.Params {
+			fn(p)
+		}
+		for _, b := range f.Blocks {
+			for _, v := range b.Phis {
+				fn(v)
+			}
+			for _, v := range b.Insts {
+				fn(v)
+			}
+		}
+	}
+	each(func(v *Value) { ids[v] = v.ID })
+	f.EnsureLayout()
+	f.layoutOK.Store(false) // force a second reindex
+	f.EnsureLayout()
+	each(func(v *Value) {
+		if v.ID != ids[v] {
+			t.Fatalf("%s: ID changed %d -> %d across reindex", v.Op, ids[v], v.ID)
+		}
+	})
+}

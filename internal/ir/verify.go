@@ -21,6 +21,9 @@ func verifyFunc(f *Func) error {
 	if len(f.Blocks) == 0 {
 		return fmt.Errorf("no blocks")
 	}
+	// Refresh the dense execution layout (layout.go): Verify runs after
+	// every transformation pass, so execution always sees current slots.
+	f.EnsureLayout()
 	owned := map[*Value]bool{}
 	for _, p := range f.Params {
 		if p.Op != OpParam {

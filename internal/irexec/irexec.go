@@ -5,12 +5,19 @@
 // analyses (saved-register identification, stack-variable tracking) observe
 // the program. Library calls dispatch into the exact same simulated libc
 // the machine uses, so behaviour matches the original binary bit for bit.
+//
+// The interpreter is built around the IR's dense execution layout
+// (ir/layout.go): every frame keeps SSA values, call tuples and tracer
+// metadata in flat slices indexed by Value.Slot, and frames are recycled
+// through a sync.Pool-backed free list, so a steady-state call/ret cycle
+// allocates nothing.
 package irexec
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"wytiwyg/internal/ir"
 	"wytiwyg/internal/isa"
@@ -22,7 +29,10 @@ import (
 // disjoint from the emulated-stack region under isa.StackTop.
 const NativeStackTop uint32 = 0xDFFF_FF00
 
-// Frame is one activation of a lifted function.
+// Frame is one activation of a lifted function. Frames are recycled between
+// activations: a *Frame pointer is only meaningful while its activation is
+// live, and pointer identity does not distinguish activations — use Epoch
+// for that.
 type Frame struct {
 	Fn       *ir.Func
 	Caller   *Frame
@@ -30,13 +40,29 @@ type Frame struct {
 	// SP0 is the virtual stack pointer at entry (while the lifted
 	// signature still carries ESP; 0 afterwards).
 	SP0 uint32
-	// Meta carries tracer-owned per-value metadata.
-	Meta map[*ir.Value]any
+	// Epoch uniquely identifies this activation within one interpreter
+	// run. Tracers that key state by activation must use it instead of the
+	// frame pointer, which is recycled.
+	Epoch uint64
 
-	vals     map[*ir.Value]uint32
-	tuples   map[*ir.Value][]uint32
-	nativeSP uint32
+	// regs is the dense SSA register file, indexed by Value.Slot.
+	regs []uint32
+	// tuples is the flat call-result arena; a call's results live at
+	// Value.TupleOff.
+	tuples []uint32
+	// meta carries tracer-owned per-value metadata, indexed by Value.Slot;
+	// allocated lazily on the first SetMeta so untraced runs never pay for
+	// it.
+	meta []any
+	// argbuf and phibuf are per-frame scratch for operand evaluation and
+	// simultaneous phi assignment.
+	argbuf []uint32
+	phibuf []uint32
 }
+
+// framePool recycles frames (and the slices they carry) across activations
+// and interpreter instances.
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
 
 // Get returns the current value of an SSA value in this frame. Constants
 // evaluate positionally-independently (passes may move their uses above
@@ -45,13 +71,54 @@ func (fr *Frame) Get(v *ir.Value) uint32 {
 	if v.Op == ir.OpConst {
 		return uint32(v.Const)
 	}
-	return fr.vals[v]
+	return fr.regs[v.Slot()]
 }
 
-// Tuple returns the results of a call value.
-func (fr *Frame) Tuple(v *ir.Value) []uint32 { return fr.tuples[v] }
+// Tuple returns the results of a call value, or nil if the value produces
+// no tuple. The slice aliases the frame's tuple arena and is only valid
+// while the frame is live.
+func (fr *Frame) Tuple(v *ir.Value) []uint32 {
+	w := v.TupleWidth()
+	if w == 0 || v.TupleOff() < 0 {
+		return nil
+	}
+	off := v.TupleOff()
+	return fr.tuples[off : off+w]
+}
 
-// Tracer observes execution. All methods may be no-ops.
+// GetMeta returns the tracer-owned metadata attached to v in this frame,
+// or nil.
+func (fr *Frame) GetMeta(v *ir.Value) any {
+	if len(fr.meta) == 0 {
+		return nil
+	}
+	return fr.meta[v.Slot()]
+}
+
+// SetMeta attaches tracer-owned metadata to v in this frame.
+func (fr *Frame) SetMeta(v *ir.Value, x any) {
+	if len(fr.meta) == 0 {
+		n := fr.Fn.Layout().NumSlots
+		if cap(fr.meta) < n {
+			fr.meta = make([]any, n)
+		} else {
+			fr.meta = fr.meta[:n]
+		}
+	}
+	fr.meta[v.Slot()] = x
+}
+
+// DelMeta removes v's metadata. Unlike SetMeta(v, nil) it never allocates
+// the metadata file.
+func (fr *Frame) DelMeta(v *ir.Value) {
+	if len(fr.meta) > 0 {
+		fr.meta[v.Slot()] = nil
+	}
+}
+
+// Tracer observes execution. All methods may be no-ops. Slices passed to
+// the hooks (args, rets) alias interpreter scratch buffers and must not be
+// retained past the call.
 type Tracer interface {
 	// FnEnter fires after parameters are bound.
 	FnEnter(fr *Frame)
@@ -81,6 +148,7 @@ type Interp struct {
 	MaxSteps uint64
 
 	nativeSP uint32
+	epoch    uint64
 }
 
 // Result of a complete run.
@@ -131,7 +199,8 @@ func (ip *Interp) Run() (Result, error) {
 			args[i] = isa.StackTop
 		}
 	}
-	_, err := ip.call(ip.Mod.Entry, args, nil, nil)
+	dest := make([]uint32, ip.Mod.Entry.NumRet)
+	err := ip.call(ip.Mod.Entry, args, nil, nil, dest)
 	if err != nil && !errors.Is(err, errHalted) {
 		return Result{}, err
 	}
@@ -141,26 +210,79 @@ func (ip *Interp) Run() (Result, error) {
 	return Result{ExitCode: ip.Lib.ExitCode, Steps: ip.Steps}, nil
 }
 
-func (ip *Interp) call(f *ir.Func, args []uint32, caller *Frame, site *ir.Value) ([]uint32, error) {
-	if len(args) != len(f.Params) {
-		return nil, fmt.Errorf("irexec: call to %s with %d args, want %d", f.Name, len(args), len(f.Params))
+// newFrame takes a recycled frame from the pool, sizes its slices for f's
+// dense layout and binds the parameters. All call-state allocation lives
+// here (the former lazy tuple-map initialization at the individual call-op
+// sites included); in steady state every slice is reused.
+func (ip *Interp) newFrame(f *ir.Func, args []uint32, caller *Frame, site *ir.Value) *Frame {
+	f.EnsureLayout()
+	lay := f.Layout()
+	fr := framePool.Get().(*Frame)
+	ip.epoch++
+	fr.Fn, fr.Caller, fr.CallSite, fr.Epoch = f, caller, site, ip.epoch
+	fr.SP0 = 0
+	if cap(fr.regs) < lay.NumSlots {
+		fr.regs = make([]uint32, lay.NumSlots)
+	} else {
+		fr.regs = fr.regs[:lay.NumSlots]
+		clear(fr.regs)
 	}
-	fr := &Frame{
-		Fn:       f,
-		Caller:   caller,
-		CallSite: site,
-		vals:     make(map[*ir.Value]uint32, 64),
-		nativeSP: ip.nativeSP,
+	if cap(fr.tuples) < lay.TupleWords {
+		fr.tuples = make([]uint32, lay.TupleWords)
+	} else {
+		fr.tuples = fr.tuples[:lay.TupleWords]
+		clear(fr.tuples)
 	}
+	if cap(fr.argbuf) < lay.MaxArgs {
+		fr.argbuf = make([]uint32, lay.MaxArgs)
+	} else {
+		fr.argbuf = fr.argbuf[:lay.MaxArgs]
+	}
+	if cap(fr.phibuf) < lay.MaxPhis {
+		fr.phibuf = make([]uint32, lay.MaxPhis)
+	} else {
+		fr.phibuf = fr.phibuf[:lay.MaxPhis]
+	}
+	fr.meta = fr.meta[:0]
 	for i, p := range f.Params {
-		fr.vals[p] = args[i]
+		fr.regs[p.Slot()] = args[i]
 		if p.RegHint == isa.ESP {
 			fr.SP0 = args[i]
 		}
 	}
-	savedNative := ip.nativeSP
-	defer func() { ip.nativeSP = savedNative }()
+	return fr
+}
 
+// freeFrame clears the frame's pointer-carrying state and returns it to the
+// pool. Frames on error paths are simply dropped (the run is terminal).
+func freeFrame(fr *Frame) {
+	if m := fr.meta[:cap(fr.meta)]; len(m) > 0 {
+		clear(m)
+	}
+	fr.Fn, fr.Caller, fr.CallSite = nil, nil, nil
+	framePool.Put(fr)
+}
+
+// call runs one activation of f. The return values are written into dest
+// (the caller's tuple-arena window for the call site, or a fresh slice for
+// the entry call); at most len(dest) values are stored.
+func (ip *Interp) call(f *ir.Func, args []uint32, caller *Frame, site *ir.Value, dest []uint32) error {
+	if len(args) != len(f.Params) {
+		return fmt.Errorf("irexec: call to %s with %d args, want %d", f.Name, len(args), len(f.Params))
+	}
+	fr := ip.newFrame(f, args, caller, site)
+	savedNative := ip.nativeSP
+	err := ip.run(fr, dest)
+	ip.nativeSP = savedNative
+	if err == nil {
+		freeFrame(fr)
+	}
+	return err
+}
+
+// run executes fr's function body until it returns, traps or errors.
+func (ip *Interp) run(fr *Frame, dest []uint32) error {
+	f := fr.Fn
 	if ip.Tr != nil {
 		ip.Tr.FnEnter(fr)
 	}
@@ -178,17 +300,17 @@ func (ip *Interp) call(f *ir.Func, args []uint32, caller *Frame, site *ir.Value)
 				}
 			}
 			if idx < 0 {
-				return nil, fmt.Errorf("irexec: %s: edge b%d->b%d unknown", f.Name, blockID(prev), cur.ID)
+				return fmt.Errorf("irexec: %s: edge b%d->b%d unknown", f.Name, blockID(prev), cur.ID)
 			}
-			tmp := make([]uint32, len(cur.Phis))
+			tmp := fr.phibuf[:len(cur.Phis)]
 			for i, phi := range cur.Phis {
 				if phi.Args[idx] == nil {
-					return nil, fmt.Errorf("irexec: %s: phi %s missing arg %d", f.Name, phi, idx)
+					return fmt.Errorf("irexec: %s: phi %s missing arg %d", f.Name, phi, idx)
 				}
 				tmp[i] = fr.Get(phi.Args[idx])
 			}
 			for i, phi := range cur.Phis {
-				fr.vals[phi] = tmp[i]
+				fr.regs[phi.Slot()] = tmp[i]
 				if ip.Tr != nil {
 					ip.Tr.Phi(fr, phi, phi.Args[idx], tmp[i])
 				}
@@ -197,7 +319,7 @@ func (ip *Interp) call(f *ir.Func, args []uint32, caller *Frame, site *ir.Value)
 		for _, v := range cur.Insts {
 			ip.Steps++
 			if ip.Steps > ip.MaxSteps {
-				return nil, fmt.Errorf("irexec: step budget exceeded in %s", f.Name)
+				return fmt.Errorf("irexec: step budget exceeded in %s", f.Name)
 			}
 			switch v.Op {
 			case ir.OpJmp:
@@ -219,19 +341,22 @@ func (ip *Interp) call(f *ir.Func, args []uint32, caller *Frame, site *ir.Value)
 				}
 				prev, cur = cur, next
 			case ir.OpRet:
-				rets := make([]uint32, len(v.Args))
-				for i, a := range v.Args {
-					rets[i] = fr.Get(a)
+				n := len(v.Args)
+				if n > len(dest) {
+					n = len(dest)
+				}
+				for i := 0; i < n; i++ {
+					dest[i] = fr.Get(v.Args[i])
 				}
 				if ip.Tr != nil {
-					ip.Tr.FnExit(fr, v, rets)
+					ip.Tr.FnExit(fr, v, dest[:n])
 				}
-				return rets, nil
+				return nil
 			case ir.OpTrap:
-				return nil, fmt.Errorf("%w (in %s)", ErrTrap, f.Name)
+				return fmt.Errorf("%w (in %s)", ErrTrap, f.Name)
 			default:
 				if err := ip.exec(fr, v); err != nil {
-					return nil, err
+					return err
 				}
 				continue
 			}
@@ -248,7 +373,7 @@ func blockID(b *ir.Block) int {
 }
 
 func (ip *Interp) exec(fr *Frame, v *ir.Value) error {
-	argv := make([]uint32, len(v.Args))
+	argv := fr.argbuf[:len(v.Args)]
 	for i, a := range v.Args {
 		argv[i] = fr.Get(a)
 	}
@@ -344,16 +469,12 @@ func (ip *Interp) exec(fr *Frame, v *ir.Value) error {
 		if ip.Tr != nil {
 			ip.Tr.CallPre(fr, v, argv)
 		}
-		rets, err := ip.call(v.Callee, argv, fr, v)
-		if err != nil {
+		dest := fr.Tuple(v)
+		if err := ip.call(v.Callee, argv, fr, v, dest); err != nil {
 			return err
 		}
-		if fr.tuples == nil {
-			fr.tuples = make(map[*ir.Value][]uint32)
-		}
-		fr.tuples[v] = rets
-		if len(rets) > 0 {
-			res = rets[0]
+		if len(dest) > 0 {
+			res = dest[0]
 		}
 	case ir.OpCallInd:
 		target := ip.Mod.FuncAt(argv[0])
@@ -363,16 +484,12 @@ func (ip *Interp) exec(fr *Frame, v *ir.Value) error {
 		if ip.Tr != nil {
 			ip.Tr.CallPre(fr, v, argv)
 		}
-		rets, err := ip.call(target, argv[1:], fr, v)
-		if err != nil {
+		dest := fr.Tuple(v)
+		if err := ip.call(target, argv[1:], fr, v, dest); err != nil {
 			return err
 		}
-		if fr.tuples == nil {
-			fr.tuples = make(map[*ir.Value][]uint32)
-		}
-		fr.tuples[v] = rets
-		if len(rets) > 0 {
-			res = rets[0]
+		if len(dest) > 0 {
+			res = dest[0]
 		}
 	case ir.OpCallExt:
 		arg := func(i int) (uint32, error) {
@@ -386,10 +503,7 @@ func (ip *Interp) exec(fr *Frame, v *ir.Value) error {
 		if err != nil {
 			return err
 		}
-		if fr.tuples == nil {
-			fr.tuples = make(map[*ir.Value][]uint32)
-		}
-		fr.tuples[v] = []uint32{ret}
+		fr.Tuple(v)[0] = ret
 		res = ret
 		if ip.Lib.Halted {
 			if ip.Tr != nil {
@@ -406,10 +520,7 @@ func (ip *Interp) exec(fr *Frame, v *ir.Value) error {
 		if err != nil {
 			return err
 		}
-		if fr.tuples == nil {
-			fr.tuples = make(map[*ir.Value][]uint32)
-		}
-		fr.tuples[v] = []uint32{ret}
+		fr.Tuple(v)[0] = ret
 		res = ret
 		if ip.Lib.Halted {
 			if ip.Tr != nil {
@@ -418,7 +529,7 @@ func (ip *Interp) exec(fr *Frame, v *ir.Value) error {
 			return errHalted
 		}
 	case ir.OpExtract:
-		tup := fr.tuples[v.Args[0]]
+		tup := fr.Tuple(v.Args[0])
 		if v.Idx >= len(tup) {
 			return fmt.Errorf("irexec: %s: extract %d of %d-tuple", fr.Fn.Name, v.Idx, len(tup))
 		}
@@ -426,7 +537,7 @@ func (ip *Interp) exec(fr *Frame, v *ir.Value) error {
 	default:
 		return fmt.Errorf("irexec: %s: cannot execute %s", fr.Fn.Name, v.Op)
 	}
-	fr.vals[v] = res
+	fr.regs[v.Slot()] = res
 	if ip.Tr != nil {
 		ip.Tr.Exec(fr, v, argv, res)
 	}

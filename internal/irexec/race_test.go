@@ -1,0 +1,8 @@
+//go:build race
+
+package irexec
+
+// raceEnabled reports that this test binary was built with the race
+// detector, under which sync.Pool intentionally drops items at random and
+// the zero-allocation guarantee cannot hold.
+const raceEnabled = true

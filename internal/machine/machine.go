@@ -207,6 +207,28 @@ func (f flags) eval(c isa.Cond) bool {
 	return false
 }
 
+// opCost is the per-opcode cycle cost, applied by table lookup on the
+// dispatch path. Indexed by the full uint8 opcode space so no bounds check
+// is needed; unknown opcodes cost zero and are rejected by exec's default
+// case anyway.
+var opCost = [256]uint64{
+	isa.NOP: costALU, isa.MOV: costALU, isa.MOVI: costALU, isa.MOVLO8: costALU,
+	isa.LOAD: costMem, isa.LOADLO8: costMem, isa.STORE: costMem, isa.STOREI: costMem,
+	isa.LEA: costLea,
+	isa.ADD: costALU, isa.SUB: costALU, isa.AND: costALU, isa.OR: costALU,
+	isa.XOR: costALU, isa.SHL: costALU, isa.SHR: costALU, isa.SAR: costALU,
+	isa.ADDI: costALU, isa.SUBI: costALU, isa.ANDI: costALU, isa.ORI: costALU,
+	isa.XORI: costALU, isa.SHLI: costALU, isa.SHRI: costALU, isa.SARI: costALU,
+	isa.MUL: costMul, isa.MULI: costMul,
+	isa.DIV: costDiv, isa.MOD: costDiv, isa.DIVI: costDiv, isa.MODI: costDiv,
+	isa.NEG: costALU, isa.NOT: costALU,
+	isa.CMP: costALU, isa.CMPI: costALU, isa.TEST: costALU, isa.SET: costALU,
+	isa.PUSH: costPush, isa.PUSHI: costPush, isa.POP: costPush,
+	isa.JMP: costBranch, isa.JCC: costBranch, isa.JMPR: costBranch,
+	isa.CALL: costCall, isa.CALLR: costCall, isa.RET: costRet,
+	isa.SYS: costCall, isa.HALT: 0,
+}
+
 // Step executes one instruction.
 func (m *Machine) Step() error {
 	if m.halted {
@@ -223,21 +245,23 @@ func (m *Machine) Step() error {
 	if m.InstrHook != nil {
 		m.InstrHook(m.pc)
 	}
+	return m.exec(in)
+}
+
+// exec dispatches one fetched instruction.
+func (m *Machine) exec(in *isa.Instr) error {
 	next := m.pc + isa.InstrSize
+	m.Cycles += opCost[in.Op]
 
 	switch in.Op {
 	case isa.NOP:
-		m.Cycles += costALU
 
 	case isa.MOV:
 		m.Regs[in.Dst] = m.Regs[in.Src]
-		m.Cycles += costALU
 	case isa.MOVI:
 		m.Regs[in.Dst] = uint32(in.Imm)
-		m.Cycles += costALU
 	case isa.MOVLO8:
 		m.Regs[in.Dst] = m.Regs[in.Dst]&^0xFF | m.Regs[in.Src]&0xFF
-		m.Cycles += costALU
 
 	case isa.LOAD:
 		v, err := m.Mem.Load(m.effAddr(in.Mem), in.Size)
@@ -253,55 +277,41 @@ func (m *Machine) Step() error {
 			}
 		}
 		m.Regs[in.Dst] = v
-		m.Cycles += costMem
 	case isa.LOADLO8:
 		v, err := m.Mem.Load(m.effAddr(in.Mem), 1)
 		if err != nil {
 			return err
 		}
 		m.Regs[in.Dst] = m.Regs[in.Dst]&^0xFF | v&0xFF
-		m.Cycles += costMem
 	case isa.STORE:
 		if err := m.Mem.Store(m.effAddr(in.Mem), m.Regs[in.Src], in.Size); err != nil {
 			return err
 		}
-		m.Cycles += costMem
 	case isa.STOREI:
 		if err := m.Mem.Store(m.effAddr(in.Mem), uint32(in.Imm), in.Size); err != nil {
 			return err
 		}
-		m.Cycles += costMem
 	case isa.LEA:
 		m.Regs[in.Dst] = m.effAddr(in.Mem)
-		m.Cycles += costLea
 
 	case isa.ADD:
 		m.Regs[in.Dst] += m.Regs[in.Src]
-		m.Cycles += costALU
 	case isa.SUB:
 		m.Regs[in.Dst] -= m.Regs[in.Src]
-		m.Cycles += costALU
 	case isa.AND:
 		m.Regs[in.Dst] &= m.Regs[in.Src]
-		m.Cycles += costALU
 	case isa.OR:
 		m.Regs[in.Dst] |= m.Regs[in.Src]
-		m.Cycles += costALU
 	case isa.XOR:
 		m.Regs[in.Dst] ^= m.Regs[in.Src]
-		m.Cycles += costALU
 	case isa.SHL:
 		m.Regs[in.Dst] <<= m.Regs[in.Src] & 31
-		m.Cycles += costALU
 	case isa.SHR:
 		m.Regs[in.Dst] >>= m.Regs[in.Src] & 31
-		m.Cycles += costALU
 	case isa.SAR:
 		m.Regs[in.Dst] = uint32(int32(m.Regs[in.Dst]) >> (m.Regs[in.Src] & 31))
-		m.Cycles += costALU
 	case isa.MUL:
 		m.Regs[in.Dst] *= m.Regs[in.Src]
-		m.Cycles += costMul
 	case isa.DIV, isa.MOD:
 		d := int32(m.Regs[in.Src])
 		if d == 0 {
@@ -313,35 +323,25 @@ func (m *Machine) Step() error {
 		} else {
 			m.Regs[in.Dst] = uint32(n % d)
 		}
-		m.Cycles += costDiv
 
 	case isa.ADDI:
 		m.Regs[in.Dst] += uint32(in.Imm)
-		m.Cycles += costALU
 	case isa.SUBI:
 		m.Regs[in.Dst] -= uint32(in.Imm)
-		m.Cycles += costALU
 	case isa.ANDI:
 		m.Regs[in.Dst] &= uint32(in.Imm)
-		m.Cycles += costALU
 	case isa.ORI:
 		m.Regs[in.Dst] |= uint32(in.Imm)
-		m.Cycles += costALU
 	case isa.XORI:
 		m.Regs[in.Dst] ^= uint32(in.Imm)
-		m.Cycles += costALU
 	case isa.SHLI:
 		m.Regs[in.Dst] <<= uint32(in.Imm) & 31
-		m.Cycles += costALU
 	case isa.SHRI:
 		m.Regs[in.Dst] >>= uint32(in.Imm) & 31
-		m.Cycles += costALU
 	case isa.SARI:
 		m.Regs[in.Dst] = uint32(int32(m.Regs[in.Dst]) >> (uint32(in.Imm) & 31))
-		m.Cycles += costALU
 	case isa.MULI:
 		m.Regs[in.Dst] *= uint32(in.Imm)
-		m.Cycles += costMul
 	case isa.DIVI, isa.MODI:
 		if in.Imm == 0 {
 			return fmt.Errorf("machine: division by zero at pc=0x%x", m.pc)
@@ -352,65 +352,52 @@ func (m *Machine) Step() error {
 		} else {
 			m.Regs[in.Dst] = uint32(n % in.Imm)
 		}
-		m.Cycles += costDiv
 
 	case isa.NEG:
 		m.Regs[in.Dst] = -m.Regs[in.Dst]
-		m.Cycles += costALU
 	case isa.NOT:
 		m.Regs[in.Dst] = ^m.Regs[in.Dst]
-		m.Cycles += costALU
 
 	case isa.CMP:
 		m.setCmpFlags(m.Regs[in.Dst], m.Regs[in.Src])
-		m.Cycles += costALU
 	case isa.CMPI:
 		m.setCmpFlags(m.Regs[in.Dst], uint32(in.Imm))
-		m.Cycles += costALU
 	case isa.TEST:
 		m.setTestFlags(m.Regs[in.Dst], m.Regs[in.Src])
-		m.Cycles += costALU
 	case isa.SET:
 		if m.flags.eval(in.Cond) {
 			m.Regs[in.Dst] = 1
 		} else {
 			m.Regs[in.Dst] = 0
 		}
-		m.Cycles += costALU
 
 	case isa.PUSH:
 		if err := m.push(m.Regs[in.Src]); err != nil {
 			return err
 		}
-		m.Cycles += costPush
 	case isa.PUSHI:
 		if err := m.push(uint32(in.Imm)); err != nil {
 			return err
 		}
-		m.Cycles += costPush
 	case isa.POP:
 		v, err := m.pop()
 		if err != nil {
 			return err
 		}
 		m.Regs[in.Dst] = v
-		m.Cycles += costPush
 
 	case isa.JMP:
 		next = uint32(in.Imm)
 		m.emit(Transfer{Kind: TransferJump, From: m.pc, To: next})
-		m.Cycles += costBranch
 	case isa.JCC:
 		taken := m.flags.eval(in.Cond)
 		if taken {
 			next = uint32(in.Imm)
 		}
 		m.emit(Transfer{Kind: TransferBranch, From: m.pc, To: next, Taken: taken})
-		m.Cycles += costBranch
 	case isa.JMPR:
 		next = m.Regs[in.Src]
 		m.emit(Transfer{Kind: TransferJump, From: m.pc, To: next})
-		m.Cycles += costBranch
 	case isa.CALL, isa.CALLR:
 		target := uint32(in.Imm)
 		if in.Op == isa.CALLR {
@@ -421,7 +408,6 @@ func (m *Machine) Step() error {
 			if err := m.extCall(target); err != nil {
 				return err
 			}
-			m.Cycles += costCall
 			if m.halted {
 				return nil
 			}
@@ -432,7 +418,6 @@ func (m *Machine) Step() error {
 		}
 		m.emit(Transfer{Kind: TransferCall, From: m.pc, To: target})
 		next = target
-		m.Cycles += costCall
 	case isa.RET:
 		ra, err := m.pop()
 		if err != nil {
@@ -440,13 +425,11 @@ func (m *Machine) Step() error {
 		}
 		m.emit(Transfer{Kind: TransferRet, From: m.pc, To: ra})
 		next = ra
-		m.Cycles += costRet
 
 	case isa.SYS:
 		if err := m.syscall(in.Imm); err != nil {
 			return err
 		}
-		m.Cycles += costCall
 		if m.halted {
 			return nil
 		}
@@ -474,10 +457,45 @@ func (m *Machine) syscall(num int32) error {
 	}
 }
 
-// Run executes until halt or error.
+// Run executes until halt or error. The per-instruction hook check is
+// hoisted out of the loop: the variant (hooked or unhooked) is selected once
+// on entry, so the common untraced run pays nothing for the tracing support.
 func (m *Machine) Run() error {
+	if m.InstrHook != nil {
+		return m.runHooked()
+	}
+	return m.runUnhooked()
+}
+
+func (m *Machine) runUnhooked() error {
 	for !m.halted {
-		if err := m.Step(); err != nil {
+		if m.Steps >= m.MaxSteps {
+			return ErrMaxSteps
+		}
+		in, err := m.img.InstrAt(m.pc)
+		if err != nil {
+			return fmt.Errorf("machine: pc=0x%x: %w", m.pc, err)
+		}
+		m.Steps++
+		if err := m.exec(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Machine) runHooked() error {
+	for !m.halted {
+		if m.Steps >= m.MaxSteps {
+			return ErrMaxSteps
+		}
+		in, err := m.img.InstrAt(m.pc)
+		if err != nil {
+			return fmt.Errorf("machine: pc=0x%x: %w", m.pc, err)
+		}
+		m.Steps++
+		m.InstrHook(m.pc)
+		if err := m.exec(in); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,10 @@
 package machine
 
-import "fmt"
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
 
 // pageBits selects 64 KiB pages for the sparse flat memory.
 const pageBits = 16
@@ -9,8 +13,19 @@ const pageSize = 1 << pageBits
 // Memory is a sparse, zero-initialized 32-bit address space. Pages are
 // materialized on first access. Accesses to the first page (addresses below
 // 0x1000, the classic null-pointer guard region) fault.
+//
+// Load and Store take a single-lookup fast path when the access stays within
+// one page (the overwhelmingly common case); a one-entry page cache makes
+// consecutive accesses to the same page skip even the map lookup. Accesses
+// that straddle a page boundary fall back to a byte-at-a-time slow path.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
+	// lastPN/lastPage cache the most recently touched page. lastPage is nil
+	// until the first successful page lookup; page 0 is never cached (it can
+	// only be reached above the null guard, but keeping it out of the cache
+	// keeps the hit test a single comparison).
+	lastPN   uint32
+	lastPage *[pageSize]byte
 }
 
 // NewMemory returns an empty address space.
@@ -33,16 +48,42 @@ func (m *Memory) page(addr uint32) (*[pageSize]byte, error) {
 		return nil, &Fault{Addr: addr, Why: "null-page access"}
 	}
 	pn := addr >> pageBits
+	if pn == m.lastPN && m.lastPage != nil {
+		return m.lastPage, nil
+	}
 	p := m.pages[pn]
 	if p == nil {
 		p = new([pageSize]byte)
 		m.pages[pn] = p
+	}
+	if pn != 0 {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p, nil
 }
 
 // Load reads size bytes (1, 2 or 4) little-endian.
 func (m *Memory) Load(addr uint32, size uint8) (uint32, error) {
+	off := addr & (pageSize - 1)
+	if off+uint32(size) <= pageSize {
+		p, err := m.page(addr)
+		if err != nil {
+			return 0, err
+		}
+		switch size {
+		case 4:
+			return binary.LittleEndian.Uint32(p[off:]), nil
+		case 2:
+			return uint32(binary.LittleEndian.Uint16(p[off:])), nil
+		default:
+			return uint32(p[off]), nil
+		}
+	}
+	return m.loadSlow(addr, size)
+}
+
+// loadSlow assembles a load that straddles a page boundary byte by byte.
+func (m *Memory) loadSlow(addr uint32, size uint8) (uint32, error) {
 	var v uint32
 	for i := uint8(0); i < size; i++ {
 		a := addr + uint32(i)
@@ -57,6 +98,27 @@ func (m *Memory) Load(addr uint32, size uint8) (uint32, error) {
 
 // Store writes size bytes (1, 2 or 4) little-endian.
 func (m *Memory) Store(addr uint32, v uint32, size uint8) error {
+	off := addr & (pageSize - 1)
+	if off+uint32(size) <= pageSize {
+		p, err := m.page(addr)
+		if err != nil {
+			return err
+		}
+		switch size {
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], v)
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+		default:
+			p[off] = byte(v)
+		}
+		return nil
+	}
+	return m.storeSlow(addr, v, size)
+}
+
+// storeSlow scatters a store that straddles a page boundary byte by byte.
+func (m *Memory) storeSlow(addr uint32, v uint32, size uint8) error {
 	for i := uint8(0); i < size; i++ {
 		a := addr + uint32(i)
 		p, err := m.page(a)
@@ -68,45 +130,57 @@ func (m *Memory) Store(addr uint32, v uint32, size uint8) error {
 	return nil
 }
 
-// WriteBytes copies b into memory at addr.
+// WriteBytes copies b into memory at addr, one page-sized chunk at a time.
 func (m *Memory) WriteBytes(addr uint32, b []byte) error {
-	for i, c := range b {
-		p, err := m.page(addr + uint32(i))
+	for len(b) > 0 {
+		p, err := m.page(addr)
 		if err != nil {
 			return err
 		}
-		p[(addr+uint32(i))&(pageSize-1)] = c
+		off := addr & (pageSize - 1)
+		n := copy(p[off:], b)
+		b = b[n:]
+		addr += uint32(n)
 	}
 	return nil
 }
 
-// ReadBytes copies n bytes out of memory starting at addr.
+// ReadBytes copies n bytes out of memory starting at addr, one page-sized
+// chunk at a time.
 func (m *Memory) ReadBytes(addr uint32, n int) ([]byte, error) {
 	out := make([]byte, n)
-	for i := range out {
-		p, err := m.page(addr + uint32(i))
+	for dst := out; len(dst) > 0; {
+		p, err := m.page(addr)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = p[(addr+uint32(i))&(pageSize-1)]
+		off := addr & (pageSize - 1)
+		c := copy(dst, p[off:])
+		dst = dst[c:]
+		addr += uint32(c)
 	}
 	return out, nil
 }
 
 // CString reads a NUL-terminated string starting at addr (bounded at 1 MiB
-// to catch runaway reads).
+// to catch runaway reads). It scans page-wise rather than byte-wise.
 func (m *Memory) CString(addr uint32) (string, error) {
 	const limit = 1 << 20
 	var out []byte
-	for i := 0; i < limit; i++ {
-		b, err := m.Load(addr+uint32(i), 1)
+	for read := 0; read < limit; {
+		p, err := m.page(addr)
 		if err != nil {
 			return "", err
 		}
-		if b == 0 {
+		off := addr & (pageSize - 1)
+		chunk := p[off:]
+		if i := bytes.IndexByte(chunk, 0); i >= 0 {
+			out = append(out, chunk[:i]...)
 			return string(out), nil
 		}
-		out = append(out, byte(b))
+		out = append(out, chunk...)
+		read += len(chunk)
+		addr += uint32(len(chunk))
 	}
 	return "", &Fault{Addr: addr, Why: "unterminated string"}
 }

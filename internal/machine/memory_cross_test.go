@@ -1,0 +1,153 @@
+package machine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCrossPageLoadStore exercises the slow path: accesses that straddle a
+// page boundary must round-trip through the byte-at-a-time fallback exactly
+// as single-page accesses do.
+func TestCrossPageLoadStore(t *testing.T) {
+	cases := []struct {
+		addr uint32
+		size uint8
+		val  uint32
+	}{
+		{pageSize - 1, 2, 0xBEEF},       // 2-byte write, 1 byte each side
+		{pageSize - 1, 4, 0xDEADBEEF},   // 4-byte write, 1+3 split
+		{pageSize - 2, 4, 0xCAFEBABE},   // 2+2 split
+		{pageSize - 3, 4, 0x12345678},   // 3+1 split
+		{3*pageSize - 1, 4, 0xA5A5A5A5}, // later boundary
+		{pageSize - 1, 1, 0x7F},         // last byte of a page: not a crossing
+		{pageSize, 4, 0x01020304},       // first bytes of a page: not a crossing
+		{2*pageSize - 2, 2, 0x1234},     // 2-byte at pageSize-2: not a crossing
+		{0x7FFFFFFE, 4, 0x0BADF00D},     // crossing in the upper half of the space
+	}
+	m := NewMemory()
+	// Round-trip each case before the next: several cases deliberately
+	// overlap the same boundary bytes.
+	for _, c := range cases {
+		if err := m.Store(c.addr, c.val, c.size); err != nil {
+			t.Fatalf("Store(0x%x, %d bytes): %v", c.addr, c.size, err)
+		}
+		got, err := m.Load(c.addr, c.size)
+		if err != nil {
+			t.Fatalf("Load(0x%x, %d bytes): %v", c.addr, c.size, err)
+		}
+		if got != c.val {
+			t.Errorf("Load(0x%x, %d bytes) = 0x%x, want 0x%x", c.addr, c.size, got, c.val)
+		}
+	}
+}
+
+// TestCrossPageByteOrder pins the little-endian byte placement of a crossing
+// store: the low bytes land at the end of one page, the high bytes at the
+// start of the next.
+func TestCrossPageByteOrder(t *testing.T) {
+	m := NewMemory()
+	const addr = pageSize - 2
+	if err := m.Store(addr, 0x44332211, 4); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{0x11, 0x22, 0x33, 0x44}
+	for i, w := range want {
+		b, err := m.Load(addr+uint32(i), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != w {
+			t.Errorf("byte %d (at 0x%x) = 0x%x, want 0x%x", i, addr+uint32(i), b, w)
+		}
+	}
+}
+
+// TestCrossPartialOverwrite checks that a crossing store interacts correctly
+// with in-page neighbours on both sides of the boundary.
+func TestCrossPartialOverwrite(t *testing.T) {
+	m := NewMemory()
+	if err := m.Store(pageSize-4, 0xAAAAAAAA, 4); err != nil { // fully below
+		t.Fatal(err)
+	}
+	if err := m.Store(pageSize, 0xBBBBBBBB, 4); err != nil { // fully above
+		t.Fatal(err)
+	}
+	if err := m.Store(pageSize-2, 0xDDCCCCDD, 4); err != nil { // straddles both
+		t.Fatal(err)
+	}
+	lo, err := m.Load(pageSize-4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0xCCDDAAAA {
+		t.Errorf("below-boundary word = 0x%x, want 0xCCDDAAAA", lo)
+	}
+	hi, err := m.Load(pageSize, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi != 0xBBBBDDCC {
+		t.Errorf("above-boundary word = 0x%x, want 0xBBBBDDCC", hi)
+	}
+}
+
+// TestCrossIntoNullPage checks that an access wrapping the 32-bit address
+// space into the null guard region faults rather than writing page 0.
+func TestCrossIntoNullPage(t *testing.T) {
+	m := NewMemory()
+	if err := m.Store(0xFFFFFFFE, 0xDEADBEEF, 4); err == nil {
+		t.Fatal("store wrapping into the null page succeeded")
+	}
+	if _, err := m.Load(0xFFFFFFFE, 4); err == nil {
+		t.Fatal("load wrapping into the null page succeeded")
+	}
+	// The null guard must also hold on the cached-page fast path: touch a
+	// legal address on page 0's page number... there is none (page 0 starts
+	// at 0), so instead verify a plain in-page null access still faults after
+	// the cache has been warmed elsewhere.
+	if err := m.Store(0x10000, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Load(0x800, 4); err == nil {
+		t.Fatal("null-page load succeeded after cache warm-up")
+	}
+}
+
+// TestWriteReadBytesCrossing drives the chunked bulk paths across several
+// page boundaries at once.
+func TestWriteReadBytesCrossing(t *testing.T) {
+	m := NewMemory()
+	data := make([]byte, 3*pageSize/2)
+	for i := range data {
+		data[i] = byte(i*7 + 1)
+	}
+	start := uint32(pageSize - 1000) // spans two boundaries
+	if err := m.WriteBytes(start, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadBytes(start, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("ReadBytes round-trip mismatch across page boundaries")
+	}
+}
+
+// TestCStringCrossing reads a string that straddles a page boundary.
+func TestCStringCrossing(t *testing.T) {
+	m := NewMemory()
+	s := strings.Repeat("x", 300) + "end"
+	start := uint32(pageSize - 150)
+	if err := m.WriteBytes(start, append([]byte(s), 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.CString(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("CString across boundary = %q (len %d), want len %d", got[:10], len(got), len(s))
+	}
+}

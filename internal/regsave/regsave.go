@@ -58,16 +58,18 @@ type fnReg struct {
 	r isa.Reg
 }
 
-// symbol tags a register's incoming value in one frame.
+// symbol tags a register's incoming value in one frame. Frames are recycled
+// between activations, so symbols carry the activation epoch rather than the
+// frame pointer.
 type symbol struct {
-	fr  *irexec.Frame
-	fn  *ir.Func
-	reg isa.Reg
+	epoch uint64
+	fn    *ir.Func
+	reg   isa.Reg
 }
 
 type shadowEntry struct {
-	fr  *irexec.Frame
-	sym *symbol
+	epoch uint64
+	sym   *symbol
 }
 
 // fwdRecord remembers symbols forwarded through a call site so extracts can
@@ -129,18 +131,8 @@ func (t *Tracer) Join(o irexec.Tracer) {
 const frameLimit = 1 << 16
 
 func (t *Tracer) meta(fr *irexec.Frame, v *ir.Value) *symbol {
-	if fr.Meta == nil {
-		return nil
-	}
-	s, _ := fr.Meta[v].(*symbol)
+	s, _ := fr.GetMeta(v).(*symbol)
 	return s
-}
-
-func (t *Tracer) setMeta(fr *irexec.Frame, v *ir.Value, s *symbol) {
-	if fr.Meta == nil {
-		fr.Meta = make(map[*ir.Value]any)
-	}
-	fr.Meta[v] = s
 }
 
 func (t *Tracer) markArg(s *symbol) {
@@ -163,7 +155,7 @@ func (t *Tracer) FnEnter(fr *irexec.Frame) {
 		if p.RegHint == isa.ESP {
 			continue
 		}
-		t.setMeta(fr, p, &symbol{fr: fr, fn: fr.Fn, reg: p.RegHint})
+		fr.SetMeta(p, &symbol{epoch: fr.Epoch, fn: fr.Fn, reg: p.RegHint})
 	}
 }
 
@@ -176,7 +168,7 @@ func (t *Tracer) FnExit(fr *irexec.Frame, ret *ir.Value, rets []uint32) {
 			continue
 		}
 		s := t.meta(fr, a)
-		if s == nil || s.fr != fr || s.reg != r {
+		if s == nil || s.epoch != fr.Epoch || s.reg != r {
 			t.violated[fnReg{fr.Fn, r}] = true
 		}
 	}
@@ -188,7 +180,7 @@ func (t *Tracer) CallPre(fr *irexec.Frame, call *ir.Value, args []uint32) {}
 // Phi propagates symbols through SSA joins.
 func (t *Tracer) Phi(fr *irexec.Frame, phi *ir.Value, incoming *ir.Value, val uint32) {
 	if s := t.meta(fr, incoming); s != nil {
-		t.setMeta(fr, phi, s)
+		fr.SetMeta(phi, s)
 	}
 }
 
@@ -213,7 +205,7 @@ func (t *Tracer) Exec(fr *irexec.Frame, v *ir.Value, args []uint32, res uint32) 
 		t.invalidateShadow(addr, v.Size)
 		if s := t.meta(fr, v.Args[1]); s != nil {
 			if t.inOwnFrame(fr, addr) && v.Size == 4 {
-				t.shadow[addr] = shadowEntry{fr: fr, sym: s}
+				t.shadow[addr] = shadowEntry{epoch: fr.Epoch, sym: s}
 			} else {
 				t.markArg(s) // written somewhere else
 			}
@@ -222,8 +214,8 @@ func (t *Tracer) Exec(fr *irexec.Frame, v *ir.Value, args []uint32, res uint32) 
 		if s := t.meta(fr, v.Args[0]); s != nil {
 			t.markArg(s)
 		}
-		if e, ok := t.shadow[args[0]]; ok && e.fr == fr && v.Size == 4 {
-			t.setMeta(fr, v, e.sym)
+		if e, ok := t.shadow[args[0]]; ok && e.epoch == fr.Epoch && v.Size == 4 {
+			fr.SetMeta(v, e.sym)
 		}
 	case ir.OpCall, ir.OpCallInd:
 		base := 0
@@ -249,16 +241,13 @@ func (t *Tracer) Exec(fr *irexec.Frame, v *ir.Value, args []uint32, res uint32) 
 			}
 			rec.syms[r] = s
 		}
-		t.setMeta(fr, v, nil) // ensure Meta map exists
-		fr.Meta[v] = rec
+		fr.SetMeta(v, rec)
 	case ir.OpExtract:
 		call := v.Args[0]
-		if fr.Meta != nil {
-			if rec, ok := fr.Meta[call].(*fwdRecord); ok {
-				if v.Idx < len(rec.syms) {
-					if s := rec.syms[v.Idx]; s != nil {
-						t.setMeta(fr, v, s)
-					}
+		if rec, ok := fr.GetMeta(call).(*fwdRecord); ok {
+			if v.Idx < len(rec.syms) {
+				if s := rec.syms[v.Idx]; s != nil {
+					fr.SetMeta(v, s)
 				}
 			}
 		}

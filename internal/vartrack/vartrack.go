@@ -204,18 +204,12 @@ func (t *Tracer) Join(o irexec.Tracer) {
 }
 
 func (t *Tracer) pi(fr *irexec.Frame, v *ir.Value) *PointerInfo {
-	if fr.Meta == nil {
-		return nil
-	}
-	p, _ := fr.Meta[v].(*PointerInfo)
+	p, _ := fr.GetMeta(v).(*PointerInfo)
 	return p
 }
 
 func (t *Tracer) setPI(fr *irexec.Frame, v *ir.Value, p *PointerInfo) {
-	if fr.Meta == nil {
-		fr.Meta = make(map[*ir.Value]any)
-	}
-	fr.Meta[v] = p
+	fr.SetMeta(v, p)
 }
 
 // direct returns the base-pointer metadata when v is a direct stack
@@ -287,8 +281,8 @@ func (t *Tracer) Phi(fr *irexec.Frame, phi *ir.Value, incoming *ir.Value, val ui
 	}
 	if p := t.pi(fr, incoming); p != nil {
 		t.setPI(fr, phi, p)
-	} else if fr.Meta != nil {
-		delete(fr.Meta, phi)
+	} else {
+		fr.DelMeta(phi)
 	}
 }
 
@@ -316,9 +310,7 @@ func (t *Tracer) Exec(fr *irexec.Frame, v *ir.Value, args []uint32, res uint32) 
 	}
 	// Clear any metadata from a previous execution of this value (loops):
 	// each execution recomputes it from scratch.
-	if fr.Meta != nil {
-		delete(fr.Meta, v)
-	}
+	fr.DelMeta(v)
 	switch v.Op {
 	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpSubreg8:
 		aPI := t.pi(fr, v.Args[0])
@@ -390,15 +382,11 @@ func (t *Tracer) Exec(fr *irexec.Frame, v *ir.Value, args []uint32, res uint32) 
 				}
 			}
 			if matches {
-				t.setPI(fr, v, nil)
-				fr.Meta[v] = &retRecord{pis: t.lastExit.pis}
+				fr.SetMeta(v, &retRecord{pis: t.lastExit.pis})
 			}
 			t.lastExit = nil
 		}
 	case ir.OpExtract:
-		if fr.Meta == nil {
-			return
-		}
 		parent := v.Args[0]
 		// External calls carry their (single) result metadata directly on
 		// the call value (the DeriveRet constraint).
@@ -408,7 +396,7 @@ func (t *Tracer) Exec(fr *irexec.Frame, v *ir.Value, args []uint32, res uint32) 
 			}
 			return
 		}
-		if rec, ok := fr.Meta[parent].(*retRecord); ok {
+		if rec, ok := fr.GetMeta(parent).(*retRecord); ok {
 			if v.Idx < len(rec.pis) && rec.pis[v.Idx] != nil {
 				t.setPI(fr, v, rec.pis[v.Idx])
 			}
