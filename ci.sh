@@ -50,10 +50,13 @@ step "examples" check_examples
 # Bench smoke: one iteration of every interpreter/emulator micro-benchmark.
 # Catches benchmarks that stop compiling or crash, and refreshes the
 # "current" numbers in BENCH_interp.json (the committed baseline is kept).
+# The second invocation refreshes the artifact's "vsa" section: value-set
+# analysis cost per function and promoted slots with/without the oracle.
 check_bench() {
     go test -bench=. -benchtime=1x -run '^$' \
         ./internal/machine/ ./internal/irexec/ |
         go run ./cmd/benchjson -o BENCH_interp.json
+    go run ./cmd/benchjson -vsa -o BENCH_interp.json
 }
 step "bench smoke" check_bench
 

@@ -5,10 +5,17 @@
 // overwritten on every run. When both are present a "speedup" section
 // reports baseline/current per benchmark.
 //
+// With -vsa the tool ignores stdin and instead measures the value-set
+// analysis on a pointer-heavy slice of the benchmark corpus — per-function
+// analysis wall time plus the optimizer's promoted-slot counts with and
+// without the alias oracle — and merges the result into the artifact's
+// "vsa" section.
+//
 // Usage:
 //
 //	go test -bench=. -benchtime=1x ./... | benchjson -o BENCH_interp.json
 //	go test -bench=. ./... | benchjson -o BENCH_interp.json -set-baseline
+//	benchjson -vsa -o BENCH_interp.json
 package main
 
 import (
@@ -34,12 +41,22 @@ type File struct {
 	Baseline map[string]Metrics `json:"baseline,omitempty"`
 	Current  map[string]Metrics `json:"current"`
 	Speedup  map[string]float64 `json:"speedup,omitempty"`
+	VSA      []VSASection       `json:"vsa,omitempty"`
 }
 
 func main() {
 	out := flag.String("o", "BENCH_interp.json", "output JSON file (merged if it exists)")
 	setBaseline := flag.Bool("set-baseline", false, "record this run as the baseline instead of the current numbers")
+	vsaFlag := flag.Bool("vsa", false, "measure the value-set analysis (cost and promoted slots) instead of reading bench output")
 	flag.Parse()
+
+	if *vsaFlag {
+		if err := writeVSA(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	parsed, err := parse(os.Stdin)
 	if err != nil {
@@ -85,6 +102,31 @@ func main() {
 }
 
 func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+// writeVSA merges a freshly measured "vsa" section into the artifact,
+// leaving the benchmark sections untouched.
+func writeVSA(path string) error {
+	sections, err := vsaSections()
+	if err != nil {
+		return err
+	}
+	var f File
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("existing %s: %v", path, err)
+		}
+	}
+	f.VSA = sections
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: vsa section for %d programs -> %s\n", len(sections), path)
+	return nil
+}
 
 // parse extracts benchmark result lines ("BenchmarkX-8  N  T ns/op ...")
 // from mixed go-test output.

@@ -47,6 +47,7 @@ func lintMain(args []string) int {
 	profName := fs.String("profile", "gcc12-O3", "compiler profile")
 	inputsFlag := fs.String("inputs", "", "comma-separated integer inputs for tracing")
 	jsonOut := fs.Bool("json", false, "machine-readable JSON output")
+	vsaFlag := fs.Bool("vsa", false, "add the value-set analysis verifier's findings to the report")
 	jobs := fs.Int("j", 0, "refinement worker pool size (0 = one per CPU)")
 	cacheOn := fs.Bool("cache", false, "memoize refinement results in the on-disk cache")
 	cacheDir := fs.String("cache-dir", "", "cache directory (implies -cache)")
@@ -101,7 +102,8 @@ func lintMain(args []string) int {
 	var entries []jsonEntry
 	errors := 0
 	for _, tgt := range targets {
-		rep, err := lintOne(tgt, prof, core.Options{Jobs: *jobs, Lint: core.LintWarn, Cache: cache})
+		rep, err := lintOne(tgt, prof,
+			core.Options{Jobs: *jobs, Lint: core.LintWarn, Cache: cache, VSA: *vsaFlag})
 		if err != nil {
 			fail("%s: %v", tgt.name, err)
 		}

@@ -6,14 +6,20 @@
 // Usage:
 //
 //	wytiwyg -src prog.c [-profile gcc12-O3] [-inputs 3,9] [-emit ir|asm|layout] [-sanitize]
-//	wytiwyg -bench hmmer [-profile gcc44-O3] [-j 8] [-cache] [-timings]
-//	wytiwyg lint [-src prog.c | -bench hmmer | -all] [-json] [-j 8] [-cache]
+//	wytiwyg -bench hmmer [-profile gcc44-O3] [-j 8] [-cache] [-timings] [-vsa]
+//	wytiwyg lint [-src prog.c | -bench hmmer | -all] [-json] [-j 8] [-cache] [-vsa]
 //
 // Steps and outputs mirror the paper's Figure 4: the tool reports the trace
 // size, recovered functions, refined signatures, recovered stack layout and
 // the performance of the recompiled binary. The lint subcommand runs the
 // pipeline up to symbolization and prints the static verification report
 // (internal/analysis) instead of recompiling.
+//
+// -vsa runs the value-set analysis stage after refinement: the recovered
+// layout is verified against the statically provable access offsets, and
+// the optimizer gains a per-function alias oracle that promotes and
+// forwards address-taken stack slots the syntactic escape analysis must
+// leave in memory.
 //
 // -j bounds the refinement worker pool (0, the default, means one worker
 // per CPU); every output is byte-identical regardless of the worker count.
@@ -31,6 +37,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"wytiwyg/internal/analysis"
 	"wytiwyg/internal/bench/progs"
@@ -55,6 +62,7 @@ func main() {
 	emit := flag.String("emit", "", "additionally print: ir, asm, layout")
 	sanitizeFlag := flag.Bool("sanitize", false, "retrofit stack-bounds checks onto the recompiled binary")
 	lintMode := flag.String("lint", "warn", "post-refinement verification: off, warn, fail")
+	vsaFlag := flag.Bool("vsa", false, "run the value-set analysis stage: verify the layout and enable alias-oracle optimizations")
 	debugPasses := flag.Bool("debug-passes", false, "re-verify IR invariants between every optimization pass")
 	jobs := flag.Int("j", 0, "refinement worker pool size (0 = one per CPU)")
 	cacheOn := flag.Bool("cache", false, "memoize refinement results in the on-disk cache")
@@ -124,7 +132,8 @@ func main() {
 	}
 	fmt.Printf("native run: exit=%d cycles=%d\n", nat.ExitCode, nat.Cycles)
 
-	p, err := core.LiftBinaryOpts(img, inputs, core.Options{Jobs: *jobs, Lint: lint, Cache: cache})
+	p, err := core.LiftBinaryOpts(img, inputs,
+		core.Options{Jobs: *jobs, Lint: lint, Cache: cache, VSA: *vsaFlag})
 	if err != nil {
 		fail("lift: %v", err)
 	}
@@ -150,6 +159,9 @@ func main() {
 		fmt.Printf("lint: %d error(s), %d warning(s), %d info\n",
 			p.Report.Errors(), p.Report.Count(analysis.Warn), p.Report.Count(analysis.Info))
 	}
+	if *vsaFlag {
+		printVSAStats(p.VSAStats)
+	}
 	if *timings {
 		printTimings(p.Times)
 	}
@@ -161,8 +173,9 @@ func main() {
 		checks := sanitize.Apply(p.Mod)
 		fmt.Printf("sanitizer: %d stack-bounds checks inserted\n", checks)
 	}
+	pipeOpts := opt.PipelineOpts{Oracle: p.Oracle()}
 	if *debugPasses {
-		if _, err := opt.PipelineWithDebug(p.Mod, opt.PipelineOpts{}, func(pass string) error {
+		if _, err := opt.PipelineWithDebug(p.Mod, pipeOpts, func(pass string) error {
 			var rep analysis.Report
 			analysis.LintIR(p.Mod, &rep)
 			if rep.Errors() > 0 {
@@ -173,7 +186,7 @@ func main() {
 			fail("debug-passes: %v", err)
 		}
 	} else {
-		opt.Pipeline(p.Mod)
+		opt.PipelineWith(p.Mod, pipeOpts)
 	}
 
 	if *emit == "layout" || *emit == "ir" {
@@ -226,6 +239,21 @@ func main() {
 		stopProf()
 		os.Exit(1)
 	}
+}
+
+// printVSAStats summarizes the value-set analysis stage: the total verified
+// access count, the two finding classes, and the analysis wall time.
+func printVSAStats(stats []core.VSAStat) {
+	checked, cross, oof := 0, 0, 0
+	var elapsed time.Duration
+	for _, st := range stats {
+		checked += st.Checked
+		cross += st.CrossSlot
+		oof += st.OutOfFrame
+		elapsed += st.Elapsed
+	}
+	fmt.Printf("vsa: %d accesses verified, %d cross-slot warning(s), %d out-of-frame error(s) in %v\n",
+		checked, cross, oof, elapsed.Round(time.Microsecond))
 }
 
 func fail(format string, args ...any) {

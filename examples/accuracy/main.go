@@ -3,7 +3,10 @@
 // and Figure 7. Each ground-truth object is classified as matched,
 // oversized, undersized or missed; the paper's deliberate
 // partial-coverage property ("if f3 returns 0 in every invocation across
-// all traces, the array will be split") is demonstrated directly.
+// all traces, the array will be split") is demonstrated directly, along
+// with the value-set-analysis backstop that widens the layout until no
+// statically possible access can cross an object boundary — restoring
+// coverage (recall) where the traces were incomplete, at precision cost.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"wytiwyg/internal/minicc/gen"
 	"wytiwyg/internal/opt"
 	"wytiwyg/internal/symbolize"
+	"wytiwyg/internal/vsa"
 )
 
 // The paper's Figure 2 program. f3's return value decides which element of
@@ -35,7 +39,13 @@ int f1() {
 }
 int main() { return f1(); }`
 
-func analyze(divisor int) (*layout.Frame, *layout.Frame, layout.Accuracy) {
+// result is one configuration's layouts: the dynamic recovery and the
+// VSA-widened backstop, both against the same ground truth.
+type result struct {
+	truth, rec, back *layout.Frame
+}
+
+func analyze(divisor int) result {
 	src := fmt.Sprintf(srcTemplate, divisor)
 	img, err := gen.Build(src, gen.GCC12O0, "fig2")
 	if err != nil {
@@ -48,32 +58,42 @@ func analyze(divisor int) (*layout.Frame, *layout.Frame, layout.Accuracy) {
 	if err := p.Refine(); err != nil {
 		log.Fatal(err)
 	}
+	// The backstop widens the refined (pre-optimization) layout: the
+	// optimizer folds never-traced accesses away, and it is exactly those
+	// the static analysis must account for.
+	back, _ := vsa.Backstop(vsa.Analyze(p.Mod.FuncByName("f1")),
+		symbolize.RecoveredLayout(p.Mod).Frame("f1"))
 	opt.Pipeline(p.Mod)
 	rec := symbolize.RecoveredLayout(p.Mod).Frame("f1")
-	truth := img.Truth.Frame("f1")
-	return truth, rec, layout.CompareFrame(truth, rec)
+	return result{truth: img.Truth.Frame("f1"), rec: rec, back: back}
 }
 
-func show(title string, truth, rec *layout.Frame, acc layout.Accuracy) {
+func show(title string, r result) {
 	fmt.Println(title)
-	fmt.Printf("  ground truth: %s\n", truth)
-	fmt.Printf("  recovered:    %s\n", rec)
-	fmt.Printf("  matched=%d oversized=%d undersized=%d missed=%d  precision=%.0f%% recall=%.0f%%\n\n",
-		acc.Counts[layout.Matched], acc.Counts[layout.Oversized],
-		acc.Counts[layout.Undersized], acc.Counts[layout.Missed],
-		acc.Precision()*100, acc.Recall()*100)
+	fmt.Printf("  ground truth:  %s\n", r.truth)
+	line := func(label string, rec *layout.Frame) {
+		acc := layout.CompareFrame(r.truth, rec)
+		fmt.Printf("  %s %s\n", label, rec)
+		fmt.Printf("    matched=%d oversized=%d undersized=%d missed=%d  precision=%.0f%% recall=%.0f%%\n",
+			acc.Counts[layout.Matched], acc.Counts[layout.Oversized],
+			acc.Counts[layout.Undersized], acc.Counts[layout.Missed],
+			acc.Precision()*100, acc.Recall()*100)
+	}
+	line("recovered:    ", r.rec)
+	line("vsa backstop: ", r.back)
+	fmt.Println()
 }
 
 func main() {
 	// sizeof(b) = 24; divisor 12 makes f3 return 2, so the traced store
 	// lands in b[2] and links the whole array into one object.
-	t1, r1, a1 := analyze(12)
-	show("f3 returns 2 (access to the third element observed):", t1, r1, a1)
+	show("f3 returns 2 (access to the third element observed):", analyze(12))
 
 	// Divisor 100 makes f3 return 0 on every traced input: the analysis
 	// has no evidence that b[0] and b[1] belong together, so b splits —
 	// exactly the behaviour §4.2 describes. The recompiled program still
-	// behaves correctly for every traced input.
-	t2, r2, a2 := analyze(100)
-	show("f3 returns 0 in every trace (the paper's splitting case):", t2, r2, a2)
+	// behaves correctly for every traced input; the backstop is what makes
+	// untraced inputs safe, by refusing to keep any boundary a static
+	// access could cross.
+	show("f3 returns 0 in every trace (the paper's splitting case):", analyze(100))
 }

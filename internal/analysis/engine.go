@@ -33,13 +33,18 @@ type Problem[S any] struct {
 	// Clone deep-copies a state.
 	Clone func(S) S
 
-	// Widen, when non-nil, is applied to a block's boundary state once the
-	// block has been visited more than WidenAfter times: it must return a
+	// Widen, when non-nil, is applied to a block's boundary state once more
+	// than WidenAfter joins have actually enlarged it: it must return a
 	// state at least as large as both arguments, jumping far enough up the
 	// lattice that the chain terminates (typically to ±infinity bounds).
 	Widen func(prev, next S) S
 
-	// WidenAfter is the visit count that triggers widening (default 4).
+	// WidenAfter is the number of state-changing joins a block absorbs
+	// plainly before widening kicks in (default 4). Only joins that grow
+	// the state count: re-dequeues that change nothing — common when
+	// several paths of different lengths re-enqueue the same loop head —
+	// don't burn the precision budget, so short loops converge on exact
+	// bounds instead of being widened by queue-scheduling noise.
 	WidenAfter int
 }
 
@@ -98,7 +103,9 @@ func Solve[S any](f *ir.Func, p Problem[S]) Result[S] {
 	pre := make(map[*ir.Block]S, len(order))
 	post := make(map[*ir.Block]S, len(order))
 	visited := make(map[*ir.Block]bool, len(order))
-	visits := make(map[*ir.Block]int, len(order))
+	// grows[b] counts joins that enlarged b's boundary state; it is the
+	// widening clock (see Problem.WidenAfter).
+	grows := make(map[*ir.Block]int, len(order))
 
 	inQueue := make([]bool, len(order))
 	queue := make([]int, 0, len(order))
@@ -129,14 +136,14 @@ func Solve[S any](f *ir.Func, p Problem[S]) Result[S] {
 				next, _ = p.Join(next, out)
 			}
 		}
-		visits[b]++
 		first := !visited[b]
 		if !first {
 			merged, changed := p.Join(p.Clone(pre[b]), next)
 			if !changed {
 				continue
 			}
-			if p.Widen != nil && visits[b] > widenAfter {
+			grows[b]++
+			if p.Widen != nil && grows[b] > widenAfter {
 				merged = p.Widen(pre[b], merged)
 			}
 			next = merged

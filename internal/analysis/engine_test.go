@@ -188,3 +188,89 @@ func TestHeightsLoop(t *testing.T) {
 		}
 	}
 }
+
+// boundedCounter is a forward interval problem over a loop whose counter is
+// capped: H has a short back edge (A: identity) and a long one (B -> C,
+// where C computes min(y+3, 9)). The two path lengths make the worklist
+// dequeue H twice per round, and the short-path dequeue never changes H's
+// state. Counting those no-change dequeues toward the widening trigger (as
+// the engine once did) widens the provably-bounded [0,9] to [0,+inf].
+type ivState struct {
+	set bool
+	iv  Interval
+}
+
+func boundedCounter(capped bool, cBlock *ir.Block) Problem[ivState] {
+	return Problem[ivState]{
+		Forward:  true,
+		Boundary: func(*ir.Func) ivState { return ivState{set: true, iv: Const(0)} },
+		Bottom:   func() ivState { return ivState{} },
+		Join: func(dst, src ivState) (ivState, bool) {
+			if !src.set {
+				return dst, false
+			}
+			if !dst.set {
+				return src, true
+			}
+			u := dst.iv.Union(src.iv)
+			return ivState{set: true, iv: u}, u != dst.iv
+		},
+		Clone: func(s ivState) ivState { return s },
+		Transfer: func(b *ir.Block, in ivState) ivState {
+			if b != cBlock || !in.set {
+				return in
+			}
+			next := in.iv.Add(Const(3))
+			if capped && next.Hi > 9 {
+				next.Hi = 9
+			}
+			return ivState{set: true, iv: next}
+		},
+		Widen: func(prev, next ivState) ivState {
+			if !prev.set || !next.set {
+				return next
+			}
+			return ivState{set: true, iv: next.iv.WidenFrom(prev.iv)}
+		},
+	}
+}
+
+// loopTwoBackEdges builds entry -> H; H -> {A, B, exit}; A -> H; B -> C -> H.
+func loopTwoBackEdges(f *ir.Func, entry *ir.Block) (h, c *ir.Block) {
+	h = f.NewBlock(0)
+	a := f.NewBlock(0)
+	b := f.NewBlock(0)
+	c = f.NewBlock(0)
+	exit := f.NewBlock(0)
+	edge(entry, h)
+	edge(h, a)
+	edge(h, b)
+	edge(h, exit)
+	edge(a, h)
+	edge(b, c)
+	edge(c, h)
+	return h, c
+}
+
+func TestWideningDelayKeepsBoundedLoop(t *testing.T) {
+	_, f, entry := mkFunc("f")
+	h, c := loopTwoBackEdges(f, entry)
+
+	res := Solve(f, boundedCounter(true, c))
+	got := res.In[h]
+	if !got.set || got.iv != Span(0, 9) {
+		t.Errorf("capped counter at loop head = %v, want [0,9]; "+
+			"no-change dequeues must not trigger widening", got.iv)
+	}
+}
+
+func TestWideningStillTerminatesDivergingLoop(t *testing.T) {
+	_, f, entry := mkFunc("f")
+	h, c := loopTwoBackEdges(f, entry)
+
+	res := Solve(f, boundedCounter(false, c))
+	got := res.In[h]
+	if !got.set || got.iv.Hi < PosInf {
+		t.Errorf("diverging counter at loop head = %v, want widened Hi=+inf", got.iv)
+	}
+}

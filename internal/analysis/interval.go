@@ -106,19 +106,38 @@ func (iv Interval) Neg() Interval {
 	return norm32(Interval{Lo: clamp(-iv.Hi), Hi: clamp(-iv.Lo)})
 }
 
+// mulOvf multiplies two endpoints, reporting overflow of the int64 product.
+// Endpoints reach ±2^40, so naive products reach ±2^80 and wrap int64 —
+// wrapped products can land back inside the 32-bit value range and "prove"
+// bounds the runtime never respects.
+func mulOvf(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, false
+	}
+	r := a * b
+	if r/b != a {
+		return 0, true
+	}
+	return r, false
+}
+
 // Mul is interval multiplication; unbounded operands go to Top.
 func (iv Interval) Mul(o Interval) Interval {
 	if iv.IsTop() || o.IsTop() || iv.Lo <= NegInf || iv.Hi >= PosInf ||
 		o.Lo <= NegInf || o.Hi >= PosInf {
 		return Top
 	}
-	candidates := [4]int64{iv.Lo * o.Lo, iv.Lo * o.Hi, iv.Hi * o.Lo, iv.Hi * o.Hi}
-	lo, hi := candidates[0], candidates[0]
-	for _, c := range candidates[1:] {
-		if c < lo {
+	pairs := [4][2]int64{{iv.Lo, o.Lo}, {iv.Lo, o.Hi}, {iv.Hi, o.Lo}, {iv.Hi, o.Hi}}
+	var lo, hi int64
+	for i, p := range pairs {
+		c, ovf := mulOvf(p[0], p[1])
+		if ovf {
+			return Top
+		}
+		if i == 0 || c < lo {
 			lo = c
 		}
-		if c > hi {
+		if i == 0 || c > hi {
 			hi = c
 		}
 	}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"math/big"
+	"testing"
+)
+
+// Exhaustive soundness tests of the interval arithmetic at the 32-bit wrap
+// boundaries. The domain models the mathematical integers a 32-bit program
+// manipulates, spanning signed and unsigned interpretations:
+// [-2^31, 2^32-1]. The contract of every operation is containment: for any
+// concrete operands inside the input intervals, the exact mathematical
+// result must lie inside the result interval unless the result is Top.
+// VSA's strided intervals are built directly on these operations, so a
+// wrapped endpoint here would silently poison every alias verdict above.
+
+// boundaryGrid is the critical endpoint set: infinities, the clamp bound
+// neighborhood (where int64 products of two endpoints overflow), the
+// signed/unsigned 32-bit wrap boundaries, and small values.
+var boundaryGrid = []int64{
+	NegInf, NegInf + 1,
+	-(1 << 39), -(1 << 33),
+	-(1 << 31) - 1, -(1 << 31), -(1 << 31) + 1,
+	-(1 << 20), -3, -1, 0, 1, 3, 1 << 20,
+	(1 << 31) - 1, 1 << 31, (1 << 32) - 1, 1 << 32,
+	1 << 33, 1 << 39,
+	PosInf - 1, PosInf,
+}
+
+// samples returns concrete test points inside iv drawn from the grid, plus
+// the endpoints themselves.
+func samples(iv Interval) []int64 {
+	pts := []int64{iv.Lo, iv.Hi}
+	for _, g := range boundaryGrid {
+		if g > iv.Lo && g < iv.Hi {
+			pts = append(pts, g)
+		}
+	}
+	if mid := iv.Lo/2 + iv.Hi/2; mid > iv.Lo && mid < iv.Hi {
+		pts = append(pts, mid)
+	}
+	return pts
+}
+
+// contains checks x ∈ [iv.Lo, iv.Hi] with exact arithmetic.
+func contains(iv Interval, x *big.Int) bool {
+	return x.Cmp(big.NewInt(iv.Lo)) >= 0 && x.Cmp(big.NewInt(iv.Hi)) <= 0
+}
+
+func TestIntervalBinaryOpsSoundAtBoundaries(t *testing.T) {
+	ops := []struct {
+		name  string
+		apply func(a, b Interval) Interval
+		exact func(x, y *big.Int) *big.Int
+	}{
+		{"add", Interval.Add, func(x, y *big.Int) *big.Int { return new(big.Int).Add(x, y) }},
+		{"sub", Interval.Sub, func(x, y *big.Int) *big.Int { return new(big.Int).Sub(x, y) }},
+		{"mul", Interval.Mul, func(x, y *big.Int) *big.Int { return new(big.Int).Mul(x, y) }},
+	}
+	var intervals []Interval
+	for _, lo := range boundaryGrid {
+		for _, hi := range boundaryGrid {
+			if lo <= hi {
+				intervals = append(intervals, Span(lo, hi))
+			}
+		}
+	}
+	checked := 0
+	for _, op := range ops {
+		for _, a := range intervals {
+			for _, b := range intervals {
+				res := op.apply(a, b)
+				if res.IsTop() {
+					continue
+				}
+				for _, x := range samples(a) {
+					for _, y := range samples(b) {
+						r := op.exact(big.NewInt(x), big.NewInt(y))
+						checked++
+						if !contains(res, r) {
+							t.Fatalf("%s unsound: [%d,%d] %s [%d,%d] = %v misses exact %v (operands %d, %d)",
+								op.name, a.Lo, a.Hi, op.name, b.Lo, b.Hi, res, r, x, y)
+						}
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no non-Top results were exercised")
+	}
+	t.Logf("checked %d concrete points", checked)
+}
+
+func TestIntervalNegSoundAtBoundaries(t *testing.T) {
+	for _, lo := range boundaryGrid {
+		for _, hi := range boundaryGrid {
+			if lo > hi {
+				continue
+			}
+			a := Span(lo, hi)
+			res := a.Neg()
+			if res.IsTop() {
+				continue
+			}
+			for _, x := range samples(a) {
+				r := new(big.Int).Neg(big.NewInt(x))
+				if !contains(res, r) {
+					t.Fatalf("neg unsound: -[%d,%d] = %v misses exact %v", lo, hi, res, r)
+				}
+			}
+		}
+	}
+}
+
+// TestIntervalMulOverflowRegression pins the int64-overflow bug: before the
+// overflow check, 2^39 * 2^39 wrapped int64 to exactly 0 and Mul returned
+// the singleton {0} — an unsound "proof" that the product is zero.
+func TestIntervalMulOverflowRegression(t *testing.T) {
+	big39 := Const(1 << 39)
+	if got := big39.Mul(big39); !got.IsTop() {
+		t.Errorf("2^39 * 2^39 must be Top, got %v", got)
+	}
+	// Mixed signs overflow downward.
+	if got := Const(-(1 << 39)).Mul(Const(1 << 39)); !got.IsTop() {
+		t.Errorf("-2^39 * 2^39 must be Top, got %v", got)
+	}
+	// Products that stay under 2^32 keep exact bounds; crossing 2^32 goes Top.
+	a := Span((1<<31)-2, (1<<31)-1)
+	if got := a.Mul(Const(2)); got != Span((1<<32)-4, (1<<32)-2) {
+		t.Errorf("product below 2^32 should stay exact, got %v", got)
+	}
+	if got := Const(1 << 31).Mul(Const(2)); !got.IsTop() {
+		t.Errorf("product reaching 2^32 must be Top, got %v", got)
+	}
+	// In-domain products at the boundary stay exact.
+	if got := Const(1 << 15).Mul(Const(1 << 16)); got != Const(1<<31) {
+		t.Errorf("2^15 * 2^16 = %v, want [2^31,2^31]", got)
+	}
+}
+
+// TestIntervalAddWrapBoundary pins the add behaviour exactly at the domain
+// edges: sums that stay inside [-2^31, 2^32-1] keep exact bounds, sums that
+// can leave it go Top.
+func TestIntervalAddWrapBoundary(t *testing.T) {
+	edge := int64(1<<32) - 1
+	if got := Const(edge - 1).Add(Const(1)); got != Const(edge) {
+		t.Errorf("add to 2^32-1 should stay exact, got %v", got)
+	}
+	if got := Const(edge).Add(Const(1)); !got.IsTop() {
+		t.Errorf("add past 2^32-1 must be Top, got %v", got)
+	}
+	low := int64(-(1 << 31))
+	if got := Const(low + 1).Add(Const(-1)); got != Const(low) {
+		t.Errorf("add to -2^31 should stay exact, got %v", got)
+	}
+	if got := Const(low).Add(Const(-1)); !got.IsTop() {
+		t.Errorf("add past -2^31 must be Top, got %v", got)
+	}
+}

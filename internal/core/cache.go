@@ -16,7 +16,7 @@ import (
 // of every cache key: bumping it when a refinement, the lifter or a
 // verification check changes behaviour invalidates all prior entries
 // without touching the cache on disk.
-const PassVersion = "refine-1"
+const PassVersion = "refine-2"
 
 // encodeInputs serializes an input set deterministically for hashing.
 func encodeInputs(inputs []machine.Input) []byte {
@@ -59,11 +59,17 @@ func encodeImage(img *obj.Image) []byte {
 
 // ProgramKey is the content address of a whole binary's refinement outcome:
 // it covers the pass version, the verification mode (an entry records the
-// report of the mode it ran under), the input set and the full image.
-func ProgramKey(img *obj.Image, inputs []machine.Input, lint LintMode) refcache.Key {
+// report of the mode it ran under), whether the value-set analysis stage
+// ran (its findings are part of the report), the input set and the full
+// image.
+func ProgramKey(img *obj.Image, inputs []machine.Input, lint LintMode, vsa bool) refcache.Key {
+	vb := byte(0)
+	if vsa {
+		vb = 1
+	}
 	return refcache.NewKey("program",
 		[]byte(PassVersion),
-		[]byte{byte(lint)},
+		[]byte{byte(lint), vb},
 		encodeInputs(inputs),
 		encodeImage(img),
 	)
@@ -71,7 +77,7 @@ func ProgramKey(img *obj.Image, inputs []machine.Input, lint LintMode) refcache.
 
 // programKey is ProgramKey over the pipeline's own image and inputs.
 func (p *Pipeline) programKey() refcache.Key {
-	return ProgramKey(p.Img, p.Inputs, p.Lint)
+	return ProgramKey(p.Img, p.Inputs, p.Lint, p.VSA)
 }
 
 // funcBytes serializes one recovered function's machine code: each traced
@@ -165,11 +171,11 @@ func RecoverLayout(img *obj.Image, inputs []machine.Input, opts Options) (*Pipel
 		inputs = []machine.Input{{}}
 	}
 	if opts.Cache != nil {
-		if e, ok := opts.Cache.GetProgram(ProgramKey(img, inputs, opts.Lint)); ok {
+		if e, ok := opts.Cache.GetProgram(ProgramKey(img, inputs, opts.Lint, opts.VSA)); ok {
 			p := &Pipeline{
 				Img: img, Inputs: inputs,
 				Jobs: opts.Jobs, Lint: opts.Lint, Cache: opts.Cache,
-				FromCache: true,
+				VSA: opts.VSA, FromCache: true,
 			}
 			prog, rep := refcache.LayoutFromProgram(e)
 			p.Recovered = prog

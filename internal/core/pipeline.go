@@ -30,6 +30,7 @@ import (
 	"wytiwyg/internal/lifter"
 	"wytiwyg/internal/machine"
 	"wytiwyg/internal/obj"
+	"wytiwyg/internal/opt"
 	"wytiwyg/internal/par"
 	"wytiwyg/internal/refcache"
 	"wytiwyg/internal/regsave"
@@ -38,6 +39,7 @@ import (
 	"wytiwyg/internal/tracer"
 	"wytiwyg/internal/varargs"
 	"wytiwyg/internal/vartrack"
+	"wytiwyg/internal/vsa"
 )
 
 // LintMode selects how the post-refinement verification stage behaves.
@@ -61,6 +63,21 @@ type Options struct {
 	Lint LintMode
 	// Cache, when non-nil, memoizes refinement results across runs.
 	Cache *refcache.Cache
+	// VSA enables the value-set analysis stage after symbolization: every
+	// function's recovered layout is verified against a static
+	// over-approximation of its pointer values, and the per-function
+	// results are kept for the optimizer's alias oracle.
+	VSA bool
+}
+
+// VSAStat records one function's value-set analysis outcome.
+type VSAStat struct {
+	// Func is the function name.
+	Func string
+	// Elapsed is the analysis fixpoint's wall-clock cost.
+	Elapsed time.Duration
+	// Checked, CrossSlot and OutOfFrame mirror vsa.CheckStats.
+	Checked, CrossSlot, OutOfFrame int
 }
 
 // StageTime records one pipeline stage's wall-clock cost.
@@ -84,6 +101,11 @@ type Pipeline struct {
 
 	// Lint selects the post-refinement verification stage's behaviour.
 	Lint LintMode
+	// VSA enables the post-symbolization value-set analysis stage.
+	VSA bool
+	// VSAStats holds the per-function value-set analysis outcomes, in
+	// module function order (nil until the VSA stage has run).
+	VSAStats []VSAStat
 	// Report accumulates the verification findings (nil until a lint-enabled
 	// refinement stage has run).
 	Report *analysis.Report
@@ -143,7 +165,8 @@ func LiftBinaryOpts(img *obj.Image, inputs []machine.Input, opts Options) (*Pipe
 	if len(inputs) == 0 {
 		inputs = []machine.Input{{}}
 	}
-	p := &Pipeline{Img: img, Inputs: inputs, Jobs: opts.Jobs, Lint: opts.Lint, Cache: opts.Cache}
+	p := &Pipeline{Img: img, Inputs: inputs, Jobs: opts.Jobs, Lint: opts.Lint,
+		Cache: opts.Cache, VSA: opts.VSA}
 	err := p.timed("trace", func() error {
 		p.Trace = tracer.New(img)
 		return p.Trace.RunAllJobs(inputs, io.Discard, p.jobs())
@@ -404,6 +427,53 @@ func (p *Pipeline) lintFuncs() {
 	}
 }
 
+// RefineVSA runs the value-set analysis stage: every function gets a
+// whole-function abstract interpretation whose fixpoint verifies the
+// recovered layout (cross-slot and out-of-frame accesses) and records the
+// per-function analysis cost. Functions are processed over the worker
+// pool with findings and stats merged in module function order, so the
+// output is worker-count independent like every other stage. The stage is
+// a no-op unless Options.VSA was set.
+func (p *Pipeline) RefineVSA() error {
+	if !p.VSA {
+		return nil
+	}
+	funcs := p.Mod.Funcs
+	stats := make([]VSAStat, len(funcs))
+	reps := make([]analysis.Report, len(funcs))
+	par.ForEach(p.jobs(), len(funcs), func(i int) error {
+		f := funcs[i]
+		fr := vsa.Analyze(f)
+		st := vsa.Check(fr, &reps[i])
+		stats[i] = VSAStat{
+			Func:    f.Name,
+			Elapsed: fr.Elapsed,
+			Checked: st.Checked, CrossSlot: st.CrossSlot, OutOfFrame: st.OutOfFrame,
+		}
+		return nil
+	})
+	p.VSAStats = stats
+	if p.Lint == LintOff {
+		return nil
+	}
+	p.ensureReport()
+	for i := range funcs {
+		p.Report.Merge(&reps[i])
+	}
+	p.Report.Sort()
+	return p.lintGate("vsa")
+}
+
+// Oracle builds the optimizer's per-function alias-oracle factory from the
+// pipeline's VSA setting: non-nil only when the stage is enabled, so
+// callers can pass it to opt.PipelineOpts unconditionally.
+func (p *Pipeline) Oracle() func(*ir.Func) opt.AliasOracle {
+	if !p.VSA {
+		return nil
+	}
+	return func(f *ir.Func) opt.AliasOracle { return vsa.NewOracle(f) }
+}
+
 // Refine runs the complete refinement-lifting sequence on a lifted module.
 // On success, the recovered layout and verification report are recorded in
 // the cache under the binary's program key, so an identical future run can
@@ -423,6 +493,11 @@ func (p *Pipeline) Refine() error {
 		return err
 	}); err != nil {
 		return err
+	}
+	if p.VSA {
+		if err := p.timed("vsa", p.RefineVSA); err != nil {
+			return err
+		}
 	}
 	if p.Cache != nil && p.Recovered != nil {
 		p.Cache.PutProgram(p.programKey(), refcache.ProgramFromLayout(p.Recovered, p.Report))

@@ -1,0 +1,131 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"wytiwyg/internal/bench"
+	"wytiwyg/internal/bench/progs"
+	"wytiwyg/internal/core"
+	"wytiwyg/internal/minicc/gen"
+	"wytiwyg/internal/refcache"
+)
+
+// vsaRefinedAt runs the VSA-enabled pipeline on one benchmark.
+func vsaRefinedAt(t *testing.T, p progs.Program, jobs int) *core.Pipeline {
+	t.Helper()
+	img, err := gen.Build(p.Src, gen.GCC12O3, p.Name)
+	if err != nil {
+		t.Fatalf("%s: build: %v", p.Name, err)
+	}
+	pl, err := core.LiftBinaryOpts(img, p.Inputs(),
+		core.Options{Jobs: jobs, Lint: core.LintWarn, VSA: true})
+	if err != nil {
+		t.Fatalf("%s: lift: %v", p.Name, err)
+	}
+	if err := pl.Refine(); err != nil {
+		t.Fatalf("%s: refine: %v", p.Name, err)
+	}
+	return pl
+}
+
+// vsaFingerprint renders the VSA outcomes a worker count could perturb:
+// the stats (minus wall-clock) and the report, on top of the usual IR and
+// layout fingerprint.
+func vsaFingerprint(p *core.Pipeline) string {
+	var b strings.Builder
+	b.WriteString(fingerprint(p))
+	for _, st := range p.VSAStats {
+		fmt.Fprintf(&b, "%s checked=%d cross=%d oof=%d\n",
+			st.Func, st.Checked, st.CrossSlot, st.OutOfFrame)
+	}
+	return b.String()
+}
+
+// The VSA stage must obey the pipeline-wide determinism contract: stats
+// and findings are byte-identical across worker counts.
+func TestVSAStageDeterministic(t *testing.T) {
+	p := bench.Scaled(progs.All[0], 6)
+	seq := vsaRefinedAt(t, p, 1)
+	par := vsaRefinedAt(t, p, 8)
+	if len(seq.VSAStats) == 0 {
+		t.Fatal("VSA stage produced no stats")
+	}
+	if a, b := vsaFingerprint(seq), vsaFingerprint(par); a != b {
+		t.Errorf("-j1 and -j8 VSA outputs differ\n-- j1:\n%.2000s\n-- j8:\n%.2000s", a, b)
+	}
+	found := false
+	for _, st := range seq.Times {
+		if st.Stage == "vsa" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no vsa stage recorded in Times")
+	}
+}
+
+// On correctly recovered corpus programs the verifier must not claim a
+// proven out-of-frame access: that finding is an Error and would be a
+// false miscompilation report.
+func TestVSAVerifierCleanOnCorpus(t *testing.T) {
+	corpus := progs.All
+	if testing.Short() {
+		corpus = corpus[:3]
+	}
+	for _, p := range corpus {
+		pl := vsaRefinedAt(t, bench.Scaled(p, 6), 0)
+		for _, st := range pl.VSAStats {
+			if st.OutOfFrame != 0 {
+				t.Errorf("%s/%s: %d out-of-frame errors on a correct layout\n%s",
+					p.Name, st.Func, st.OutOfFrame, pl.Report)
+			}
+		}
+	}
+}
+
+// A warm cache serves a VSA-enabled run from its program key, and the key
+// is distinct from the plain run's: enabling VSA must not reuse a report
+// computed without its findings.
+func TestVSAWarmCacheDistinctKey(t *testing.T) {
+	cache, err := refcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bench.Scaled(progs.All[0], 6)
+	img, err := gen.Build(p.Src, gen.GCC12O3, p.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Lint: core.LintWarn, Cache: cache, VSA: true}
+	cold, err := core.RecoverLayout(img, p.Inputs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.FromCache {
+		t.Fatal("first run reported a cache hit")
+	}
+	warm, err := core.RecoverLayout(img, p.Inputs(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.FromCache {
+		t.Fatal("second VSA run missed the cache")
+	}
+	cold.Report.Sort()
+	warm.Report.Sort()
+	if warm.Report.String() != cold.Report.String() {
+		t.Errorf("cached VSA report differs:\n%s\nvs\n%s", warm.Report, cold.Report)
+	}
+	// Disabling VSA must change the key: the recorded report includes VSA
+	// findings the plain pipeline never computes.
+	plain, err := core.RecoverLayout(img, p.Inputs(),
+		core.Options{Lint: core.LintWarn, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.FromCache {
+		t.Error("plain run hit the VSA run's cache entry")
+	}
+}

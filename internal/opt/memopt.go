@@ -115,19 +115,31 @@ func overlap(a memLoc, asz uint8, b memLoc, bsz uint8) bool {
 // elimination and dead store elimination. Returns the number of removed or
 // forwarded operations. Escape facts come from the analysis layer, the
 // same ones the lint stage audits.
-func MemOpt(f *ir.Func) int {
+func MemOpt(f *ir.Func) int { return MemOptWith(f, nil) }
+
+// MemOptWith is MemOpt with an optional alias oracle. Wherever the
+// syntactic rules would conservatively kill or keep-alive an entry, a
+// non-nil oracle gets a second opinion: accesses it proves byte-disjoint
+// neither invalidate forwarded values nor observe pending stores.
+func MemOptWith(f *ir.Func, orc AliasOracle) int {
 	esc := analysis.Escapes(f)
 	n := 0
 	type av struct {
 		loc  memLoc
+		addr *ir.Value // the address value (for oracle queries)
 		size uint8
 		val  *ir.Value // last stored/loaded value (for forwarding)
 		st   *ir.Value // the store (for DSE), nil if from a load
 		live bool      // store observed by a later load
 	}
+	// disjoint asks the oracle to separate two accesses; false without one.
+	disjoint := func(a *ir.Value, asz uint8, b *ir.Value, bsz uint8) bool {
+		return orc != nil && a != nil && b != nil &&
+			orc.MustNotAlias(a, accSz(asz), b, accSz(bsz))
+	}
 	for _, b := range f.Blocks {
 		var avail []*av
-		invalidate := func(loc memLoc, size uint8) {
+		invalidate := func(addr *ir.Value, loc memLoc, size uint8) {
 			out := avail[:0]
 			for _, e := range avail {
 				kill := false
@@ -140,6 +152,9 @@ func MemOpt(f *ir.Func) int {
 					kill = esc[e.loc.base] // unknown pointer may hit escaped allocas
 				case loc.base != nil && e.loc.base == nil:
 					kill = true
+				}
+				if kill && disjoint(addr, size, e.addr, e.size) {
+					kill = false
 				}
 				if !kill {
 					out = append(out, e)
@@ -183,23 +198,25 @@ func MemOpt(f *ir.Func) int {
 					}
 					// Loads observe stores.
 					for _, e := range avail {
-						if e.st != nil && overlap(loc, v.Size, e.loc, e.size) {
+						if e.st != nil && overlap(loc, v.Size, e.loc, e.size) &&
+							!disjoint(v.Args[0], v.Size, e.addr, e.size) {
 							e.live = true
 						}
 					}
 					if loc.base == nil && !loc.known {
 						// Unknown load: anything escaped may be read.
 						for _, e := range avail {
-							if e.st != nil && (e.loc.base == nil || esc[e.loc.base]) {
+							if e.st != nil && (e.loc.base == nil || esc[e.loc.base]) &&
+								!disjoint(v.Args[0], v.Size, e.addr, e.size) {
 								e.live = true
 							}
 						}
 					}
-					avail = append(avail, &av{loc: loc, size: v.Size, val: v})
+					avail = append(avail, &av{loc: loc, addr: v.Args[0], size: v.Size, val: v})
 				} else {
 					// Fully unknown address: all stores may be observed.
 					for _, e := range avail {
-						if e.st != nil {
+						if e.st != nil && !disjoint(v.Args[0], v.Size, e.addr, e.size) {
 							e.live = true
 						}
 					}
@@ -215,14 +232,15 @@ func MemOpt(f *ir.Func) int {
 						}
 					}
 				}
-				invalidate(loc, v.Size)
+				invalidate(v.Args[0], loc, v.Size)
 				if loc.known || loc.base != nil {
-					avail = append(avail, &av{loc: loc, size: v.Size, val: v.Args[1], st: v})
+					avail = append(avail, &av{loc: loc, addr: v.Args[0], size: v.Size, val: v.Args[1], st: v})
 				} else {
 					// Unknown store: clobber everything that may alias.
 					out := avail[:0]
 					for _, e := range avail {
-						if e.loc.base != nil && !esc[e.loc.base] {
+						if (e.loc.base != nil && !esc[e.loc.base]) ||
+							disjoint(v.Args[0], v.Size, e.addr, e.size) {
 							out = append(out, e)
 						}
 					}
@@ -322,11 +340,16 @@ func CSE(f *ir.Func) int {
 	return n
 }
 
-// PipelineOpts disables individual passes (for the ablation experiments).
+// PipelineOpts disables individual passes (for the ablation experiments)
+// and optionally supplies an alias oracle.
 type PipelineOpts struct {
 	NoMem2Reg bool
 	NoMemOpt  bool
 	NoLICM    bool
+	// Oracle, when non-nil, builds a per-function alias oracle each round.
+	// It is a factory rather than a fixed oracle because every round
+	// rewrites the IR the oracle's facts are keyed on.
+	Oracle func(*ir.Func) AliasOracle
 }
 
 // Pipeline runs the full optimizer to a fixpoint (bounded), mirroring the
@@ -374,10 +397,24 @@ func PipelineWithDebug(m *ir.Module, o PipelineOpts, check func(pass string) err
 				return promoted, err
 			}
 		}
+		if o.Oracle != nil {
+			for _, f := range m.Funcs {
+				orc := o.Oracle(f)
+				changed += ResolveAddrs(f, orc)
+				changed += ForwardStores(f, orc)
+			}
+			if err := step("vsa"); err != nil {
+				return promoted, err
+			}
+		}
 		for _, f := range m.Funcs {
 			changed += CSE(f)
 			if !o.NoMemOpt {
-				changed += MemOpt(f)
+				var orc AliasOracle
+				if o.Oracle != nil {
+					orc = o.Oracle(f)
+				}
+				changed += MemOptWith(f, orc)
 				changed += DSEGlobal(f)
 			}
 			if SimplifyCFG(f) {

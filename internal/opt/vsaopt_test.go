@@ -1,0 +1,227 @@
+package opt_test
+
+import (
+	"testing"
+
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/layout"
+	"wytiwyg/internal/opt"
+	"wytiwyg/internal/vsa"
+)
+
+// vsaOracle is the factory the real pipeline consumers use.
+func vsaOracle(f *ir.Func) opt.AliasOracle { return vsa.NewOracle(f) }
+
+func valloca(f *ir.Func, b *ir.Block, name string, size uint32, off int32) *ir.Value {
+	a := f.NewValue(ir.OpAlloca)
+	a.AllocSize = size
+	a.Name = name
+	a.Const = off
+	b.Append(a)
+	return a
+}
+
+func vedge(from, to *ir.Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func store4(f *ir.Func, b *ir.Block, addr, val *ir.Value) *ir.Value {
+	s := f.NewValue(ir.OpStore, addr, val)
+	s.Size = 4
+	b.Append(s)
+	return s
+}
+
+func load4(f *ir.Func, b *ir.Block, addr *ir.Value) *ir.Value {
+	l := f.NewValue(ir.OpLoad, addr)
+	l.Size = 4
+	b.Append(l)
+	return l
+}
+
+// pointerTable builds the pattern neither mem2reg nor block-local MemOpt
+// can crack: an 8-byte table slot holding two addresses (the offset
+// arithmetic defeats mem2reg's direct-use rule), filled in the entry block
+// and dereferenced behind a branch (defeating block-local forwarding).
+//
+//	entry: tab[0] = &a; tab[4] = &b; br c
+//	B1:    q1 = tab[0]; *q1 = 7
+//	B2:    q2 = tab[4]; *q2 = 9
+//	B3:    return *a + *b
+func pointerTable() (*ir.Module, *ir.Func) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", 0x1000)
+	f.NumRet = 1
+	entry := f.NewBlock(0)
+	m.Entry = f
+	b1 := f.NewBlock(0)
+	b2 := f.NewBlock(0)
+	b3 := f.NewBlock(0)
+	vedge(entry, b1)
+	vedge(entry, b2)
+	vedge(b1, b3)
+	vedge(b2, b3)
+
+	c := f.NewParam(isa.EAX, "c")
+	a := valloca(f, entry, "a", 4, -16)
+	bb := valloca(f, entry, "b", 4, -12)
+	tab := valloca(f, entry, "tab", 8, -8)
+	store4(f, entry, tab, a)
+	four := konst(f, entry, 4)
+	tab4 := f.NewValue(ir.OpAdd, tab, four)
+	entry.Append(tab4)
+	store4(f, entry, tab4, bb)
+	entry.Append(f.NewValue(ir.OpBr, c))
+
+	q1 := load4(f, b1, tab)
+	store4(f, b1, q1, konst(f, b1, 7))
+	b1.Append(f.NewValue(ir.OpJmp))
+
+	q2 := load4(f, b2, tab4)
+	store4(f, b2, q2, konst(f, b2, 9))
+	b2.Append(f.NewValue(ir.OpJmp))
+
+	x := load4(f, b3, a)
+	y := load4(f, b3, bb)
+	s := f.NewValue(ir.OpAdd, x, y)
+	b3.Append(s)
+	b3.Append(f.NewValue(ir.OpRet, s))
+	return m, f
+}
+
+func countPromoted(p *layout.Program) int {
+	n := 0
+	for _, name := range p.FuncNames() {
+		n += len(p.Frame(name).Vars)
+	}
+	return n
+}
+
+func countLoads(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, v := range b.Insts {
+			if v.Op == ir.OpLoad {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestPipelineOraclePromotesMore is the acceptance gate for the VSA
+// integration: on the pointer-table pattern the oracle-equipped pipeline
+// must promote strictly more stack slots than the baseline, whose escape
+// analysis can never untangle the stored addresses.
+func TestPipelineOraclePromotesMore(t *testing.T) {
+	mBase, fBase := pointerTable()
+	base := opt.PipelineWith(mBase, opt.PipelineOpts{})
+	mOrc, fOrc := pointerTable()
+	withOrc := opt.PipelineWith(mOrc, opt.PipelineOpts{Oracle: vsaOracle})
+
+	nb, no := countPromoted(base), countPromoted(withOrc)
+	if no <= nb {
+		t.Errorf("oracle promoted %d slots, baseline %d; want strictly more", no, nb)
+	}
+	if nb != 0 {
+		t.Errorf("baseline unexpectedly promoted %d slots", nb)
+	}
+	// Every load should be resolved or forwarded away with the oracle; the
+	// baseline cannot remove the indirect ones.
+	if n := countLoads(fOrc); n != 0 {
+		t.Errorf("oracle pipeline left %d loads", n)
+	}
+	if n := countLoads(fBase); n == 0 {
+		t.Error("baseline unexpectedly removed every load")
+	}
+}
+
+// TestResolveAddrsRewritesLoadedPointer checks the rewrite itself: loaded
+// table entries become the allocas they provably hold.
+func TestResolveAddrsRewritesLoadedPointer(t *testing.T) {
+	_, f := pointerTable()
+	n := opt.ResolveAddrs(f, vsaOracle(f))
+	if n == 0 {
+		t.Fatal("ResolveAddrs rewrote nothing")
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Insts {
+			if v.Op == ir.OpStore && v.Args[0].Op == ir.OpLoad {
+				t.Errorf("store still addresses through a loaded pointer: %v", v)
+			}
+		}
+	}
+}
+
+// TestForwardStoresThroughLoadedPointer: a store through a resolved
+// pointer forwards to a later direct load of the same cell, across an
+// intervening store the oracle separates.
+func TestForwardStoresThroughLoadedPointer(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", 0x1000)
+	f.NumRet = 1
+	b := f.NewBlock(0)
+	m.Entry = f
+	a := valloca(f, b, "a", 4, -12)
+	c := valloca(f, b, "c", 4, -8)
+	p := valloca(f, b, "p", 4, -4)
+	store4(f, b, p, a)
+	q := load4(f, b, p)
+	seven := konst(f, b, 7)
+	store4(f, b, q, seven) // *q = 7 (into a)
+	store4(f, b, c, konst(f, b, 1))
+	x := load4(f, b, a) // must see 7 through q
+	ret := f.NewValue(ir.OpRet, x)
+	b.Append(ret)
+
+	if n := opt.ForwardStores(f, vsaOracle(f)); n == 0 {
+		t.Fatal("ForwardStores forwarded nothing")
+	}
+	if ret.Args[0] != seven {
+		t.Errorf("load not forwarded: ret %v, want the stored 7", ret.Args[0])
+	}
+}
+
+// TestMemOptOracleSurvivesIndirectStore: with the oracle, a forwarded
+// value survives a store through a phi-carried pointer proven to target a
+// different slot; without it, the syntactically-unknown store kills the
+// entry because the slot's address escaped.
+func TestMemOptOracleSurvivesIndirectStore(t *testing.T) {
+	build := func() (*ir.Func, *ir.Value, *ir.Value) {
+		m := ir.NewModule("t")
+		f := m.NewFunc("f", 0x1000)
+		f.NumRet = 1
+		entry := f.NewBlock(0)
+		m.Entry = f
+		b2 := f.NewBlock(0)
+		vedge(entry, b2)
+		a := valloca(f, entry, "a", 4, -12)
+		bb := valloca(f, entry, "b", 4, -8)
+		p := valloca(f, entry, "p", 4, -4)
+		store4(f, entry, p, a) // a escapes
+		entry.Append(f.NewValue(ir.OpJmp))
+		// q arrives through a phi: invisible to the syntactic resolver.
+		q := f.NewValue(ir.OpPhi, bb)
+		b2.AddPhi(q)
+		five := konst(f, b2, 5)
+		store4(f, b2, a, five)
+		store4(f, b2, q, konst(f, b2, 9))
+		x := load4(f, b2, a)
+		ret := f.NewValue(ir.OpRet, x)
+		b2.Append(ret)
+		return f, five, ret
+	}
+
+	f, _, ret := build()
+	opt.MemOpt(f)
+	if ret.Args[0].Op != ir.OpLoad {
+		t.Errorf("baseline MemOpt forwarded across an unknown store: ret %v", ret.Args[0])
+	}
+	f2, five2, ret2 := build()
+	opt.MemOptWith(f2, vsaOracle(f2))
+	if ret2.Args[0] != five2 {
+		t.Errorf("oracle MemOpt did not forward: ret %v, want the stored 5", ret2.Args[0])
+	}
+}

@@ -1,0 +1,415 @@
+package vsa
+
+import (
+	"time"
+
+	"wytiwyg/internal/analysis"
+	"wytiwyg/internal/ir"
+)
+
+// aloc is one abstract memory location: size bytes at a fixed offset
+// within a region. Frame alocs denote cells of one stack object; Num
+// alocs denote absolute cells (globals). The heap summary has no alocs —
+// one abstract heap offset stands for many concrete cells, so no heap
+// cell supports a strong update or a trustworthy load.
+type aloc struct {
+	region Region
+	off    int64
+	size   int64
+}
+
+// state is the abstract machine state at a program point: the value set
+// of every SSA value evaluated so far (missing = bottom, the optimistic
+// initial value) and the abstract store (nil map = bottom; a missing key
+// in a non-nil map = Top, so joins intersect key sets).
+type state struct {
+	env map[*ir.Value]ValueSet
+	mem map[aloc]ValueSet
+}
+
+func cloneState(s state) state {
+	out := state{env: make(map[*ir.Value]ValueSet, len(s.env))}
+	for k, v := range s.env {
+		out.env[k] = v
+	}
+	if s.mem != nil {
+		out.mem = make(map[aloc]ValueSet, len(s.mem))
+		for k, v := range s.mem {
+			out.mem[k] = v
+		}
+	}
+	return out
+}
+
+func joinState(dst, src state) (state, bool) {
+	changed := false
+	for k, sv := range src.env {
+		dv, ok := dst.env[k]
+		if !ok {
+			dst.env[k] = sv
+			changed = true
+			continue
+		}
+		nv := dv.Join(sv)
+		if !nv.Eq(dv) {
+			dst.env[k] = nv
+			changed = true
+		}
+	}
+	switch {
+	case src.mem == nil:
+		// Bottom store contributes nothing.
+	case dst.mem == nil:
+		dst.mem = make(map[aloc]ValueSet, len(src.mem))
+		for k, v := range src.mem {
+			dst.mem[k] = v
+		}
+		changed = true
+	default:
+		for k, dv := range dst.mem {
+			sv, ok := src.mem[k]
+			if !ok {
+				delete(dst.mem, k) // missing on one side: Top
+				changed = true
+				continue
+			}
+			nv := dv.Join(sv)
+			if !nv.Eq(dv) {
+				dst.mem[k] = nv
+				changed = true
+			}
+		}
+	}
+	return dst, changed
+}
+
+func widenState(prev, next state) state {
+	for k, nv := range next.env {
+		if pv, ok := prev.env[k]; ok {
+			next.env[k] = nv.WidenFrom(pv)
+		}
+	}
+	for k, nv := range next.mem {
+		if pv, ok := prev.mem[k]; ok {
+			next.mem[k] = nv.WidenFrom(pv)
+		}
+	}
+	return next
+}
+
+// accSize is the byte width of a memory access (the IR uses 0 for the
+// native 4-byte width).
+func accSize(v *ir.Value) int64 {
+	if v.Size == 0 {
+		return 4
+	}
+	return int64(v.Size)
+}
+
+// evalValue computes the value set of one non-memory instruction.
+func evalValue(v *ir.Value, env map[*ir.Value]ValueSet) ValueSet {
+	get := func(a *ir.Value) ValueSet {
+		if vs, ok := env[a]; ok {
+			return vs
+		}
+		return TopVS
+	}
+	constArg := func(a *ir.Value) (int64, bool) {
+		if num, ok := get(a).NumPart(); ok {
+			return num.Exact()
+		}
+		return 0, false
+	}
+	switch v.Op {
+	case ir.OpConst:
+		return ConstVS(int64(v.Const))
+	case ir.OpAlloca:
+		return FrameVS(v, ConstSI(0))
+	case ir.OpAdd:
+		return get(v.Args[0]).Add(get(v.Args[1]))
+	case ir.OpSub:
+		return get(v.Args[0]).Sub(get(v.Args[1]))
+	case ir.OpNeg:
+		return get(v.Args[0]).Neg()
+	case ir.OpMul:
+		if k, ok := constArg(v.Args[1]); ok {
+			return get(v.Args[0]).MulConst(k)
+		}
+		if k, ok := constArg(v.Args[0]); ok {
+			return get(v.Args[1]).MulConst(k)
+		}
+		return TopVS
+	case ir.OpShl:
+		if k, ok := constArg(v.Args[1]); ok && k >= 0 && k < 32 {
+			return get(v.Args[0]).MulConst(1 << uint(k))
+		}
+		return TopVS
+	case ir.OpAnd:
+		return evalAnd(get(v.Args[0]), get(v.Args[1]))
+	case ir.OpMod:
+		if k, ok := constArg(v.Args[1]); ok && k > 0 {
+			if num, ok := get(v.Args[0]).NumPart(); ok && num.Lo >= 0 {
+				return NumVS(SpanSI(0, k-1, 1))
+			}
+			return NumVS(SpanSI(-(k - 1), k-1, 1))
+		}
+		return TopVS
+	case ir.OpCmp:
+		return NumVS(SpanSI(0, 1, 1))
+	case ir.OpZext:
+		b := analysis.ZextBound(v.Size)
+		if num, ok := get(v.Args[0]).NumPart(); ok && num.Lo >= 0 && num.Hi <= b.Hi {
+			return NumVS(num)
+		}
+		return NumVS(SpanSI(b.Lo, b.Hi, 1))
+	case ir.OpSext:
+		b := analysis.SextBound(v.Size)
+		if num, ok := get(v.Args[0]).NumPart(); ok && num.Lo >= b.Lo && num.Hi <= b.Hi {
+			return NumVS(num)
+		}
+		return NumVS(SpanSI(b.Lo, b.Hi, 1))
+	case ir.OpCallExt:
+		if v.Sym == "malloc" || v.Sym == "calloc" {
+			return HeapVS(SpanSI(0, analysis.PosInf, 1))
+		}
+		return TopVS
+	case ir.OpPhi:
+		out := BottomVS
+		seen := false
+		for _, a := range v.Args {
+			if a == v {
+				continue
+			}
+			av, ok := env[a]
+			if !ok {
+				continue // bottom: optimistic, resolved by reiteration
+			}
+			out = out.Join(av)
+			seen = true
+		}
+		if !seen {
+			return TopVS
+		}
+		return out
+	}
+	return TopVS
+}
+
+// evalAnd models bit masking: a positive mask bounds the result, and an
+// alignment mask −2^k floors its operand to a multiple of 2^k, which the
+// stride captures exactly.
+func evalAnd(a, b ValueSet) ValueSet {
+	mask, ok := b.NumPart()
+	if !ok {
+		if mask, ok = a.NumPart(); !ok {
+			return TopVS
+		}
+		a = b
+	}
+	m, exact := mask.Exact()
+	if !exact {
+		return TopVS
+	}
+	if m >= 0 {
+		return NumVS(SpanSI(0, m, 1))
+	}
+	if k := -m; k&(k-1) == 0 {
+		// x & −2^k keeps x's region and rounds the offset down to a
+		// multiple of 2^k.
+		if a.IsTop() || a.IsBottom() {
+			return TopVS
+		}
+		out := ValueSet{parts: make(map[Region]SI, len(a.parts))}
+		for r, s := range a.parts {
+			if s.Lo <= analysis.NegInf || s.Hi >= analysis.PosInf {
+				out.parts[r] = TopSI
+				continue
+			}
+			lo := s.Lo - mod(s.Lo, k)
+			hi := s.Hi - mod(s.Hi, k)
+			out.parts[r] = SpanSI(lo, hi, k)
+		}
+		return out
+	}
+	return TopVS
+}
+
+// FuncResult is the VSA fixpoint of one function.
+type FuncResult struct {
+	fn *ir.Func
+	// vals is the value set of every SSA value at its definition (SSA
+	// values are immutable, so this is their set at every use).
+	vals map[*ir.Value]ValueSet
+	// escaped is the syntactic escape set used for call clobbering.
+	escaped map[*ir.Value]bool
+	// Elapsed is the analysis wall time, for performance reporting.
+	Elapsed time.Duration
+}
+
+// Fn returns the analyzed function.
+func (fr *FuncResult) Fn() *ir.Func { return fr.fn }
+
+// ValueSetOf returns the value set of v (Top when v was never reached).
+func (fr *FuncResult) ValueSetOf(v *ir.Value) ValueSet {
+	if vs, ok := fr.vals[v]; ok {
+		return vs
+	}
+	return TopVS
+}
+
+// transfer interprets one block: phis, then instructions in order, with
+// loads reading and stores updating the abstract store.
+func transfer(b *ir.Block, st state, esc map[*ir.Value]bool, hook func(v *ir.Value, st state)) state {
+	if st.mem == nil {
+		st.mem = make(map[aloc]ValueSet) // bottom store: treat as all-Top
+	}
+	for _, v := range b.Phis {
+		st.env[v] = evalValue(v, st.env)
+	}
+	for _, v := range b.Insts {
+		if hook != nil {
+			hook(v, st)
+		}
+		switch v.Op {
+		case ir.OpLoad:
+			st.env[v] = loadCell(st, v)
+		case ir.OpStore:
+			storeCell(st, v)
+		case ir.OpCall, ir.OpCallInd, ir.OpCallExt, ir.OpCallExtRaw:
+			clobberCall(st, esc)
+			if v.Op.HasResult() {
+				st.env[v] = evalValue(v, st.env)
+			}
+		default:
+			if v.Op.HasResult() {
+				st.env[v] = evalValue(v, st.env)
+			}
+		}
+	}
+	return st
+}
+
+// loadCell reads the abstract store: only an address proven to be exactly
+// one non-heap cell yields a tracked value; everything else is Top.
+func loadCell(st state, v *ir.Value) ValueSet {
+	addr, ok := st.env[v.Args[0]]
+	if !ok || addr.top || len(addr.parts) != 1 {
+		return TopVS
+	}
+	for r, s := range addr.parts {
+		off, exact := s.Exact()
+		if !exact || r.Kind == RegHeap {
+			return TopVS
+		}
+		if val, ok := st.mem[aloc{region: r, off: off, size: accSize(v)}]; ok {
+			return val
+		}
+	}
+	return TopVS
+}
+
+// storeCell applies one store to the abstract store. An exactly-resolved
+// non-heap cell gets a strong update; a bounded pointer invalidates every
+// tracked cell it may overlap; an unknown pointer invalidates everything.
+func storeCell(st state, v *ir.Value) {
+	addr, ok := st.env[v.Args[0]]
+	size := accSize(v)
+	if !ok || addr.top || addr.IsBottom() {
+		for k := range st.mem {
+			delete(st.mem, k)
+		}
+		return
+	}
+	val := TopVS
+	if sv, ok := st.env[v.Args[1]]; ok {
+		val = sv
+	}
+	if r, s, one := singleCell(addr); one {
+		// Strong update: this is the only concrete cell the store can hit.
+		dst := aloc{region: r, off: s, size: size}
+		for k := range st.mem {
+			if k != dst && k.region == r && k.off < s+size && s < k.off+k.size {
+				delete(st.mem, k)
+			}
+		}
+		st.mem[dst] = val
+		return
+	}
+	for k := range st.mem {
+		s, ok := addr.parts[k.region]
+		if !ok {
+			continue // the pointer cannot reach this region
+		}
+		if !s.DisjointAccess(size, ConstSI(k.off), k.size) {
+			delete(st.mem, k)
+		}
+	}
+}
+
+// singleCell reports whether addr resolves to exactly one strong-updatable
+// cell: a single non-heap region at an exact offset.
+func singleCell(addr ValueSet) (Region, int64, bool) {
+	if addr.top || len(addr.parts) != 1 {
+		return Region{}, 0, false
+	}
+	for r, s := range addr.parts {
+		if r.Kind == RegHeap {
+			return Region{}, 0, false
+		}
+		if off, exact := s.Exact(); exact {
+			return r, off, true
+		}
+	}
+	return Region{}, 0, false
+}
+
+// clobberCall invalidates every cell a callee could write: globals, the
+// heap, and any stack object whose address escapes the function.
+func clobberCall(st state, esc map[*ir.Value]bool) {
+	for k := range st.mem {
+		switch k.region.Kind {
+		case RegNum, RegHeap:
+			delete(st.mem, k)
+		case RegFrame:
+			if esc[k.region.Base] {
+				delete(st.mem, k)
+			}
+		}
+	}
+}
+
+// Analyze runs the value-set analysis to a fixpoint over one function.
+func Analyze(f *ir.Func) *FuncResult {
+	start := time.Now()
+	esc := analysis.Escapes(f)
+	prob := analysis.Problem[state]{
+		Forward:  true,
+		Boundary: func(*ir.Func) state { return state{env: map[*ir.Value]ValueSet{}, mem: map[aloc]ValueSet{}} },
+		Bottom:   func() state { return state{env: map[*ir.Value]ValueSet{}} },
+		Join:     joinState,
+		Clone:    cloneState,
+		Transfer: func(b *ir.Block, in state) state { return transfer(b, in, esc, nil) },
+		Widen:    widenState,
+	}
+	res := analysis.Solve(f, prob)
+	vals := make(map[*ir.Value]ValueSet)
+	for _, b := range f.Blocks {
+		out, ok := res.Out[b]
+		if !ok {
+			continue
+		}
+		for _, v := range b.Phis {
+			if vs, ok := out.env[v]; ok {
+				vals[v] = vs
+			}
+		}
+		for _, v := range b.Insts {
+			if vs, ok := out.env[v]; ok && v.Op.HasResult() {
+				vals[v] = vs
+			}
+		}
+	}
+	fr := &FuncResult{fn: f, vals: vals, escaped: esc}
+	fr.Elapsed = time.Since(start)
+	return fr
+}

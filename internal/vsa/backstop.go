@@ -1,0 +1,166 @@
+package vsa
+
+import (
+	"sort"
+
+	"wytiwyg/internal/analysis"
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/layout"
+)
+
+// Coverage backstop: dynamic recovery splits the frame exactly as traced,
+// so objects whose elements were never all touched come out split — sound
+// for the traced inputs, fragile beyond them. The backstop widens the
+// recovered layout until every statically possible access fits inside one
+// object: bounded cross-slot offset sets merge the spanned slots, while an
+// access whose target the analysis cannot bound — unbounded frame offsets,
+// or a fully unknown address that may point anywhere including the frame —
+// collapses the local area into a single conservative symbol, exactly the
+// static symbolizer's blob response to dynamic stack addressing. The
+// result trades exact matches for guaranteed coverage and is reported
+// alongside the dynamic layout's precision/recall in examples/accuracy.
+
+// BackstopStats summarizes one frame's widening.
+type BackstopStats struct {
+	// Merged counts slots that were absorbed into a wider object.
+	Merged int
+	// Blobbed reports that an unbounded access collapsed the local area.
+	Blobbed bool
+}
+
+// Backstop returns a copy of the recovered frame widened so that no
+// statically possible frame access crosses an object boundary. The input
+// frame is not modified; positive-offset (argument) slots never merge.
+func Backstop(fr *FuncResult, frame *layout.Frame) (*layout.Frame, BackstopStats) {
+	var st BackstopStats
+	if frame == nil || len(frame.Vars) == 0 {
+		return frame, st
+	}
+	frameLo := int32(0)
+	for _, v := range frame.Vars {
+		if v.Offset < frameLo {
+			frameLo = v.Offset
+		}
+	}
+	// Collect the sp0-relative byte ranges accesses may reach beyond their
+	// slot, clamped to the local area [frameLo, 0).
+	type span struct{ lo, hi int32 }
+	var spans []span
+	f := fr.Fn()
+	for _, b := range f.Blocks {
+		for _, v := range b.Insts {
+			if v.Op != ir.OpLoad && v.Op != ir.OpStore {
+				continue
+			}
+			addr := fr.ValueSetOf(v.Args[0])
+			if addr.IsTop() {
+				// The access may target any byte of the frame.
+				st.Blobbed = true
+				spans = append(spans, span{frameLo, 0})
+				continue
+			}
+			size := accSize(v)
+			for r, offs := range addr.parts {
+				if r.Kind != RegFrame {
+					continue // numeric and heap targets are off-frame
+				}
+				base := r.Base
+				if offs.Lo >= 0 && offs.Hi+size <= int64(base.AllocSize) {
+					continue // proven inside its slot
+				}
+				lo, hi := int64(frameLo), int64(0)
+				if !offs.unbounded() {
+					lo = max64(lo, int64(base.Const)+offs.Lo)
+					hi = min64(hi, int64(base.Const)+offs.Hi+size)
+				} else {
+					st.Blobbed = true
+				}
+				if lo < hi {
+					spans = append(spans, span{int32(lo), int32(hi)})
+				}
+			}
+		}
+	}
+	if len(spans) == 0 {
+		return frame, st
+	}
+	// Widen: each span merges every local slot it overlaps (plus the span's
+	// own bytes) into one object; argument slots pass through untouched.
+	out := &layout.Frame{Func: frame.Func}
+	locals := make([]layout.Var, 0, len(frame.Vars))
+	for _, v := range frame.Vars {
+		if v.Offset >= 0 {
+			out.Vars = append(out.Vars, v)
+		} else {
+			locals = append(locals, v)
+		}
+	}
+	sort.Slice(locals, func(i, j int) bool { return locals[i].Offset < locals[j].Offset })
+	merged := make([]bool, len(locals))
+	for _, sp := range spans {
+		cur := layout.Var{Name: "", Offset: sp.lo, Size: uint32(sp.hi - sp.lo)}
+		for i, v := range locals {
+			if merged[i] || !v.Overlaps(cur) {
+				continue
+			}
+			if cur.Name == "" {
+				cur.Name = v.Name
+			}
+			lo, hi := cur.Offset, cur.End()
+			if v.Offset < lo {
+				lo, cur.Name = v.Offset, v.Name
+			}
+			if v.End() > hi {
+				hi = v.End()
+			}
+			cur.Offset, cur.Size = lo, uint32(hi-lo)
+			merged[i] = true
+			st.Merged++
+		}
+		if cur.Name == "" {
+			continue // span touched no recovered slot
+		}
+		st.Merged-- // n slots merging yields one object: n-1 absorbed
+		out.Vars = append(out.Vars, cur)
+	}
+	for i, v := range locals {
+		if !merged[i] {
+			out.Vars = append(out.Vars, v)
+		}
+	}
+	out.Sort()
+	// Coalesce overlapping widened objects (two spans can hit one slot).
+	coalesced := out.Vars[:0]
+	for _, v := range out.Vars {
+		if n := len(coalesced); n > 0 && coalesced[n-1].Overlaps(v) {
+			p := &coalesced[n-1]
+			if v.End() > p.End() {
+				p.Size = uint32(v.End() - p.Offset)
+			}
+			st.Merged++
+			continue
+		}
+		coalesced = append(coalesced, v)
+	}
+	out.Vars = coalesced
+	return out, st
+}
+
+// unbounded reports whether either end of the offset set is infinite.
+func (s SI) unbounded() bool {
+	return s.Lo <= analysis.NegInf || s.Hi >= analysis.PosInf
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package vsa
+
+import (
+	"testing"
+
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/layout"
+)
+
+// A bounded cross-slot access (offset {0,4} into a 4-byte slot) must merge
+// exactly the two slots it spans, and nothing else.
+func TestBackstopMergesSpannedSlots(t *testing.T) {
+	_, f, entry := mkFunc("f")
+	b1 := f.NewBlock(0)
+	b2 := f.NewBlock(0)
+	join := f.NewBlock(0)
+	edge(entry, b1)
+	edge(entry, b2)
+	edge(b1, join)
+	edge(b2, join)
+
+	x := alloca(f, entry, "x", 4, -8)
+	alloca(f, entry, "y", 4, -4)
+	alloca(f, entry, "z", 4, -12)
+	k0 := konst(f, entry, 0)
+	k4 := konst(f, entry, 4)
+	cond := konst(f, entry, 1)
+	entry.Append(f.NewValue(ir.OpBr, cond))
+	b1.Append(f.NewValue(ir.OpJmp))
+	b2.Append(f.NewValue(ir.OpJmp))
+
+	idx := f.NewValue(ir.OpPhi, k0, k4)
+	join.AddPhi(idx)
+	addr := f.NewValue(ir.OpAdd, x, idx)
+	join.Append(addr)
+	join.Append(f.NewValue(ir.OpStore, addr, konst(f, join, 1)))
+	join.Append(f.NewValue(ir.OpRet, konst(f, join, 0)))
+
+	frame := &layout.Frame{Func: "f", Vars: []layout.Var{
+		{Name: "z", Offset: -12, Size: 4},
+		{Name: "x", Offset: -8, Size: 4},
+		{Name: "y", Offset: -4, Size: 4},
+	}}
+	out, st := Backstop(Analyze(f), frame)
+	if st.Blobbed || st.Merged != 1 {
+		t.Fatalf("stats = %+v, want Merged 1 without blobbing", st)
+	}
+	want := []layout.Var{
+		{Name: "z", Offset: -12, Size: 4},
+		{Name: "x", Offset: -8, Size: 8},
+	}
+	if len(out.Vars) != len(want) {
+		t.Fatalf("widened frame = %s, want z@[-12,-8) x@[-8,0)", out)
+	}
+	for i, v := range want {
+		if out.Vars[i] != v {
+			t.Errorf("var %d = %v, want %v", i, out.Vars[i], v)
+		}
+	}
+	if len(frame.Vars) != 3 || frame.Vars[1].Size != 4 {
+		t.Error("input frame was mutated")
+	}
+}
+
+// An access whose offsets widening could not bound collapses the local
+// area into one conservative object, like the static symbolizer's blob.
+func TestBackstopBlobsUnboundedAccess(t *testing.T) {
+	_, f, entry := mkFunc("f")
+	header := f.NewBlock(0)
+	body := f.NewBlock(0)
+	exit := f.NewBlock(0)
+	edge(entry, header)
+	edge(header, body)
+	edge(header, exit)
+	edge(body, header)
+
+	a := alloca(f, entry, "a", 8, -8)
+	i0 := konst(f, entry, 0)
+	entry.Append(f.NewValue(ir.OpJmp))
+
+	phi := f.NewValue(ir.OpPhi, i0, nil)
+	header.AddPhi(phi)
+	cond := konst(f, header, 1)
+	header.Append(f.NewValue(ir.OpBr, cond))
+
+	addr := f.NewValue(ir.OpAdd, a, phi)
+	body.Append(addr)
+	body.Append(f.NewValue(ir.OpStore, addr, konst(f, body, 1)))
+	inext := f.NewValue(ir.OpAdd, phi, konst(f, body, 4))
+	body.Append(inext)
+	phi.Args[1] = inext
+	body.Append(f.NewValue(ir.OpJmp))
+	exit.Append(f.NewValue(ir.OpRet, konst(f, exit, 0)))
+
+	frame := &layout.Frame{Func: "f", Vars: []layout.Var{
+		{Name: "a0", Offset: -8, Size: 4},
+		{Name: "a1", Offset: -4, Size: 4},
+	}}
+	out, st := Backstop(Analyze(f), frame)
+	if !st.Blobbed || st.Merged != 1 {
+		t.Fatalf("stats = %+v, want Blobbed with Merged 1", st)
+	}
+	if len(out.Vars) != 1 || out.Vars[0] != (layout.Var{Name: "a0", Offset: -8, Size: 8}) {
+		t.Fatalf("widened frame = %s, want one object a0@[-8,0)", out)
+	}
+}
+
+// A layout every access provably stays inside passes through untouched.
+func TestBackstopKeepsProvenLayout(t *testing.T) {
+	_, f, b := mkFunc("f")
+	x := alloca(f, b, "x", 4, -8)
+	y := alloca(f, b, "y", 4, -4)
+	b.Append(f.NewValue(ir.OpStore, x, konst(f, b, 1)))
+	b.Append(f.NewValue(ir.OpStore, y, konst(f, b, 2)))
+	b.Append(f.NewValue(ir.OpRet, konst(f, b, 0)))
+
+	frame := &layout.Frame{Func: "f", Vars: []layout.Var{
+		{Name: "x", Offset: -8, Size: 4},
+		{Name: "y", Offset: -4, Size: 4},
+	}}
+	out, st := Backstop(Analyze(f), frame)
+	if st.Merged != 0 || st.Blobbed {
+		t.Fatalf("stats = %+v, want no widening", st)
+	}
+	if out != frame {
+		t.Errorf("proven layout was copied/altered: %s", out)
+	}
+}

@@ -1,0 +1,23 @@
+// Package vsa implements a value-set analysis (VSA) over the lifted IR: an
+// abstract interpretation that computes, for every SSA value and every
+// abstract memory location, the set of values it may hold, represented as
+// strided intervals partitioned by memory region (numeric/global, one
+// region per stack object, and a heap summary).
+//
+// The analysis serves three consumers. The alias Oracle answers
+// MayAlias/MustNotAlias/PointsToFrameSlot queries that let the optimizer
+// promote and forward address-taken stack slots the syntactic escape
+// analysis must give up on. The layout verifier (Check) flags recovered
+// slots whose statically-proven access region crosses a slot boundary —
+// the over-splitting signature of incomplete trace coverage — and accesses
+// proven to land outside their frame. The coverage Backstop widens
+// staticsym-style conservative frames with statically-proven access
+// strides for functions the traces never reached.
+//
+// Soundness rests on the interpreter's memory map (see isa/layout.go and
+// irexec.NativeStackTop): code, globals and the heap bump allocator live
+// below the native-stack region that backs symbolized stack objects, and
+// distinct allocas occupy disjoint storage within an activation. Every
+// verdict is over-approximate: the analysis only separates two accesses
+// when their value sets cannot overlap in any region.
+package vsa

@@ -1,0 +1,65 @@
+package vsa
+
+import "wytiwyg/internal/ir"
+
+// Oracle answers alias queries about one function from its VSA fixpoint.
+// Every answer is conservative: a query over values the analysis lost
+// track of (or values from another function) never separates.
+type Oracle struct {
+	fr *FuncResult
+}
+
+// Oracle wraps the fixpoint in its query interface.
+func (fr *FuncResult) Oracle() *Oracle { return &Oracle{fr: fr} }
+
+// NewOracle analyzes f and returns its alias oracle.
+func NewOracle(f *ir.Func) *Oracle { return Analyze(f).Oracle() }
+
+// Result returns the underlying fixpoint.
+func (o *Oracle) Result() *FuncResult { return o.fr }
+
+// MustNotAlias reports whether a szA-byte access at address a is proven
+// byte-disjoint from a szB-byte access at address b. false means "cannot
+// prove", not "they alias".
+func (o *Oracle) MustNotAlias(a *ir.Value, szA int64, b *ir.Value, szB int64) bool {
+	if a == b {
+		return false
+	}
+	return o.fr.ValueSetOf(a).DisjointAccess(szA, o.fr.ValueSetOf(b), szB)
+}
+
+// MayAlias reports whether the two accesses could overlap — the negation
+// of MustNotAlias, provided for readable call sites.
+func (o *Oracle) MayAlias(a *ir.Value, szA int64, b *ir.Value, szB int64) bool {
+	return !o.MustNotAlias(a, szA, b, szB)
+}
+
+// PointsToFrameSlot reports whether p is proven to point at exactly one
+// offset within one stack object, returning the alloca and the offset.
+// This is the rewrite license for address resolution: p may replace
+// alloca+off (and vice versa) wherever p is in scope.
+func (o *Oracle) PointsToFrameSlot(p *ir.Value) (alloca *ir.Value, off int64, ok bool) {
+	base, s, ok := o.fr.ValueSetOf(p).FramePart()
+	if !ok {
+		return nil, 0, false
+	}
+	off, exact := s.Exact()
+	if !exact {
+		return nil, 0, false
+	}
+	return base, off, true
+}
+
+// PointsToFrame reports whether p is proven to stay within one stack
+// object, returning the alloca and the strided offset set.
+func (o *Oracle) PointsToFrame(p *ir.Value) (alloca *ir.Value, offs SI, ok bool) {
+	return o.fr.ValueSetOf(p).FramePart()
+}
+
+// MayTouchSlot reports whether a sz-byte access at address p may overlap
+// the width-byte cell at offset off inside the given alloca. The
+// optimizer's invalidation queries use this to keep forwarded values live
+// across stores through unrelated pointers.
+func (o *Oracle) MayTouchSlot(p *ir.Value, sz int64, alloca *ir.Value, off, width int64) bool {
+	return !o.fr.ValueSetOf(p).DisjointAccess(sz, FrameVS(alloca, ConstSI(off)), width)
+}

@@ -1,0 +1,90 @@
+package vsa
+
+import (
+	"wytiwyg/internal/analysis"
+	"wytiwyg/internal/ir"
+)
+
+// Layout verifier: the static half of the paper's trust story. Dynamic
+// recovery splits the frame exactly as the traces witnessed it, so
+// incomplete coverage over-splits objects (paper §6's admitted blind
+// spot). VSA proves, per access, the offset set actually reachable; an
+// access that can cross its slot's boundary is the over-splitting
+// signature (Warn), and an access whose every possible target lies
+// outside the recovered frame is a miscompilation witness (Error).
+
+// CheckStats summarizes one function's verified accesses.
+type CheckStats struct {
+	// Checked counts accesses resolved to a single stack object.
+	Checked int
+	// CrossSlot counts accesses that may cross their slot's boundary
+	// while staying inside the frame (possible over-splitting, Warn).
+	CrossSlot int
+	// OutOfFrame counts accesses proven to miss the entire recovered
+	// frame (Error).
+	OutOfFrame int
+}
+
+// Check verifies f's recovered layout against the VSA fixpoint fr,
+// appending "vsa" diagnostics to rep.
+func Check(fr *FuncResult, rep *analysis.Report) CheckStats {
+	f := fr.Fn()
+	// The recovered frame extent, in sp0-relative offsets.
+	frameLo, frameHi := int64(0), int64(0)
+	for _, b := range f.Blocks {
+		for _, v := range b.Insts {
+			if v.Op != ir.OpAlloca {
+				continue
+			}
+			if lo := int64(v.Const); lo < frameLo {
+				frameLo = lo
+			}
+			if hi := int64(v.Const) + int64(v.AllocSize); hi > frameHi {
+				frameHi = hi
+			}
+		}
+	}
+	var st CheckStats
+	for _, b := range f.Blocks {
+		for _, v := range b.Insts {
+			if v.Op != ir.OpLoad && v.Op != ir.OpStore {
+				continue
+			}
+			base, offs, ok := fr.ValueSetOf(v.Args[0]).FramePart()
+			if !ok {
+				continue
+			}
+			st.Checked++
+			size := accSize(v)
+			if offs.Lo <= analysis.NegInf || offs.Hi >= analysis.PosInf {
+				continue // unbounded offsets prove nothing either way
+			}
+			slotSize := int64(base.AllocSize)
+			if offs.Lo >= 0 && offs.Hi+size <= slotSize {
+				continue // proven inside the slot
+			}
+			// sp0-relative extent of the access.
+			accLo := int64(base.Const) + offs.Lo
+			accHi := int64(base.Const) + offs.Hi + size
+			if accHi <= frameLo || accLo >= frameHi {
+				st.OutOfFrame++
+				rep.Addf("vsa", analysis.Error, f.Name, v,
+					"%s of %d byte(s) at %s%s is proven outside the recovered frame [%d,%d)",
+					v.Op, size, slotName(base), offs, frameLo, frameHi)
+				continue
+			}
+			st.CrossSlot++
+			rep.Addf("vsa", analysis.Warn, f.Name, v,
+				"%s of %d byte(s) at %s%s may cross the slot boundary [0,%d) — possible over-splitting from incomplete trace coverage",
+				v.Op, size, slotName(base), offs, slotSize)
+		}
+	}
+	return st
+}
+
+func slotName(a *ir.Value) string {
+	if a.Name != "" {
+		return a.Name
+	}
+	return a.String()
+}
