@@ -160,7 +160,7 @@ func main() {
 			p.Report.Errors(), p.Report.Count(analysis.Warn), p.Report.Count(analysis.Info))
 	}
 	if *vsaFlag {
-		printVSAStats(p.VSAStats)
+		printVSAStats(p.VSAStats, *timings)
 	}
 	if *timings {
 		printTimings(p.Times)
@@ -242,8 +242,10 @@ func main() {
 }
 
 // printVSAStats summarizes the value-set analysis stage: the total verified
-// access count, the two finding classes, and the analysis wall time.
-func printVSAStats(stats []core.VSAStat) {
+// access count and the two finding classes. The analysis wall time is
+// appended only under -timings — the default output must stay byte-identical
+// across runs and worker counts (the determinism contract).
+func printVSAStats(stats []core.VSAStat, showTime bool) {
 	checked, cross, oof := 0, 0, 0
 	var elapsed time.Duration
 	for _, st := range stats {
@@ -252,8 +254,12 @@ func printVSAStats(stats []core.VSAStat) {
 		oof += st.OutOfFrame
 		elapsed += st.Elapsed
 	}
-	fmt.Printf("vsa: %d accesses verified, %d cross-slot warning(s), %d out-of-frame error(s) in %v\n",
-		checked, cross, oof, elapsed.Round(time.Microsecond))
+	fmt.Printf("vsa: %d accesses verified, %d cross-slot warning(s), %d out-of-frame error(s)",
+		checked, cross, oof)
+	if showTime {
+		fmt.Printf(" in %v", elapsed.Round(time.Microsecond))
+	}
+	fmt.Println()
 }
 
 func fail(format string, args ...any) {

@@ -148,7 +148,10 @@ func evalValue(v *ir.Value, env map[*ir.Value]ValueSet) ValueSet {
 		return evalAnd(get(v.Args[0]), get(v.Args[1]))
 	case ir.OpMod:
 		if k, ok := constArg(v.Args[1]); ok && k > 0 {
-			if num, ok := get(v.Args[0]).NumPart(); ok && num.Lo >= 0 {
+			// OpMod is signed: the result is non-negative only when the
+			// dividend's signed reading is — words at or above 2^31 read
+			// negative, so a wrapped unsigned-window set proves nothing.
+			if num, ok := get(v.Args[0]).NumPart(); ok && num.Lo >= 0 && num.Hi < 1<<31 {
 				return NumVS(SpanSI(0, k-1, 1))
 			}
 			return NumVS(SpanSI(-(k - 1), k-1, 1))
@@ -214,14 +217,16 @@ func evalAnd(a, b ValueSet) ValueSet {
 		return NumVS(SpanSI(0, m, 1))
 	}
 	if k := -m; k&(k-1) == 0 {
-		// x & −2^k keeps x's region and rounds the offset down to a
-		// multiple of 2^k.
+		// x & −2^k rounds x down to a multiple of 2^k. That is only a
+		// rounding of the region-relative offset when the region's
+		// concrete base is itself 2^k-aligned; otherwise the mask mixes
+		// base bits into the offset and the part is unknown.
 		if a.IsTop() || a.IsBottom() {
 			return TopVS
 		}
 		out := ValueSet{parts: make(map[Region]SI, len(a.parts))}
 		for r, s := range a.parts {
-			if s.Lo <= analysis.NegInf || s.Hi >= analysis.PosInf {
+			if s.Lo <= analysis.NegInf || s.Hi >= analysis.PosInf || !regionAligned(r, k) {
 				out.parts[r] = TopSI
 				continue
 			}
@@ -232,6 +237,32 @@ func evalAnd(a, b ValueSet) ValueSet {
 		return out
 	}
 	return TopVS
+}
+
+// regionAligned reports whether the region's concrete base address is
+// guaranteed to be a multiple of k (a power of two). Num offsets are the
+// absolute addresses themselves, so any mask is exact. An alloca's
+// native storage is aligned by irexec to max(Align, 4) — and, since the
+// alignment mask only clears the trailing run of bits, to no more than
+// Align's lowest set bit. The bump allocator hands out 8-byte-aligned
+// heap blocks.
+func regionAligned(r Region, k int64) bool {
+	switch r.Kind {
+	case RegNum:
+		return true
+	case RegFrame:
+		al := int64(r.Base.Align)
+		if al != 0 {
+			al &= -al // guaranteed power-of-two alignment of the base
+		}
+		if al < 4 {
+			al = 4
+		}
+		return k <= al
+	case RegHeap:
+		return k <= 8
+	}
+	return false
 }
 
 // FuncResult is the VSA fixpoint of one function.
@@ -309,8 +340,13 @@ func loadCell(st state, v *ir.Value) ValueSet {
 }
 
 // storeCell applies one store to the abstract store. An exactly-resolved
-// non-heap cell gets a strong update; a bounded pointer invalidates every
+// non-heap cell gets a strong update; any other pointer invalidates every
 // tracked cell it may overlap; an unknown pointer invalidates everything.
+// Invalidation applies the same cross-region model as the alias oracle
+// (regionsDisjoint): a store through a numeric address not proven below
+// isa.HeapBase may hit native frame or heap storage, so it clobbers
+// those cells too — and a frame store clobbers numeric cells living at
+// such unproven addresses.
 func storeCell(st state, v *ir.Value) {
 	addr, ok := st.env[v.Args[0]]
 	size := accSize(v)
@@ -328,7 +364,7 @@ func storeCell(st state, v *ir.Value) {
 		// Strong update: this is the only concrete cell the store can hit.
 		dst := aloc{region: r, off: s, size: size}
 		for k := range st.mem {
-			if k != dst && k.region == r && k.off < s+size && s < k.off+k.size {
+			if k != dst && mayClobberCell(addr, size, k) {
 				delete(st.mem, k)
 			}
 		}
@@ -336,14 +372,31 @@ func storeCell(st state, v *ir.Value) {
 		return
 	}
 	for k := range st.mem {
-		s, ok := addr.parts[k.region]
-		if !ok {
-			continue // the pointer cannot reach this region
-		}
-		if !s.DisjointAccess(size, ConstSI(k.off), k.size) {
+		if mayClobberCell(addr, size, k) {
 			delete(st.mem, k)
 		}
 	}
+}
+
+// mayClobberCell reports whether a size-byte store through addr may write
+// any byte of the tracked cell k. Same-region overlap uses the strided
+// offset sets; cross-region overlap is governed by regionsDisjoint, the
+// memory-map model the alias oracle answers from — the store transfer
+// must not be less conservative than the oracle.
+func mayClobberCell(addr ValueSet, size int64, k aloc) bool {
+	cell := ConstSI(k.off)
+	for r, s := range addr.parts {
+		if r == k.region {
+			if r.Kind == RegHeap || !s.DisjointAccess(size, cell, k.size) {
+				return true
+			}
+			continue
+		}
+		if !regionsDisjoint(r, s, size, k.region, cell, k.size) {
+			return true
+		}
+	}
+	return false
 }
 
 // singleCell reports whether addr resolves to exactly one strong-updatable

@@ -3,7 +3,6 @@ package vsa
 import (
 	"sort"
 
-	"wytiwyg/internal/analysis"
 	"wytiwyg/internal/ir"
 	"wytiwyg/internal/layout"
 )
@@ -84,71 +83,72 @@ func Backstop(fr *FuncResult, frame *layout.Frame) (*layout.Frame, BackstopStats
 	if len(spans) == 0 {
 		return frame, st
 	}
-	// Widen: each span merges every local slot it overlaps (plus the span's
-	// own bytes) into one object; argument slots pass through untouched.
+	// Widen: recovered slots and access spans merge transitively — every
+	// maximal chain of byte-overlapping intervals becomes one object — so
+	// a span reaching past an already-widened object keeps growing it and
+	// the postcondition (no span crosses an output object boundary) holds
+	// after a single sweep. Argument slots pass through untouched; a chain
+	// holding only spans names no recovered storage and is dropped.
 	out := &layout.Frame{Func: frame.Func}
-	locals := make([]layout.Var, 0, len(frame.Vars))
+	type iv struct {
+		lo, hi int32
+		name   string // lowest-offset slot in the chain; "" for spans
+		slots  int
+	}
+	items := make([]iv, 0, len(frame.Vars)+len(spans))
 	for _, v := range frame.Vars {
 		if v.Offset >= 0 {
 			out.Vars = append(out.Vars, v)
 		} else {
-			locals = append(locals, v)
+			items = append(items, iv{v.Offset, v.End(), v.Name, 1})
 		}
 	}
-	sort.Slice(locals, func(i, j int) bool { return locals[i].Offset < locals[j].Offset })
-	merged := make([]bool, len(locals))
 	for _, sp := range spans {
-		cur := layout.Var{Name: "", Offset: sp.lo, Size: uint32(sp.hi - sp.lo)}
-		for i, v := range locals {
-			if merged[i] || !v.Overlaps(cur) {
-				continue
-			}
-			if cur.Name == "" {
-				cur.Name = v.Name
-			}
-			lo, hi := cur.Offset, cur.End()
-			if v.Offset < lo {
-				lo, cur.Name = v.Offset, v.Name
-			}
-			if v.End() > hi {
-				hi = v.End()
-			}
-			cur.Offset, cur.Size = lo, uint32(hi-lo)
-			merged[i] = true
-			st.Merged++
-		}
-		if cur.Name == "" {
-			continue // span touched no recovered slot
-		}
-		st.Merged-- // n slots merging yields one object: n-1 absorbed
-		out.Vars = append(out.Vars, cur)
+		items = append(items, iv{sp.lo, sp.hi, "", 0})
 	}
-	for i, v := range locals {
-		if !merged[i] {
-			out.Vars = append(out.Vars, v)
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].lo != items[j].lo {
+			return items[i].lo < items[j].lo
 		}
+		return items[i].slots > items[j].slots // slots first: they name the chain
+	})
+	emit := func(c iv) {
+		if c.slots == 0 {
+			return // span chain touched no recovered slot
+		}
+		st.Merged += c.slots - 1 // n slots merging yields one object
+		out.Vars = append(out.Vars, layout.Var{Name: c.name, Offset: c.lo, Size: uint32(c.hi - c.lo)})
 	}
-	out.Sort()
-	// Coalesce overlapping widened objects (two spans can hit one slot).
-	coalesced := out.Vars[:0]
-	for _, v := range out.Vars {
-		if n := len(coalesced); n > 0 && coalesced[n-1].Overlaps(v) {
-			p := &coalesced[n-1]
-			if v.End() > p.End() {
-				p.Size = uint32(v.End() - p.Offset)
+	cur, open := iv{}, false
+	for _, it := range items {
+		if open && it.lo < cur.hi {
+			if it.hi > cur.hi {
+				cur.hi = it.hi
 			}
-			st.Merged++
+			if cur.name == "" {
+				cur.name = it.name
+			}
+			cur.slots += it.slots
 			continue
 		}
-		coalesced = append(coalesced, v)
+		if open {
+			emit(cur)
+		}
+		cur, open = it, true
 	}
-	out.Vars = coalesced
+	if open {
+		emit(cur)
+	}
+	out.Sort()
 	return out, st
 }
 
-// unbounded reports whether either end of the offset set is infinite.
+// unbounded reports whether the offset set escapes the signed 32-bit
+// range — an infinity, or a wrapped congruence class spanning the
+// unsigned window — in which case base+offset arithmetic on its bounds
+// says nothing about where the access lands in the frame.
 func (s SI) unbounded() bool {
-	return s.Lo <= analysis.NegInf || s.Hi >= analysis.PosInf
+	return s.Lo < -(1<<31) || s.Hi >= 1<<31
 }
 
 func max64(a, b int64) int64 {

@@ -8,9 +8,11 @@ import (
 
 // SI is a strided interval: the set {Lo + k·Stride | k ≥ 0} ∩ [Lo, Hi].
 // Stride 0 means the singleton {Lo} (then Lo == Hi). The congruence is
-// anchored at Lo, so a trustworthy stride requires a finite Lo; when
-// widening loses the anchor the stride collapses to 1. Bounds saturate at
-// analysis.NegInf/PosInf, reusing the interval domain's infinities.
+// anchored at Lo, so a trustworthy stride requires a finite Lo. After
+// norm, every set is either Top (both bounds at the analysis infinities)
+// or lies entirely inside the 32-bit value window [−2^31, 2^32): a
+// computation that leaves the window wraps, and norm replaces it with the
+// full congruence class it can still claim (see norm).
 type SI struct {
 	Lo, Hi, Stride int64
 }
@@ -50,23 +52,17 @@ func (s SI) String() string {
 }
 
 // norm restores the representation invariants: Lo ≤ Hi, singletons have
-// stride 0, a positive stride divides Hi−Lo when both bounds are finite,
-// and bounds outside the 32-bit value window [−2^31, 2^32) fall to the
-// infinities — runtime arithmetic wraps there, so a finite out-of-window
-// bound would claim elements the wrapped concrete values do not match.
-// With both bounds infinite there is no congruence anchor left and the
-// stride collapses to 1.
+// stride 0, a positive stride divides Hi−Lo, and the set lies inside the
+// 32-bit value window [−2^31, 2^32). A bound beyond the window (or at an
+// infinity) means the computation wrapped, and the set falls to wrap().
 func (s SI) norm() SI {
 	s.Lo, s.Hi = clamp(s.Lo), clamp(s.Hi)
 	if s.Lo > s.Hi {
 		// Callers never construct empty sets; treat as the singleton Lo.
 		s.Hi = s.Lo
 	}
-	if s.Lo < -(1 << 31) {
-		s.Lo = analysis.NegInf
-	}
-	if s.Hi >= 1<<32 {
-		s.Hi = analysis.PosInf
+	if s.Lo < -(1<<31) || s.Hi >= 1<<32 {
+		return s.wrap()
 	}
 	if s.Lo == s.Hi {
 		s.Stride = 0
@@ -75,24 +71,48 @@ func (s SI) norm() SI {
 	if s.Stride <= 0 {
 		s.Stride = 1
 	}
-	if s.Lo <= analysis.NegInf && s.Hi >= analysis.PosInf {
-		s.Stride = 1
-		return s
-	}
-	if s.Lo > analysis.NegInf && s.Hi < analysis.PosInf {
-		s.Hi = s.Lo + (s.Hi-s.Lo)/s.Stride*s.Stride
-	}
+	s.Hi = s.Lo + (s.Hi-s.Lo)/s.Stride*s.Stride
 	return s
 }
 
-// anchor returns a finite element the congruence is anchored at (elements
-// are ≡ anchor mod Stride): Lo when finite, else Hi. Both-infinite sets
-// have no anchor and report false.
+// wrap maps a set that left the 32-bit value window onto the full
+// congruence class of its anchor modulo gcd(Stride, 2^32), spanning the
+// unsigned window [0, 2^32). Runtime arithmetic wraps at 2^32, so the
+// concrete words re-enter low memory and only residues modulo divisors
+// of 2^32 survive; keeping an in-window bound would claim the wrapped
+// values stop there, which is unsound — a half-open ray never survives
+// norm (compare analysis.norm32, which goes to Top in the same
+// situation; the congruence class is the strided refinement of that).
+// With no exact bound left there is no anchor and the result is Top.
+func (s SI) wrap() SI {
+	a, ok := s.anchor()
+	if !ok {
+		return TopSI
+	}
+	st := s.Stride
+	if s.Lo == s.Hi {
+		st = 1 << 32 // a wrapped singleton is still exactly one word
+	} else if st <= 0 {
+		st = 1
+	}
+	g := gcd(st, 1<<32)
+	r := mod(a, g)
+	hi := r + (1<<32-1-r)/g*g
+	if r == hi {
+		return SI{Lo: r, Hi: r}
+	}
+	return SI{Lo: r, Hi: hi, Stride: g}
+}
+
+// anchor returns an exact element the congruence is anchored at (elements
+// are ≡ anchor mod Stride): Lo when exact, else Hi. A bound at either
+// analysis infinity is a saturation sentinel, not an element; sets with
+// no exact bound have no anchor and report false.
 func (s SI) anchor() (int64, bool) {
-	if s.Lo > analysis.NegInf {
+	if s.Lo > analysis.NegInf && s.Lo < analysis.PosInf {
 		return s.Lo, true
 	}
-	if s.Hi < analysis.PosInf {
+	if s.Hi < analysis.PosInf && s.Hi > analysis.NegInf {
 		return s.Hi, true
 	}
 	return 0, false
@@ -150,9 +170,10 @@ func (s SI) Join(o SI) SI {
 	return SI{Lo: lo, Hi: hi, Stride: stride}.norm()
 }
 
-// WidenFrom jumps any endpoint that grew since prev to infinity, keeping
-// the stride: congruence is stable under loop iteration even when bounds
-// are not, and it is what separates interleaved field streams.
+// WidenFrom jumps any endpoint that grew since prev out of the value
+// window, which norm resolves to the anchor's full congruence class:
+// congruence is stable under loop iteration even when bounds are not,
+// and it is what separates interleaved field streams.
 func (s SI) WidenFrom(prev SI) SI {
 	if s.Lo < prev.Lo {
 		s.Lo = analysis.NegInf
@@ -233,8 +254,24 @@ func mulOvf(a, b int64) (int64, bool) {
 	return r, false
 }
 
-// Contains reports whether x is an element of the set.
+// Contains reports whether the set may contain the 32-bit word x
+// denotes. Both window readings of the word are checked: a wrapped set
+// spans the unsigned window, so the word written −16 lives there as
+// 2^32−16.
 func (s SI) Contains(x int64) bool {
+	if s.contains(x) {
+		return true
+	}
+	if x < 0 {
+		return s.contains(x + 1<<32)
+	}
+	if x >= 1<<31 {
+		return s.contains(x - 1<<32)
+	}
+	return false
+}
+
+func (s SI) contains(x int64) bool {
 	if x < s.Lo || x > s.Hi {
 		return false
 	}

@@ -13,14 +13,23 @@ func TestSINorm(t *testing.T) {
 	if s := SpanSI(0, 10, 4); s.Hi != 8 {
 		t.Errorf("Hi not aligned down: %v", s)
 	}
-	if s := SpanSI(-(1 << 33), 0, 1); s.Lo > analysis.NegInf {
-		t.Errorf("out-of-window Lo kept finite: %v", s)
+	// A set leaving the window wraps to the anchor's congruence class
+	// over the unsigned window — never a ray keeping the in-window bound,
+	// which would deny the wrapped values' re-entry into low memory.
+	if s := SpanSI(-(1 << 33), 0, 1); s != (SI{Lo: 0, Hi: 1<<32 - 1, Stride: 1}) {
+		t.Errorf("wrapped-below set = %v, want [0,2^32)", s)
 	}
-	if s := SpanSI(0, 1<<33, 1); s.Hi < analysis.PosInf {
-		t.Errorf("out-of-window Hi kept finite: %v", s)
+	if s := SpanSI(0, 1<<33, 1); s != (SI{Lo: 0, Hi: 1<<32 - 1, Stride: 1}) {
+		t.Errorf("wrapped-above set = %v, want [0,2^32)", s)
 	}
-	if s := (SI{Lo: analysis.NegInf, Hi: analysis.PosInf, Stride: 8}).norm(); s.Stride != 1 {
-		t.Errorf("anchorless stride kept: %v", s)
+	if s := SpanSI(0x18000000, 1<<33, 4); s != (SI{Lo: 0, Hi: 1<<32 - 4, Stride: 4}) {
+		t.Errorf("wrapped strided set = %v, want 4[0,2^32-4]", s)
+	}
+	if s := SpanSI(1<<33+4, 1<<33+4, 0); s != (SI{Lo: 4, Hi: 4}) {
+		t.Errorf("wrapped singleton = %v, want {4}", s)
+	}
+	if s := (SI{Lo: analysis.NegInf, Hi: analysis.PosInf, Stride: 8}).norm(); !s.IsTop() || s.Stride != 1 {
+		t.Errorf("anchorless set not Top: %v", s)
 	}
 }
 
@@ -35,10 +44,11 @@ func TestSIJoinStride(t *testing.T) {
 	if j.Stride != 2 {
 		t.Errorf("stride after misaligned join = %d, want 2", j.Stride)
 	}
-	// A widened set keeps its stride anchored at the finite bound.
+	// A widened set becomes its congruence class over the unsigned
+	// window: stride and residue survive, bounds do not.
 	w := SpanSI(0, 16, 8).Join(SpanSI(0, 24, 8)).WidenFrom(SpanSI(0, 16, 8))
-	if w.Stride != 8 || w.Hi < analysis.PosInf || w.Lo != 0 {
-		t.Errorf("widen lost stride or anchor: %v", w)
+	if w != (SI{Lo: 0, Hi: 1<<32 - 8, Stride: 8}) {
+		t.Errorf("widen lost stride or residue: %v, want 8[0,2^32-8]", w)
 	}
 }
 
@@ -81,6 +91,25 @@ func TestSIDisjointAccess(t *testing.T) {
 	a, b := SpanSI(0, analysis.PosInf, 8), SpanSI(4, analysis.PosInf, 8)
 	if a.DisjointAccess(4, b, 4) != b.DisjointAccess(4, a, 4) {
 		t.Error("DisjointAccess is not symmetric")
+	}
+}
+
+// TestSIWrapNoFalseDisjoint pins the wrap soundness hole: base+zext(i)·4
+// with unconstrained i wraps at 2^32 and its concrete addresses cover
+// every 4-aligned word — low globals included — so interval separation
+// from low memory must fail; only the congruence may still separate.
+func TestSIWrapNoFalseDisjoint(t *testing.T) {
+	idx4 := SpanSI(0, 1<<32-1, 1).MulConst(4)
+	ptr := idx4.Add(ConstSI(0x18000000))
+	if ptr.DisjointAccess(4, ConstSI(0x1000), 4) {
+		t.Fatalf("wrapped %v claimed disjoint from a low 4-aligned global", ptr)
+	}
+	// The residue that survives the wrap still separates: stride 8
+	// accesses at residue 0 never touch a 4-byte cell at residue 4.
+	idx8 := SpanSI(0, 1<<32-1, 1).MulConst(8)
+	ptr8 := idx8.Add(ConstSI(0x18000000))
+	if !ptr8.DisjointAccess(4, ConstSI(0x1004), 4) {
+		t.Fatalf("wrapped %v lost its congruence vs residue-4 cell", ptr8)
 	}
 }
 

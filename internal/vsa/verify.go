@@ -56,8 +56,8 @@ func Check(fr *FuncResult, rep *analysis.Report) CheckStats {
 			}
 			st.Checked++
 			size := accSize(v)
-			if offs.Lo <= analysis.NegInf || offs.Hi >= analysis.PosInf {
-				continue // unbounded offsets prove nothing either way
+			if offs.unbounded() {
+				continue // unbounded or wrapped offsets prove nothing either way
 			}
 			slotSize := int64(base.AllocSize)
 			if offs.Lo >= 0 && offs.Hi+size <= slotSize {
