@@ -51,13 +51,22 @@ step "examples" check_examples
 # Catches benchmarks that stop compiling or crash, and refreshes the
 # "current" numbers in BENCH_interp.json (the committed baseline is kept).
 # The second invocation refreshes the artifact's "vsa" section: value-set
-# analysis cost per function and promoted slots with/without the oracle.
+# analysis cost per function and promoted slots with/without the oracle;
+# the third its "static" section: cold-candidate discovery and admission
+# counts under partial trace coverage.
 check_bench() {
     go test -bench=. -benchtime=1x -run '^$' \
         ./internal/machine/ ./internal/irexec/ |
         go run ./cmd/benchjson -o BENCH_interp.json
     go run ./cmd/benchjson -vsa -o BENCH_interp.json
+    go run ./cmd/benchjson -static -o BENCH_interp.json
 }
 step "bench smoke" check_bench
+
+# Partial-coverage smoke: static recovery of untraced code end to end.
+# examples/coverage (run above) performs the differential check against the
+# original binary; this step re-runs the acceptance tests for the admission
+# rate, determinism across worker counts, and the cache-key split.
+step "partial-coverage smoke" go test -run 'TestStaticRecover' -count=1 ./internal/core/
 
 echo "ci: all checks passed"

@@ -11,11 +11,18 @@
 // without the alias oracle — and merges the result into the artifact's
 // "vsa" section.
 //
+// With -static the tool likewise ignores stdin and measures static
+// cold-code recovery under partial trace coverage: how many cold candidates
+// discovery finds, how many the VSA admission gate accepts, and each
+// function's analysis cost. The result lands in the artifact's "static"
+// section.
+//
 // Usage:
 //
 //	go test -bench=. -benchtime=1x ./... | benchjson -o BENCH_interp.json
 //	go test -bench=. ./... | benchjson -o BENCH_interp.json -set-baseline
 //	benchjson -vsa -o BENCH_interp.json
+//	benchjson -static -o BENCH_interp.json
 package main
 
 import (
@@ -42,16 +49,49 @@ type File struct {
 	Current  map[string]Metrics `json:"current"`
 	Speedup  map[string]float64 `json:"speedup,omitempty"`
 	VSA      []VSASection       `json:"vsa,omitempty"`
+	Static   []StaticSection    `json:"static,omitempty"`
+}
+
+// readArtifact loads an existing artifact, or an empty one if absent.
+func readArtifact(path string) (*File, error) {
+	var f File
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("existing %s: %v", path, err)
+		}
+	}
+	return &f, nil
+}
+
+// writeArtifact marshals and writes the artifact, logging what was merged.
+func writeArtifact(path string, f *File, what string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: %s -> %s\n", what, path)
+	return nil
 }
 
 func main() {
 	out := flag.String("o", "BENCH_interp.json", "output JSON file (merged if it exists)")
 	setBaseline := flag.Bool("set-baseline", false, "record this run as the baseline instead of the current numbers")
 	vsaFlag := flag.Bool("vsa", false, "measure the value-set analysis (cost and promoted slots) instead of reading bench output")
+	staticFlag := flag.Bool("static", false, "measure static cold-code recovery (candidates, admissions, analysis cost) instead of reading bench output")
 	flag.Parse()
 
 	if *vsaFlag {
 		if err := writeVSA(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *staticFlag {
+		if err := writeStatic(*out); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"fmt"
+
+	"wytiwyg/internal/bench"
+	"wytiwyg/internal/bench/progs"
+	"wytiwyg/internal/core"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/minicc/gen"
+)
+
+// The -static mode measures the static cold-code recovery stage: how many
+// candidates discovery finds when tracing covers only part of a program, how
+// many the value-set admission gate accepts, and what each function's
+// analysis costs. The numbers land in the artifact's "static" section.
+
+// dispatchSrc is the measured partial-coverage workload: a function-pointer
+// dispatch traced on a single operation, leaving three operations cold — two
+// statically verifiable, one (an escaping local) forever behind a trap stub.
+const dispatchSrc = `
+extern int input_int(int i);
+extern int printf(char *fmt, ...);
+
+int op_add(int a, int b) { return a + b; }
+
+int op_mul(int a, int b) { return a * b; }
+
+int op_tab(int a, int b) {
+	int t[4];
+	t[0] = a; t[1] = b; t[2] = a + b; t[3] = a - b;
+	return t[0] + t[1] + t[2] + t[3];
+}
+
+int *leak;
+int op_leak(int a, int b) {
+	int x;
+	x = a + b;
+	leak = &x;
+	return *leak + b;
+}
+
+int apply(fnptr f, int a, int b) { return f(a, b); }
+
+fnptr ops[4];
+
+int main() {
+	int op, a, b, r;
+	ops[0] = &op_add;
+	ops[1] = &op_mul;
+	ops[2] = &op_tab;
+	ops[3] = &op_leak;
+	op = input_int(0);
+	a = input_int(1);
+	b = input_int(2);
+	r = apply(ops[op & 3], a, b);
+	printf("r=%d\n", r);
+	return r & 63;
+}
+`
+
+// staticScale is the ref-input scale for the corpus slice (small — the
+// discovery and admission costs are trace-size independent).
+const staticScale = 4
+
+// StaticFunc is one cold candidate's admission verdict and analysis cost.
+type StaticFunc struct {
+	Func       string  `json:"func"`
+	Admitted   bool    `json:"admitted"`
+	Reason     string  `json:"reason,omitempty"`
+	AnalysisMs float64 `json:"analysis_ms"`
+}
+
+// StaticSection is one program's static-coverage measurements.
+type StaticSection struct {
+	Program string `json:"program"`
+	// Seeds counts the cold entry addresses discovery started from;
+	// Candidates the plausible functions among them; Admitted and Rejected
+	// split the candidates by the VSA admission verdict. Seeds minus
+	// Candidates were refused by the disassembly pass itself.
+	Seeds      int          `json:"seeds"`
+	Candidates int          `json:"candidates"`
+	Admitted   int          `json:"admitted"`
+	Rejected   int          `json:"rejected"`
+	Funcs      []StaticFunc `json:"funcs,omitempty"`
+}
+
+// staticSections builds the artifact's "static" section: the dispatch
+// workload traced on one operation, plus the VSA corpus slice traced on the
+// train input only (the ref input stays unseen, leaving whatever code it
+// alone exercises cold).
+func staticSections() ([]StaticSection, error) {
+	out := make([]StaticSection, 0, len(vsaPrograms)+1)
+	sec, err := staticOne("dispatch", dispatchSrc, []machine.Input{{Ints: []int32{0, 5, 7}}})
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+	out = append(out, sec)
+	for _, name := range vsaPrograms {
+		p, ok := progs.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown static program %q", name)
+		}
+		p = bench.Scaled(p, staticScale)
+		sec, err := staticOne(p.Name, p.Src, []machine.Input{p.Train})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out = append(out, sec)
+	}
+	return out, nil
+}
+
+// staticOne lifts one program with static recovery from the given partial
+// trace and collects the discovery and admission counters.
+func staticOne(name, src string, inputs []machine.Input) (StaticSection, error) {
+	img, err := gen.Build(src, gen.GCC12O3, name)
+	if err != nil {
+		return StaticSection{}, fmt.Errorf("build: %w", err)
+	}
+	pl, err := refined(img, progs.Program{Name: name, Src: src, Train: inputs[0], Ref: inputs[len(inputs)-1]},
+		core.Options{Lint: core.LintWarn, StaticRecover: true})
+	if err != nil {
+		return StaticSection{}, err
+	}
+	sec := StaticSection{Program: name}
+	if pl.Cold == nil {
+		return sec, nil
+	}
+	sec.Seeds = pl.Cold.Seeds
+	sec.Candidates = len(pl.ColdStats)
+	for _, st := range pl.ColdStats {
+		if st.Admitted {
+			sec.Admitted++
+		}
+		sec.Funcs = append(sec.Funcs, StaticFunc{
+			Func:       st.Func,
+			Admitted:   st.Admitted,
+			Reason:     st.Reason,
+			AnalysisMs: round2(st.Elapsed.Seconds() * 1000),
+		})
+	}
+	sec.Rejected = sec.Seeds - sec.Admitted
+	return sec, nil
+}
+
+// writeStatic merges a freshly measured "static" section into the artifact,
+// leaving the other sections untouched.
+func writeStatic(path string) error {
+	sections, err := staticSections()
+	if err != nil {
+		return err
+	}
+	f, err := readArtifact(path)
+	if err != nil {
+		return err
+	}
+	f.Static = sections
+	return writeArtifact(path, f, fmt.Sprintf("static section for %d programs", len(sections)))
+}

@@ -48,6 +48,7 @@ func lintMain(args []string) int {
 	inputsFlag := fs.String("inputs", "", "comma-separated integer inputs for tracing")
 	jsonOut := fs.Bool("json", false, "machine-readable JSON output")
 	vsaFlag := fs.Bool("vsa", false, "add the value-set analysis verifier's findings to the report")
+	staticFlag := fs.Bool("static-recover", false, "statically recover untraced functions before linting")
 	jobs := fs.Int("j", 0, "refinement worker pool size (0 = one per CPU)")
 	cacheOn := fs.Bool("cache", false, "memoize refinement results in the on-disk cache")
 	cacheDir := fs.String("cache-dir", "", "cache directory (implies -cache)")
@@ -96,30 +97,36 @@ func lintMain(args []string) int {
 	}
 
 	type jsonEntry struct {
-		Program string          `json:"program"`
-		Report  json.RawMessage `json:"report"`
+		Program  string          `json:"program"`
+		Report   json.RawMessage `json:"report"`
+		Degraded []degradedFn    `json:"degraded,omitempty"`
 	}
 	var entries []jsonEntry
 	errors := 0
 	for _, tgt := range targets {
 		rep, err := lintOne(tgt, prof,
-			core.Options{Jobs: *jobs, Lint: core.LintWarn, Cache: cache, VSA: *vsaFlag})
+			core.Options{Jobs: *jobs, Lint: core.LintWarn, Cache: cache, VSA: *vsaFlag,
+				StaticRecover: *staticFlag})
 		if err != nil {
 			fail("%s: %v", tgt.name, err)
 		}
 		errors += rep.Errors()
+		degraded := degradedFns(rep)
 		if *jsonOut {
 			raw, err := rep.JSON()
 			if err != nil {
 				fail("encode report: %v", err)
 			}
-			entries = append(entries, jsonEntry{Program: tgt.name, Report: raw})
+			entries = append(entries, jsonEntry{Program: tgt.name, Report: raw, Degraded: degraded})
 			continue
 		}
 		if len(targets) > 1 {
 			fmt.Printf("== %s\n", tgt.name)
 		}
 		fmt.Print(rep.String())
+		for _, d := range degraded {
+			fmt.Printf("degraded: %s: %s\n", d.Func, d.Reason)
+		}
 	}
 	if *jsonOut {
 		out, err := json.MarshalIndent(entries, "", "  ")
@@ -134,6 +141,25 @@ func lintMain(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// degradedFn is one trap-stubbed function surfaced in lint output.
+type degradedFn struct {
+	Func   string `json:"func"`
+	Reason string `json:"reason"`
+}
+
+// degradedFns extracts the degradations from a report's pipeline warnings.
+// Reading them back out of the report (rather than Pipeline.Degraded) keeps
+// cache-served runs — which carry only the layout and the report — accurate.
+func degradedFns(rep *analysis.Report) []degradedFn {
+	var out []degradedFn
+	for _, d := range rep.Diags {
+		if d.Check == "pipeline" && strings.Contains(d.Msg, "degraded to a trap stub") {
+			out = append(out, degradedFn{Func: d.Func, Reason: d.Msg})
+		}
+	}
+	return out
 }
 
 // lintOne builds, lifts and refines one program with linting enabled and

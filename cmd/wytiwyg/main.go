@@ -33,6 +33,7 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -45,6 +46,7 @@ import (
 	"wytiwyg/internal/core"
 	"wytiwyg/internal/machine"
 	"wytiwyg/internal/minicc/gen"
+	"wytiwyg/internal/obj"
 	"wytiwyg/internal/opt"
 	"wytiwyg/internal/profiling"
 	"wytiwyg/internal/sanitize"
@@ -63,6 +65,7 @@ func main() {
 	sanitizeFlag := flag.Bool("sanitize", false, "retrofit stack-bounds checks onto the recompiled binary")
 	lintMode := flag.String("lint", "warn", "post-refinement verification: off, warn, fail")
 	vsaFlag := flag.Bool("vsa", false, "run the value-set analysis stage: verify the layout and enable alias-oracle optimizations")
+	staticFlag := flag.Bool("static-recover", false, "statically recover untraced functions, admitting only VSA-verified layouts")
 	debugPasses := flag.Bool("debug-passes", false, "re-verify IR invariants between every optimization pass")
 	jobs := flag.Int("j", 0, "refinement worker pool size (0 = one per CPU)")
 	cacheOn := flag.Bool("cache", false, "memoize refinement results in the on-disk cache")
@@ -133,7 +136,7 @@ func main() {
 	fmt.Printf("native run: exit=%d cycles=%d\n", nat.ExitCode, nat.Cycles)
 
 	p, err := core.LiftBinaryOpts(img, inputs,
-		core.Options{Jobs: *jobs, Lint: lint, Cache: cache, VSA: *vsaFlag})
+		core.Options{Jobs: *jobs, Lint: lint, Cache: cache, VSA: *vsaFlag, StaticRecover: *staticFlag})
 	if err != nil {
 		fail("lift: %v", err)
 	}
@@ -161,6 +164,9 @@ func main() {
 	}
 	if *vsaFlag {
 		printVSAStats(p.VSAStats, *timings)
+	}
+	if *staticFlag {
+		printStaticStats(p, *timings)
 	}
 	if *timings {
 		printTimings(p.Times)
@@ -235,6 +241,7 @@ func main() {
 	fmt.Printf("recovered run: exit=%d cycles=%d  functionality: %s\n", rec.ExitCode, rec.Cycles, status)
 	fmt.Printf("normalized runtime: %.3f (recovered / input)\n",
 		float64(rec.Cycles)/float64(nat.Cycles))
+	printStubRate(out, inputs)
 	if status != "MATCH" {
 		stopProf()
 		os.Exit(1)
@@ -260,6 +267,69 @@ func printVSAStats(stats []core.VSAStat, showTime bool) {
 		fmt.Printf(" in %v", elapsed.Round(time.Microsecond))
 	}
 	fmt.Println()
+}
+
+// printStaticStats summarizes the static cold-code recovery stage: the seed
+// and candidate counts, each candidate's admission verdict and every
+// rejection with its reason. Analysis wall time appears only under -timings
+// (the determinism contract, as with printVSAStats).
+func printStaticStats(p *core.Pipeline, showTime bool) {
+	if p.Cold == nil {
+		return
+	}
+	admitted := 0
+	var elapsed time.Duration
+	for _, st := range p.ColdStats {
+		if st.Admitted {
+			admitted++
+		}
+		elapsed += st.Elapsed
+	}
+	fmt.Printf("static recovery: %d cold seed(s), %d candidate(s) lifted, %d admitted",
+		p.Cold.Seeds, len(p.ColdStats), admitted)
+	if showTime {
+		fmt.Printf(" in %v", elapsed.Round(time.Microsecond))
+	}
+	fmt.Println()
+	for _, st := range p.ColdStats {
+		if st.Admitted {
+			fmt.Printf("  admitted %-20s %d frame access(es) verified\n", st.Func, st.Checked)
+		} else {
+			fmt.Printf("  degraded %-20s %s\n", st.Func, st.Reason)
+		}
+	}
+	for _, r := range p.Cold.Rejected {
+		fmt.Printf("  rejected %-20s %s\n", r.Name, r.Reason)
+	}
+}
+
+// printStubRate reports how much of the validation input set escapes the
+// recovered binary's coverage: the fraction of inputs whose run reached a
+// trap stub, and which stubbed functions were hit.
+func printStubRate(out *obj.Image, inputs []machine.Input) {
+	trapped := 0
+	hits := make(map[string]uint64)
+	for _, in := range inputs {
+		r, err := machine.Execute(out, in, io.Discard)
+		if err != nil {
+			continue
+		}
+		if len(r.StubHits) > 0 {
+			trapped++
+		}
+		for fn, n := range r.StubHits {
+			hits[fn] += n
+		}
+	}
+	fmt.Printf("stub-hit rate: %d/%d validation input(s) reached a trap stub\n", trapped, len(inputs))
+	fns := make([]string, 0, len(hits))
+	for fn := range hits {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	for _, fn := range fns {
+		fmt.Printf("  stub hit: %s (%d)\n", fn, hits[fn])
+	}
 }
 
 func fail(format string, args ...any) {

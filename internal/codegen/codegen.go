@@ -142,6 +142,10 @@ type fnCG struct {
 	// result spreading.
 	callExtracts map[*ir.Value][]*ir.Value
 
+	// stubs counts the trap stubs emitted so far, numbering their
+	// "__stub$" symbols.
+	stubs int
+
 	// tiles maps load/store address values to scaled-index operands;
 	// skipped marks tile interiors that are never emitted; tileRefs are
 	// values tiles re-read at the memory op (they must keep real homes).

@@ -432,12 +432,22 @@ func (c *fnCG) emitValue(blk *ir.Block, v *ir.Value, bi int) error {
 		}
 		b.Jmp(c.epilogue)
 	case ir.OpTrap:
-		b.MovI(isa.EAX, 254)
-		b.Halt()
+		c.emitStub()
 	default:
 		return fmt.Errorf("cannot lower %s", v.Op)
 	}
 	return nil
+}
+
+// emitStub emits a trap stub (exit 254), planting a "__stub$" symbol on it
+// so the runtime can attribute the trap to its owning function (the
+// stub-hit counter behind the coverage report).
+func (c *fnCG) emitStub() {
+	b := c.b()
+	b.Func(fmt.Sprintf("__stub$%s$%d", c.f.Name, c.stubs))
+	c.stubs++
+	b.MovI(isa.EAX, 254)
+	b.Halt()
 }
 
 // emitCall pushes args right-to-left, performs the call, cleans the stack,
@@ -509,8 +519,7 @@ func (c *fnCG) emitCallInd(v *ir.Value) error {
 		b.Label(lbl)
 	}
 	// Untraced target: trap.
-	b.MovI(isa.EAX, 254)
-	b.Halt()
+	c.emitStub()
 	b.Label(join)
 	if n := int32(4 * len(args)); n > 0 {
 		b.BinI(isa.ADDI, isa.ESP, n)

@@ -1,0 +1,242 @@
+// Package coldrec statically recovers untraced ("cold") code. The dynamic
+// pipeline only lifts what the traces executed; every other path in the
+// recompiled binary is a trap stub. This package is the static half of the
+// hybrid-coverage story (ROADMAP "Hybrid static+dynamic coverage"): starting
+// from statically visible call targets, taken function addresses and unexecuted
+// symbols, it recursively disassembles candidate functions from the binary
+// image with a Datalog-Disassembly-style inference pass — instruction
+// plausibility, jump-table resolution, invalid-fallthrough and overlap
+// rejection — and merges the survivors into the dynamic CFG so the existing
+// lifter can lift them alongside the traced functions.
+//
+// Discovery is deliberately conservative: a candidate that cannot be proven
+// liftable (an unresolved indirect jump, a variadic external call whose
+// argument count only tracing could observe, code shared with another
+// candidate or with traced blocks) is rejected with a recorded reason and its
+// callers cascade-reject with it. Rejection is never fatal — a rejected
+// target simply stays behind the same trap stub it would have had without
+// static recovery. Admission of the survivors' stack layouts is a separate,
+// later judgment: core runs internal/vsa over each lifted cold function and
+// degrades those whose frame accesses it cannot prove in-bounds and
+// non-escaping (the fallback ladder traced → static-verified → trap stub).
+package coldrec
+
+import (
+	"fmt"
+	"sort"
+
+	"wytiwyg/internal/funcrec"
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/obj"
+	"wytiwyg/internal/tracer"
+)
+
+// MaxBody bounds a candidate's instruction count; larger bodies are rejected
+// (runaway disassembly of non-code).
+const MaxBody = 4096
+
+// MaxTable bounds the entry count of a recognized jump table.
+const MaxTable = 1024
+
+// Candidate is one statically recovered cold function that passed the
+// plausibility pass.
+type Candidate struct {
+	// Entry is the function's entry address.
+	Entry uint32
+	// Name is the symbol name at Entry, or fn_<hex>.
+	Name string
+	// Blocks holds the constructed basic blocks, keyed by start address.
+	Blocks map[uint32]*tracer.Block
+	// Starts lists the block start addresses, sorted ascending.
+	Starts []uint32
+	// AddressTaken marks entries whose address appears as an immediate
+	// somewhere in the code section (a statically visible function pointer).
+	AddressTaken bool
+	// LiveIn marks the registers that may be read before being written on
+	// some path from the entry — the static argument estimate seeded into
+	// the saved-register refinement.
+	LiveIn [isa.NumRegs]bool
+	// TailSites lists block-end addresses classified as tail calls.
+	TailSites []uint32
+	// CallRSites lists the addresses of indirect call instructions in the
+	// body; they dispatch over the address-taken entry set.
+	CallRSites []uint32
+	// Instrs counts the body's instructions.
+	Instrs int
+
+	// calls lists internal direct-call and tail-call target entries, for
+	// cascade rejection.
+	calls []uint32
+}
+
+// Rejection records one candidate the plausibility pass refused, with the
+// reason (surfaced in reports; the target keeps its trap stub).
+type Rejection struct {
+	// Entry is the rejected candidate's entry address.
+	Entry uint32
+	// Name is the symbol name at Entry, or fn_<hex>.
+	Name string
+	// Reason says why the candidate was rejected.
+	Reason string
+}
+
+// Result is the outcome of static discovery over one image.
+type Result struct {
+	// Cands lists the accepted candidates, sorted by entry address.
+	Cands []*Candidate
+	// Rejected lists refused candidates, sorted by entry address.
+	Rejected []Rejection
+	// Seeds counts the distinct cold entry addresses discovery started from.
+	Seeds int
+	// Dispatch lists the recovered address-taken entries — traced functions
+	// and accepted candidates — that indirect calls may reach, sorted.
+	Dispatch []uint32
+
+	log mergeLog
+}
+
+// ByEntry returns the accepted candidate at an entry, or nil.
+func (r *Result) ByEntry(entry uint32) *Candidate {
+	for _, c := range r.Cands {
+		if c.Entry == entry {
+			return c
+		}
+	}
+	return nil
+}
+
+// nameAt mirrors funcrec's naming: the symbol at the entry or fn_<hex>.
+func nameAt(img *obj.Image, entry uint32) string {
+	if n, ok := img.SymName(entry); ok {
+		return n
+	}
+	return fmt.Sprintf("fn_%x", entry)
+}
+
+// Discover scans the image for cold function candidates, validates each with
+// the plausibility pass, and resolves the cascade: candidates calling or
+// tail-calling a rejected candidate are rejected with it, and indirect calls
+// require a non-empty recovered dispatch set. The result depends only on the
+// image and the trace, never on iteration order.
+func Discover(img *obj.Image, t *tracer.Trace, rec *funcrec.Result) *Result {
+	d := &scanner{img: img, t: t, rec: rec, n: len(img.Code)}
+	seeds, taken := d.scanSeeds()
+
+	// The full entry set — traced entries plus every cold seed — fixes the
+	// function-boundary classification (tail calls, branches into other
+	// functions) before any candidate is built.
+	all := make(map[uint32]bool, len(seeds)+len(rec.ByEntry))
+	for e := range rec.ByEntry {
+		all[e] = true
+	}
+	var cold []uint32
+	for e := range seeds {
+		all[e] = true
+		if rec.ByEntry[e] == nil {
+			cold = append(cold, e)
+		}
+	}
+	sort.Slice(cold, func(i, j int) bool { return cold[i] < cold[j] })
+
+	res := &Result{Seeds: len(cold)}
+	cands := make(map[uint32]*Candidate, len(cold))
+	rejected := make(map[uint32]string)
+	for _, e := range cold {
+		c, reason := d.build(e, all)
+		if reason != "" {
+			rejected[e] = reason
+			continue
+		}
+		c.AddressTaken = taken[e]
+		cands[e] = c
+	}
+
+	// Overlap resolution: candidates sharing any instruction are all
+	// rejected (single ownership, mirroring funcrec's split discipline —
+	// but without a dynamic trace to arbitrate, sharing is a stub).
+	owners := make(map[uint32]int)
+	for _, c := range cands {
+		for _, pc := range c.bodyPCs() {
+			owners[pc]++
+		}
+	}
+	for _, e := range cold {
+		c := cands[e]
+		if c == nil {
+			continue
+		}
+		for _, pc := range c.bodyPCs() {
+			if owners[pc] > 1 {
+				rejected[e] = fmt.Sprintf("code at 0x%x shared with another candidate", pc)
+				delete(cands, e)
+				break
+			}
+		}
+	}
+
+	// Cascade fixpoint: rejecting a callee rejects its static callers, and
+	// shrinking the dispatch set can invalidate indirect calls.
+	for changed := true; changed; {
+		changed = false
+		dispatch := dispatchSet(rec, cands, taken)
+		for _, e := range cold {
+			c := cands[e]
+			if c == nil {
+				continue
+			}
+			reason := ""
+			for _, tgt := range c.calls {
+				if rec.ByEntry[tgt] == nil && cands[tgt] == nil {
+					reason = fmt.Sprintf("calls rejected candidate 0x%x (%s)", tgt, rejected[tgt])
+					break
+				}
+			}
+			if reason == "" && len(c.CallRSites) > 0 && len(dispatch) == 0 {
+				reason = "indirect call with no recovered targets"
+			}
+			if reason != "" {
+				rejected[e] = reason
+				delete(cands, e)
+				changed = true
+			}
+		}
+	}
+
+	for _, e := range cold {
+		if c := cands[e]; c != nil {
+			res.Cands = append(res.Cands, c)
+		} else {
+			res.Rejected = append(res.Rejected, Rejection{
+				Entry: e, Name: nameAt(img, e), Reason: rejected[e],
+			})
+		}
+	}
+	res.Dispatch = dispatchSet(rec, cands, taken)
+	return res
+}
+
+// dispatchSet collects the sorted address-taken entries that resolve to a
+// recovered function: traced entries and accepted candidates.
+func dispatchSet(rec *funcrec.Result, cands map[uint32]*Candidate, taken map[uint32]bool) []uint32 {
+	var out []uint32
+	for e := range taken {
+		if rec.ByEntry[e] != nil || cands[e] != nil {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// bodyPCs returns every instruction address of the candidate, sorted.
+func (c *Candidate) bodyPCs() []uint32 {
+	var out []uint32
+	for _, start := range c.Starts {
+		b := c.Blocks[start]
+		for pc := b.Start; pc <= b.End; pc += isa.InstrSize {
+			out = append(out, pc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,128 @@
+package coldrec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/obj"
+)
+
+// tableWindow bounds the backward scan for the jump-table idiom.
+const tableWindow = 8
+
+// resolveTable recovers the target set of the indirect jump at pc by
+// matching the bounded-jump-table idiom the compiler emits for dense
+// switches:
+//
+//	cmpi  idx, count        ; bound check
+//	jae   default
+//	load4 tmp, table(,idx,4) ; absolute table base in the data section
+//	jmpr  tmp
+//
+// The scan walks backward from the jmpr, first to the load that defines the
+// jump register (failing on any other definition or on intervening control
+// flow), then past the guard branch to the cmpi that bounds the index
+// register. Without a provable bound the table extent is unknown and the
+// candidate is rejected — an unbounded read of the data section could fabricate
+// targets. The recovered bound must keep the table inside the data section,
+// and every entry must be a valid code address. The guard is assumed to
+// dominate the load (true for the idiom); the lifted switch still traps on
+// any value outside the recovered set, so a violated assumption degrades to
+// a trap, never to silent misexecution.
+func (d *scanner) resolveTable(pc, entry uint32) ([]uint32, string) {
+	jmpr := &d.img.Code[obj.IndexOf(pc)]
+
+	// Phase 1: find the table load defining the jump register.
+	var load *isa.Instr
+	cur := pc
+	for steps := 0; steps < tableWindow; steps++ {
+		if cur == entry || cur == isa.CodeBase {
+			break
+		}
+		cur -= isa.InstrSize
+		in := &d.img.Code[obj.IndexOf(cur)]
+		if in.Op.IsControl() {
+			break // a join point: the defining load is not unique
+		}
+		if in.Def() == jmpr.Src {
+			load = in
+			break
+		}
+	}
+	if load == nil || load.Op != isa.LOAD || load.Size != 4 ||
+		load.Mem.HasBase() || !load.Mem.HasIndex() || load.Mem.Scale != 4 {
+		return nil, fmt.Sprintf("indirect jump at 0x%x does not match the jump-table idiom", pc)
+	}
+	idx := load.Mem.Index
+	tableAddr := uint32(load.Mem.Disp)
+
+	// Phase 2: find the bound guard: the first control instruction above the
+	// load must be an unsigned-upper branch, immediately preceded (modulo
+	// non-defining instructions) by a cmpi on the index register.
+	var bound int64 = -1
+	for steps := 0; steps < tableWindow; steps++ {
+		if cur == entry || cur == isa.CodeBase {
+			break
+		}
+		cur -= isa.InstrSize
+		in := &d.img.Code[obj.IndexOf(cur)]
+		if in.Op == isa.JCC && (in.Cond == isa.CondAE || in.Cond == isa.CondA) {
+			cmp, reason := d.findGuardCmp(cur, entry, idx)
+			if reason != "" {
+				return nil, reason
+			}
+			bound = int64(cmp.Imm)
+			if in.Cond == isa.CondA {
+				bound++
+			}
+			break
+		}
+		if in.Op.IsControl() || in.Def() == idx {
+			break
+		}
+	}
+	if bound < 0 {
+		return nil, fmt.Sprintf("indirect jump at 0x%x has no provable index bound", pc)
+	}
+	if bound == 0 || bound > MaxTable {
+		return nil, fmt.Sprintf("indirect jump at 0x%x: implausible table bound %d", pc, bound)
+	}
+
+	// Phase 3: read the table.
+	off := int64(tableAddr) - int64(isa.DataBase)
+	if off < 0 || off+4*bound > int64(len(d.img.Data)) {
+		return nil, fmt.Sprintf("jump table at 0x%x extends outside the data section", tableAddr)
+	}
+	var targets []uint32
+	for k := int64(0); k < bound; k++ {
+		tgt := binary.LittleEndian.Uint32(d.img.Data[off+4*k:])
+		if !isa.IsCodeAddr(tgt, d.n) {
+			return nil, fmt.Sprintf("jump-table entry %d at 0x%x is not a code address (0x%x)",
+				k, tableAddr, tgt)
+		}
+		targets = append(targets, tgt)
+	}
+	return sortedUnique(targets), ""
+}
+
+// findGuardCmp scans backward from the guard branch for the cmpi that set
+// its flags, requiring it to compare the table index register and to reach
+// the branch with the index unmodified.
+func (d *scanner) findGuardCmp(branch, entry uint32, idx isa.Reg) (*isa.Instr, string) {
+	cur := branch
+	for steps := 0; steps < tableWindow; steps++ {
+		if cur == entry || cur == isa.CodeBase {
+			break
+		}
+		cur -= isa.InstrSize
+		in := &d.img.Code[obj.IndexOf(cur)]
+		if in.Op == isa.CMPI && in.Dst == idx {
+			return in, ""
+		}
+		if in.Op.IsControl() || in.Op == isa.CMP || in.Op == isa.TEST || in.Def() == idx {
+			break
+		}
+	}
+	return nil, fmt.Sprintf("table guard at 0x%x does not bound the index register %s", branch, idx)
+}

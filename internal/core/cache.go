@@ -16,7 +16,7 @@ import (
 // of every cache key: bumping it when a refinement, the lifter or a
 // verification check changes behaviour invalidates all prior entries
 // without touching the cache on disk.
-const PassVersion = "refine-2"
+const PassVersion = "refine-3"
 
 // encodeInputs serializes an input set deterministically for hashing.
 func encodeInputs(inputs []machine.Input) []byte {
@@ -60,16 +60,21 @@ func encodeImage(img *obj.Image) []byte {
 // ProgramKey is the content address of a whole binary's refinement outcome:
 // it covers the pass version, the verification mode (an entry records the
 // report of the mode it ran under), whether the value-set analysis stage
-// ran (its findings are part of the report), the input set and the full
-// image.
-func ProgramKey(img *obj.Image, inputs []machine.Input, lint LintMode, vsa bool) refcache.Key {
+// ran (its findings are part of the report), whether static cold-code
+// recovery ran (it changes the recovered layout and the report), the input
+// set and the full image.
+func ProgramKey(img *obj.Image, inputs []machine.Input, lint LintMode, vsa, static bool) refcache.Key {
 	vb := byte(0)
 	if vsa {
 		vb = 1
 	}
+	sb := byte(0)
+	if static {
+		sb = 1
+	}
 	return refcache.NewKey("program",
 		[]byte(PassVersion),
-		[]byte{byte(lint), vb},
+		[]byte{byte(lint), vb, sb},
 		encodeInputs(inputs),
 		encodeImage(img),
 	)
@@ -77,7 +82,7 @@ func ProgramKey(img *obj.Image, inputs []machine.Input, lint LintMode, vsa bool)
 
 // programKey is ProgramKey over the pipeline's own image and inputs.
 func (p *Pipeline) programKey() refcache.Key {
-	return ProgramKey(p.Img, p.Inputs, p.Lint, p.VSA)
+	return ProgramKey(p.Img, p.Inputs, p.Lint, p.VSA, p.StaticRecover)
 }
 
 // funcBytes serializes one recovered function's machine code: each traced
@@ -171,11 +176,12 @@ func RecoverLayout(img *obj.Image, inputs []machine.Input, opts Options) (*Pipel
 		inputs = []machine.Input{{}}
 	}
 	if opts.Cache != nil {
-		if e, ok := opts.Cache.GetProgram(ProgramKey(img, inputs, opts.Lint, opts.VSA)); ok {
+		key := ProgramKey(img, inputs, opts.Lint, opts.VSA, opts.StaticRecover)
+		if e, ok := opts.Cache.GetProgram(key); ok {
 			p := &Pipeline{
 				Img: img, Inputs: inputs,
 				Jobs: opts.Jobs, Lint: opts.Lint, Cache: opts.Cache,
-				VSA: opts.VSA, FromCache: true,
+				VSA: opts.VSA, StaticRecover: opts.StaticRecover, FromCache: true,
 			}
 			prog, rep := refcache.LayoutFromProgram(e)
 			p.Recovered = prog

@@ -20,9 +20,11 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"wytiwyg/internal/analysis"
+	"wytiwyg/internal/coldrec"
 	"wytiwyg/internal/funcrec"
 	"wytiwyg/internal/ir"
 	"wytiwyg/internal/irexec"
@@ -35,6 +37,7 @@ import (
 	"wytiwyg/internal/refcache"
 	"wytiwyg/internal/regsave"
 	"wytiwyg/internal/stackref"
+	"wytiwyg/internal/staticsym"
 	"wytiwyg/internal/symbolize"
 	"wytiwyg/internal/tracer"
 	"wytiwyg/internal/varargs"
@@ -68,6 +71,28 @@ type Options struct {
 	// over-approximation of its pointer values, and the per-function
 	// results are kept for the optimizer's alias oracle.
 	VSA bool
+	// StaticRecover enables the cold-code recovery stage: functions the
+	// traces never executed are statically disassembled, lifted alongside
+	// the traced code, and admitted with a recovered layout only when VSA
+	// proves every frame access safe (otherwise they degrade to trap
+	// stubs, like any other untraced path).
+	StaticRecover bool
+}
+
+// ColdStat records one cold candidate's admission outcome.
+type ColdStat struct {
+	// Func is the function name; Entry its address.
+	Func  string
+	Entry uint32
+	// Admitted reports whether the function kept its recovered layout.
+	Admitted bool
+	// Reason explains a rejection (empty when admitted).
+	Reason string
+	// Elapsed is the admission analysis's wall-clock cost.
+	Elapsed time.Duration
+	// Checked, CrossSlot and Unbounded mirror vsa.CheckStats for the
+	// admission run.
+	Checked, CrossSlot, Unbounded int
 }
 
 // VSAStat records one function's value-set analysis outcome.
@@ -103,6 +128,13 @@ type Pipeline struct {
 	Lint LintMode
 	// VSA enables the post-symbolization value-set analysis stage.
 	VSA bool
+	// StaticRecover enables the cold-code recovery stage (see Options).
+	StaticRecover bool
+	// Cold is the static discovery result (nil unless StaticRecover).
+	Cold *coldrec.Result
+	// ColdStats holds the per-candidate admission outcomes in entry order
+	// (nil until the admission stage has run).
+	ColdStats []ColdStat
 	// VSAStats holds the per-function value-set analysis outcomes, in
 	// module function order (nil until the VSA stage has run).
 	VSAStats []VSAStat
@@ -166,7 +198,7 @@ func LiftBinaryOpts(img *obj.Image, inputs []machine.Input, opts Options) (*Pipe
 		inputs = []machine.Input{{}}
 	}
 	p := &Pipeline{Img: img, Inputs: inputs, Jobs: opts.Jobs, Lint: opts.Lint,
-		Cache: opts.Cache, VSA: opts.VSA}
+		Cache: opts.Cache, VSA: opts.VSA, StaticRecover: opts.StaticRecover}
 	err := p.timed("trace", func() error {
 		p.Trace = tracer.New(img)
 		return p.Trace.RunAllJobs(inputs, io.Discard, p.jobs())
@@ -190,8 +222,32 @@ func LiftBinaryOpts(img *obj.Image, inputs []machine.Input, opts Options) (*Pipe
 	if err != nil {
 		return nil, fmt.Errorf("core: function recovery: %w", err)
 	}
+	if p.StaticRecover {
+		_ = p.timed("coldrec", func() error {
+			p.Cold = coldrec.Discover(img, p.Trace, p.Rec)
+			coldrec.Merge(p.CFG, p.Rec, p.Cold)
+			return nil
+		})
+	}
 	err = p.timed("lift", func() error {
 		mod, err := lifter.Lift(img, p.CFG, p.Rec)
+		if err != nil && p.Cold != nil && len(p.Cold.Cands) > 0 {
+			// All-or-nothing safety net: if the merged module does not
+			// lift, roll the cold code back, reject every candidate with
+			// the cause, and lift the traced-only module.
+			coldrec.Unmerge(p.CFG, p.Rec, p.Cold)
+			for _, c := range p.Cold.Cands {
+				p.Cold.Rejected = append(p.Cold.Rejected, coldrec.Rejection{
+					Entry: c.Entry, Name: c.Name,
+					Reason: fmt.Sprintf("lifting the merged module failed: %v", err),
+				})
+			}
+			p.Cold.Cands = nil
+			sort.Slice(p.Cold.Rejected, func(i, j int) bool {
+				return p.Cold.Rejected[i].Entry < p.Cold.Rejected[j].Entry
+			})
+			mod, err = lifter.Lift(img, p.CFG, p.Rec)
+		}
 		p.Mod = mod
 		return err
 	})
@@ -199,6 +255,14 @@ func LiftBinaryOpts(img *obj.Image, inputs []machine.Input, opts Options) (*Pipe
 		return nil, fmt.Errorf("core: lifting: %w", err)
 	}
 	return p, nil
+}
+
+// coldCands returns the accepted cold candidates, or nil.
+func (p *Pipeline) coldCands() []*coldrec.Candidate {
+	if p.Cold == nil {
+		return nil
+	}
+	return p.Cold.Cands
 }
 
 // forkable is implemented by refinement tracers whose observations can be
@@ -264,6 +328,14 @@ func (p *Pipeline) RefineRegSave() error {
 	tr := regsave.NewTracer()
 	if err := p.runAll(tr); err != nil {
 		return err
+	}
+	// Cold functions never execute during refinement runs (the replayed
+	// inputs are exactly the traced ones), so their register classes come
+	// from the static liveness estimate instead of traced evidence.
+	for _, c := range p.coldCands() {
+		if f := p.Mod.FuncAt(c.Entry); f != nil {
+			tr.SeedStatic(f, c.LiveIn)
+		}
 	}
 	p.RegClasses = tr.Classify(p.Mod)
 	if err := regsave.Apply(p.Mod, p.RegClasses); err != nil {
@@ -372,11 +444,13 @@ func (p *Pipeline) RefineSymbolize() (*layout.Program, error) {
 		return nil, err
 	}
 	p.VarResult = tr.Result()
+	p.injectColdVars()
 	prog, err := symbolize.ApplyJobs(p.Mod, p.SPOffsets, p.VarResult, p.jobs())
 	if err != nil {
 		return nil, fmt.Errorf("core: symbolize: %w", err)
 	}
 	p.Recovered = prog
+	p.admitCold()
 	if p.Lint != LintOff {
 		p.ensureReport()
 		analysis.CheckModule(p.Mod, p.Report)
@@ -387,6 +461,97 @@ func (p *Pipeline) RefineSymbolize() (*layout.Program, error) {
 		}
 	}
 	return prog, nil
+}
+
+// injectColdVars derives stack variables for the cold functions before
+// symbolization. The dynamic object-bounds tracer never observed them (no
+// input reaches cold code during refinement), so their variables come from
+// the static symbolizer's per-function splitter — exactly the conservative
+// reconstruction whose safety the admission stage then has to prove.
+// Injected IDs continue after the dynamic tracer's (the maximum is
+// iteration-order independent, and candidates are processed in entry
+// order), keeping the result reproducible.
+func (p *Pipeline) injectColdVars() {
+	cands := p.coldCands()
+	if len(cands) == 0 {
+		return
+	}
+	id := 0
+	for _, vars := range p.VarResult.ByFn {
+		for _, sv := range vars {
+			if sv.ID >= id {
+				id = sv.ID + 1
+			}
+		}
+	}
+	for _, c := range cands {
+		f := p.Mod.FuncAt(c.Entry)
+		if f == nil {
+			continue
+		}
+		if _, degraded := p.Degraded[f.Name]; degraded {
+			continue
+		}
+		fo := p.SPOffsets[f]
+		if fo == nil {
+			continue
+		}
+		staticsym.BuildFuncVars(p.VarResult, f, fo, &id)
+	}
+}
+
+// admitCold is the soundness gate for the statically recovered functions:
+// each one is abstractly interpreted (over the worker pool; verdicts land
+// in candidate entry order) and admitted only when every frame access is
+// proven in-bounds and no stack object escapes. The rest degrade to trap
+// stubs — with the reason recorded in Degraded and the report — and their
+// frames leave the recovered layout.
+func (p *Pipeline) admitCold() {
+	cands := p.coldCands()
+	if len(cands) == 0 {
+		return
+	}
+	stats := make([]ColdStat, len(cands))
+	par.ForEach(p.jobs(), len(cands), func(i int) error {
+		c := cands[i]
+		st := ColdStat{Func: c.Name, Entry: c.Entry}
+		f := p.Mod.FuncAt(c.Entry)
+		switch {
+		case f == nil:
+			st.Reason = "function missing after lifting"
+		case p.Degraded[f.Name] != nil:
+			st.Reason = p.Degraded[f.Name].Error()
+		default:
+			start := time.Now()
+			res := vsa.Admit(f)
+			st.Elapsed = time.Since(start)
+			st.Admitted = res.OK
+			st.Reason = res.Reason
+			st.Checked = res.Stats.Checked
+			st.CrossSlot = res.Stats.CrossSlot
+			st.Unbounded = res.Stats.Unbounded
+		}
+		stats[i] = st
+		return nil
+	})
+	for i := range stats {
+		if stats[i].Admitted {
+			continue
+		}
+		f := p.Mod.FuncAt(cands[i].Entry)
+		if f == nil {
+			continue
+		}
+		if _, already := p.Degraded[f.Name]; !already {
+			p.degrade(f, fmt.Errorf("static recovery failed: %s", stats[i].Reason))
+		}
+		delete(p.Recovered.Frames, f.Name)
+		// The height facts were captured from the full statically lifted
+		// body; the function is a trap stub now, so auditing them against
+		// the deleted frame would report spurious coverage errors.
+		delete(p.Heights, f)
+	}
+	p.ColdStats = stats
 }
 
 // lintFuncs runs the per-function verification checks over the worker pool

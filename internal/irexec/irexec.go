@@ -147,6 +147,11 @@ type Interp struct {
 	Steps    uint64
 	MaxSteps uint64
 
+	// StubHits counts executions of trap instructions, keyed by the name
+	// of the function the trap sits in. Populated lazily on the first hit;
+	// zero for runs that never leave the traced region.
+	StubHits map[string]int
+
 	nativeSP uint32
 	epoch    uint64
 }
@@ -353,6 +358,10 @@ func (ip *Interp) run(fr *Frame, dest []uint32) error {
 				}
 				return nil
 			case ir.OpTrap:
+				if ip.StubHits == nil {
+					ip.StubHits = make(map[string]int)
+				}
+				ip.StubHits[f.Name]++
 				return fmt.Errorf("%w (in %s)", ErrTrap, f.Name)
 			default:
 				if err := ip.exec(fr, v); err != nil {

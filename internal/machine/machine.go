@@ -82,8 +82,33 @@ type Machine struct {
 
 	lib *LibState
 
+	// StubHits counts executions of trap stubs, keyed by the name of the
+	// function the stub stands in for. Stubs are located through the
+	// "__stub$" symbols codegen plants on every trap it emits; a binary
+	// without such symbols (an original, untranslated image) never counts.
+	StubHits map[string]uint64
+	// stubAddrs maps the halt address of each trap stub to the owning
+	// function name.
+	stubAddrs map[uint32]string
+
 	halted   bool
 	exitCode int32
+}
+
+// stubPrefix marks the symbols codegen plants on trap stubs. The symbol
+// name is stubPrefix + function name + "$" + an index distinguishing
+// multiple stubs within one function.
+const stubPrefix = "__stub$"
+
+// stubFunc extracts the stub's owning function name from a stub symbol.
+func stubFunc(sym string) string {
+	name := sym[len(stubPrefix):]
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '$' {
+			return name[:i]
+		}
+	}
+	return name
 }
 
 type flags struct {
@@ -107,6 +132,17 @@ func New(img *obj.Image, input Input, out io.Writer) (*Machine, error) {
 		Mem:      NewMemory(),
 		Out:      out,
 		MaxSteps: 2_000_000_000,
+		StubHits: make(map[string]uint64),
+	}
+	for _, s := range img.Syms {
+		if len(s.Name) > len(stubPrefix) && s.Name[:len(stubPrefix)] == stubPrefix {
+			if m.stubAddrs == nil {
+				m.stubAddrs = make(map[uint32]string)
+			}
+			// The symbol sits on the stub's first instruction; the halt
+			// that ends the run is the next one.
+			m.stubAddrs[s.Addr+isa.InstrSize] = stubFunc(s.Name)
+		}
 	}
 	if err := m.Mem.WriteBytes(isa.DataBase, img.Data); err != nil {
 		return nil, err
@@ -434,6 +470,9 @@ func (m *Machine) exec(in *isa.Instr) error {
 			return nil
 		}
 	case isa.HALT:
+		if name, ok := m.stubAddrs[m.pc]; ok {
+			m.StubHits[name]++
+		}
 		m.halted = true
 		m.exitCode = int32(m.Regs[isa.EAX])
 		return nil
@@ -507,6 +546,9 @@ type Result struct {
 	ExitCode int32
 	Cycles   uint64
 	Steps    uint64
+	// StubHits counts trap-stub executions per stubbed function (empty for
+	// images without stub symbols — see Machine.StubHits).
+	StubHits map[string]uint64
 }
 
 // Execute is a convenience: load img, run it on input, write program output
@@ -519,7 +561,7 @@ func Execute(img *obj.Image, input Input, out io.Writer) (Result, error) {
 	if err := m.Run(); err != nil {
 		return Result{}, err
 	}
-	return Result{ExitCode: m.ExitCode(), Cycles: m.TotalCycles(), Steps: m.Steps}, nil
+	return Result{ExitCode: m.ExitCode(), Cycles: m.TotalCycles(), Steps: m.Steps, StubHits: m.StubHits}, nil
 }
 
 // TotalCycles returns machine cycles plus library-function work.

@@ -96,6 +96,28 @@ func NewTracer() *Tracer {
 	}
 }
 
+// SeedStatic classifies a function's registers from a static liveness
+// estimate instead of traced evidence. Statically recovered cold functions
+// never execute during refinement, so without seeding every register would
+// keep the default Saved class — and Apply would then substitute callers'
+// pre-call values for the callee's results, which is only sound when traces
+// witnessed the preservation. Registers that may be read before written
+// become arguments; every other register is marked violated (no preservation
+// claim). Over-approximating the argument set is harmless: the callee simply
+// receives (and re-exports) values it may ignore.
+func (t *Tracer) SeedStatic(f *ir.Func, liveIn [isa.NumRegs]bool) {
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if r == isa.ESP {
+			continue
+		}
+		if liveIn[r] {
+			t.arg[fnReg{f, r}] = true
+		} else {
+			t.violated[fnReg{f, r}] = true
+		}
+	}
+}
+
 // Fork returns a fresh, independent tracer for one input's run. Symbols,
 // shadow entries and frame metadata are run-local (they are keyed by frame
 // identity), so per-input tracers observe exactly what one shared

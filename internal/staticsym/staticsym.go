@@ -58,92 +58,103 @@ func Apply(mod *ir.Module, offs map[*ir.Func]stackref.Offsets) (*layout.Program,
 		if fo == nil {
 			continue
 		}
-		// Distinct negative offsets = candidate variable boundaries;
-		// positive offsets = stack arguments.
-		offsets := map[int32][]*ir.Value{}
-		var negs []int32
-		maxArg := -1
-		complex := hasDynamicStackAddressing(f, fo)
-		for v, c := range fo {
-			offsets[c] = append(offsets[c], v)
-			if c < 0 {
-				negs = append(negs, c)
-			} else if c >= 4 {
-				slot := int((c - 4) / 4)
-				if slot > maxArg {
-					maxArg = slot
-				}
-				slots := res.ArgSlots[f]
-				if slots == nil {
-					slots = map[int]bool{}
-					res.ArgSlots[f] = slots
-				}
-				slots[slot] = true
-			}
-		}
-		sort.Slice(negs, func(i, j int) bool { return negs[i] < negs[j] })
-		negs = dedup(negs)
-		if len(negs) == 0 {
-			continue
-		}
-
-		if complex || len(negs) > BlobThreshold {
-			// One blob symbol for the whole local area.
-			low := negs[0]
-			blob := &vartrack.StackVar{
-				ID: id, Fn: f, SPOff: low, Defined: true,
-				Low: 0, High: -low,
-			}
-			id++
-			res.ByFn[f] = append(res.ByFn[f], blob)
-			for c, vals := range offsets {
-				if c >= 0 {
-					continue
-				}
-				for _, v := range vals {
-					// Every local reference labels the blob; symbolize
-					// resolves deltas through the shared group.
-					res.Vars[v] = blob
-				}
-			}
-			// Positive (argument) references still get slot variables.
-			addArgVars(res, f, offsets, &id)
-			continue
-		}
-
-		// Fine splitting: [offset, next offset) per reference.
-		for i, c := range negs {
-			end := int32(0)
-			if i+1 < len(negs) {
-				end = negs[i+1]
-			}
-			sv := &vartrack.StackVar{
-				ID: id, Fn: f, SPOff: c, Defined: true,
-				Low: 0, High: end - c,
-			}
-			id++
-			res.ByFn[f] = append(res.ByFn[f], sv)
-			for _, v := range offsets[c] {
-				res.Vars[v] = sv
-			}
-		}
-		addArgVars(res, f, offsets, &id)
+		BuildFuncVars(res, f, fo, &id)
 	}
 	return symbolize.Apply(mod, offs, res)
 }
 
-// addArgVars creates 4-byte variables for argument-area references.
-func addArgVars(res *vartrack.Result, f *ir.Func, offsets map[int32][]*ir.Value, id *int) {
-	for c, vals := range offsets {
-		if c < 4 {
-			continue
+// BuildFuncVars derives static stack variables for one function from its
+// resolved stack-reference offsets, appending them to res with IDs drawn
+// from *id. It is the unit of the static symbolizer, exported so the
+// cold-recovery stage can symbolize statically recovered functions that no
+// trace ever observed (their layouts are then gated by VSA admission).
+func BuildFuncVars(res *vartrack.Result, f *ir.Func, fo stackref.Offsets, id *int) {
+	// Distinct negative offsets = candidate variable boundaries;
+	// positive offsets = stack arguments.
+	offsets := map[int32][]*ir.Value{}
+	var negs []int32
+	complex := hasDynamicStackAddressing(f, fo)
+	for v, c := range fo {
+		offsets[c] = append(offsets[c], v)
+		if c < 0 {
+			negs = append(negs, c)
+		} else if c >= 4 {
+			slot := int((c - 4) / 4)
+			slots := res.ArgSlots[f]
+			if slots == nil {
+				slots = map[int]bool{}
+				res.ArgSlots[f] = slots
+			}
+			slots[slot] = true
 		}
+	}
+	sort.Slice(negs, func(i, j int) bool { return negs[i] < negs[j] })
+	negs = dedup(negs)
+	if len(negs) == 0 {
+		addArgVars(res, f, offsets, id)
+		return
+	}
+
+	if complex || len(negs) > BlobThreshold {
+		// One blob symbol for the whole local area.
+		low := negs[0]
+		blob := &vartrack.StackVar{
+			ID: *id, Fn: f, SPOff: low, Defined: true,
+			Low: 0, High: -low,
+		}
+		*id++
+		res.ByFn[f] = append(res.ByFn[f], blob)
+		for c, vals := range offsets {
+			if c >= 0 {
+				continue
+			}
+			for _, v := range vals {
+				// Every local reference labels the blob; symbolize
+				// resolves deltas through the shared group.
+				res.Vars[v] = blob
+			}
+		}
+		// Positive (argument) references still get slot variables.
+		addArgVars(res, f, offsets, id)
+		return
+	}
+
+	// Fine splitting: [offset, next offset) per reference.
+	for i, c := range negs {
+		end := int32(0)
+		if i+1 < len(negs) {
+			end = negs[i+1]
+		}
+		sv := &vartrack.StackVar{
+			ID: *id, Fn: f, SPOff: c, Defined: true,
+			Low: 0, High: end - c,
+		}
+		*id++
+		res.ByFn[f] = append(res.ByFn[f], sv)
+		for _, v := range offsets[c] {
+			res.Vars[v] = sv
+		}
+	}
+	addArgVars(res, f, offsets, id)
+}
+
+// addArgVars creates 4-byte variables for argument-area references, in
+// ascending offset order so variable IDs are reproducible.
+func addArgVars(res *vartrack.Result, f *ir.Func, offsets map[int32][]*ir.Value, id *int) {
+	var pos []int32
+	for c := range offsets {
+		if c >= 4 {
+			pos = append(pos, c)
+		}
+	}
+	sort.Slice(pos, func(i, j int) bool { return pos[i] < pos[j] })
+	for _, c := range pos {
 		sv := &vartrack.StackVar{
 			ID: *id, Fn: f, SPOff: c, Defined: true, Low: 0, High: 4,
 		}
 		*id++
 		res.ByFn[f] = append(res.ByFn[f], sv)
-		for _, v := range vals {
+		for _, v := range offsets[c] {
 			res.Vars[v] = sv
 		}
 	}

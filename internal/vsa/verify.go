@@ -23,6 +23,10 @@ type CheckStats struct {
 	// OutOfFrame counts accesses proven to miss the entire recovered
 	// frame (Error).
 	OutOfFrame int
+	// Unbounded counts accesses whose offset set wrapped or widened to an
+	// unbounded interval — nothing is provable about them either way.
+	// Admission of statically recovered code treats these as failures.
+	Unbounded int
 }
 
 // Check verifies f's recovered layout against the VSA fixpoint fr,
@@ -57,6 +61,7 @@ func Check(fr *FuncResult, rep *analysis.Report) CheckStats {
 			st.Checked++
 			size := accSize(v)
 			if offs.unbounded() {
+				st.Unbounded++
 				continue // unbounded or wrapped offsets prove nothing either way
 			}
 			slotSize := int64(base.AllocSize)
