@@ -17,12 +17,19 @@
 // function's analysis cost. The result lands in the artifact's "static"
 // section.
 //
+// With -stream the tool measures the streaming trace→lift pipeline against
+// the phase-barriered one — end-to-end wall clock in both modes, bounded-
+// channel record traffic, and how long refinement overlapped the still-
+// running trace — and merges the result into the artifact's "stream"
+// section (conventionally BENCH_stream.json).
+//
 // Usage:
 //
 //	go test -bench=. -benchtime=1x ./... | benchjson -o BENCH_interp.json
 //	go test -bench=. ./... | benchjson -o BENCH_interp.json -set-baseline
 //	benchjson -vsa -o BENCH_interp.json
 //	benchjson -static -o BENCH_interp.json
+//	benchjson -stream -o BENCH_stream.json
 package main
 
 import (
@@ -37,19 +44,20 @@ import (
 
 // Metrics is one benchmark's parsed result line.
 type Metrics struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	Iterations  int64   `json:"iterations,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`              // wall time per iteration
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"` // heap bytes per iteration
+	AllocsPerOp int64   `json:"allocs_per_op"`          // allocations per iteration
+	Iterations  int64   `json:"iterations,omitempty"`   // iteration count of the run
 }
 
 // File is the on-disk artifact layout.
 type File struct {
-	Baseline map[string]Metrics `json:"baseline,omitempty"`
-	Current  map[string]Metrics `json:"current"`
-	Speedup  map[string]float64 `json:"speedup,omitempty"`
-	VSA      []VSASection       `json:"vsa,omitempty"`
-	Static   []StaticSection    `json:"static,omitempty"`
+	Baseline map[string]Metrics `json:"baseline,omitempty"` // pinned pre-optimization numbers
+	Current  map[string]Metrics `json:"current"`            // latest run's numbers
+	Speedup  map[string]float64 `json:"speedup,omitempty"`  // baseline/current per benchmark
+	VSA      []VSASection       `json:"vsa,omitempty"`      // value-set analysis measurements
+	Static   []StaticSection    `json:"static,omitempty"`   // cold-code recovery measurements
+	Stream   []StreamSection    `json:"stream,omitempty"`   // streaming-pipeline measurements
 }
 
 // readArtifact loads an existing artifact, or an empty one if absent.
@@ -81,6 +89,7 @@ func main() {
 	setBaseline := flag.Bool("set-baseline", false, "record this run as the baseline instead of the current numbers")
 	vsaFlag := flag.Bool("vsa", false, "measure the value-set analysis (cost and promoted slots) instead of reading bench output")
 	staticFlag := flag.Bool("static", false, "measure static cold-code recovery (candidates, admissions, analysis cost) instead of reading bench output")
+	streamFlag := flag.Bool("stream", false, "measure the streaming pipeline (wall clock, record traffic, trace/refine overlap) instead of reading bench output")
 	flag.Parse()
 
 	if *vsaFlag {
@@ -92,6 +101,13 @@ func main() {
 	}
 	if *staticFlag {
 		if err := writeStatic(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *streamFlag {
+		if err := writeStream(*out); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}

@@ -65,24 +65,24 @@ const staticScale = 4
 
 // StaticFunc is one cold candidate's admission verdict and analysis cost.
 type StaticFunc struct {
-	Func       string  `json:"func"`
-	Admitted   bool    `json:"admitted"`
-	Reason     string  `json:"reason,omitempty"`
-	AnalysisMs float64 `json:"analysis_ms"`
+	Func       string  `json:"func"`             // function name
+	Admitted   bool    `json:"admitted"`         // admission verdict
+	Reason     string  `json:"reason,omitempty"` // rejection reason, if any
+	AnalysisMs float64 `json:"analysis_ms"`      // admission analysis wall time
 }
 
 // StaticSection is one program's static-coverage measurements.
 type StaticSection struct {
-	Program string `json:"program"`
+	Program string `json:"program"` // benchmark name
 	// Seeds counts the cold entry addresses discovery started from;
 	// Candidates the plausible functions among them; Admitted and Rejected
 	// split the candidates by the VSA admission verdict. Seeds minus
 	// Candidates were refused by the disassembly pass itself.
 	Seeds      int          `json:"seeds"`
-	Candidates int          `json:"candidates"`
-	Admitted   int          `json:"admitted"`
-	Rejected   int          `json:"rejected"`
-	Funcs      []StaticFunc `json:"funcs,omitempty"`
+	Candidates int          `json:"candidates"`      // see Seeds
+	Admitted   int          `json:"admitted"`        // see Seeds
+	Rejected   int          `json:"rejected"`        // see Seeds
+	Funcs      []StaticFunc `json:"funcs,omitempty"` // per-candidate verdicts
 }
 
 // staticSections builds the artifact's "static" section: the dispatch

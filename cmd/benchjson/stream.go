@@ -1,0 +1,168 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wytiwyg/internal/bench"
+	"wytiwyg/internal/bench/progs"
+	"wytiwyg/internal/core"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/minicc/gen"
+	"wytiwyg/internal/obj"
+)
+
+// The -stream mode measures the streaming trace→lift pipeline against the
+// phase-barriered one: end-to-end wall clock in both modes, the record
+// traffic through the bounded channel, and — the point of the exercise —
+// how long the refinement stages ran while tracing was still in flight
+// (overlap). The numbers land in the artifact's "stream" section.
+
+// streamPrograms is the measured corpus slice: loop-heavy workloads whose
+// ref input traces long enough for refine-ahead to start inside the trace.
+var streamPrograms = []string{"bzip2", "hmmer", "libquantum"}
+
+// streamScale is the ref-input scale for the measured runs: large enough
+// for a visible trace phase, small enough for CI.
+const streamScale = 12
+
+// StreamSection is one program's streaming measurements.
+type StreamSection struct {
+	Program string `json:"program"` // benchmark name
+	// BarrieredMs and StreamedMs are the end-to-end lift+refine wall
+	// clocks of the two modes; OverlapMs is the wall-clock span during
+	// which a refinement stage and the trace stage ran concurrently in the
+	// streamed run (0 when no refine-ahead launched or it started after
+	// the trace drained).
+	BarrieredMs float64 `json:"barriered_ms"`
+	StreamedMs  float64 `json:"streamed_ms"` // see BarrieredMs
+	OverlapMs   float64 `json:"overlap_ms"`  // see BarrieredMs
+	// Records, Blocks and Closes mirror core.StreamStats.
+	Records int `json:"records"`
+	Blocks  int `json:"blocks"` // see Records
+	Closes  int `json:"closes"` // see Records
+	// Speculated and Adopted report the refine-ahead outcome.
+	Speculated bool `json:"speculated"`
+	Adopted    bool `json:"adopted"` // see Speculated
+}
+
+// stampLog records stage events with wall-clock stamps; it is the
+// goroutine-safe Observer the overlap measurement hangs off.
+type stampLog struct {
+	mu     sync.Mutex
+	stamps map[string]time.Time
+}
+
+func (l *stampLog) observe(e core.StageEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := e.Stage + "/" + e.Action
+	if _, seen := l.stamps[key]; !seen {
+		l.stamps[key] = time.Now()
+	}
+}
+
+// overlap returns how long any refinement stage ran before the trace stage
+// finished.
+func (l *stampLog) overlap() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	traceEnd, ok := l.stamps["trace/finish"]
+	if !ok {
+		return 0
+	}
+	var best time.Duration
+	for _, stage := range []string{"regsave", "varargs", "stackref", "symbolize", "vsa"} {
+		if start, ok := l.stamps[stage+"/start"]; ok && start.Before(traceEnd) {
+			if d := traceEnd.Sub(start); d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// streamSections measures every program in both modes.
+func streamSections() ([]StreamSection, error) {
+	out := make([]StreamSection, 0, len(streamPrograms))
+	for _, name := range streamPrograms {
+		p, ok := progs.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown stream program %q", name)
+		}
+		sec, err := streamOne(bench.Scaled(p, streamScale))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out = append(out, sec)
+	}
+	return out, nil
+}
+
+// refineWall runs lift+refine once and returns the wall clock.
+func refineWall(img *obj.Image, inputs []machine.Input, opts core.Options) (time.Duration, *core.Pipeline, error) {
+	start := time.Now()
+	p, err := core.LiftBinaryOpts(img, inputs, opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := p.Refine(); err != nil {
+		return 0, nil, err
+	}
+	return time.Since(start), p, nil
+}
+
+// streamOne measures one program: a barriered run, then a streamed run with
+// a stamping observer.
+func streamOne(p progs.Program) (StreamSection, error) {
+	img, err := gen.Build(p.Src, gen.GCC12O3, p.Name)
+	if err != nil {
+		return StreamSection{}, fmt.Errorf("build: %w", err)
+	}
+	inputs := p.Inputs()
+
+	barr, _, err := refineWall(img, inputs, core.Options{Lint: core.LintWarn})
+	if err != nil {
+		return StreamSection{}, fmt.Errorf("barriered: %w", err)
+	}
+
+	log := &stampLog{stamps: make(map[string]time.Time)}
+	strm, pl, err := refineWall(img, inputs,
+		core.Options{Lint: core.LintWarn, Stream: true, Observer: log.observe})
+	if err != nil {
+		return StreamSection{}, fmt.Errorf("streamed: %w", err)
+	}
+
+	sec := StreamSection{
+		Program:     p.Name,
+		BarrieredMs: roundMs(barr),
+		StreamedMs:  roundMs(strm),
+		OverlapMs:   roundMs(log.overlap()),
+	}
+	if st := pl.StreamStats; st != nil {
+		sec.Records = st.Records
+		sec.Blocks = st.Blocks
+		sec.Closes = st.Closes
+		sec.Speculated = st.Speculated
+		sec.Adopted = st.Adopted
+	}
+	return sec, nil
+}
+
+func roundMs(d time.Duration) float64 { return round2(float64(d.Microseconds()) / 1000) }
+
+// writeStream merges a freshly measured "stream" section into the artifact,
+// leaving the other sections untouched.
+func writeStream(path string) error {
+	sections, err := streamSections()
+	if err != nil {
+		return err
+	}
+	f, err := readArtifact(path)
+	if err != nil {
+		return err
+	}
+	f.Stream = sections
+	return writeArtifact(path, f, fmt.Sprintf("stream section for %d programs", len(sections)))
+}

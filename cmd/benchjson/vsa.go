@@ -74,16 +74,16 @@ const vsaScale = 4
 
 // VSAFunc is one function's analysis cost.
 type VSAFunc struct {
-	Func       string  `json:"func"`
-	AnalysisMs float64 `json:"analysis_ms"`
+	Func       string  `json:"func"`        // function name
+	AnalysisMs float64 `json:"analysis_ms"` // fixpoint wall time
 }
 
 // VSASection is one program's VSA measurements.
 type VSASection struct {
-	Program          string    `json:"program"`
-	Funcs            []VSAFunc `json:"funcs"`
-	PromotedBaseline int       `json:"promoted_baseline"`
-	PromotedOracle   int       `json:"promoted_oracle"`
+	Program          string    `json:"program"`           // benchmark name
+	Funcs            []VSAFunc `json:"funcs"`             // per-function analysis costs
+	PromotedBaseline int       `json:"promoted_baseline"` // slots promoted without the oracle
+	PromotedOracle   int       `json:"promoted_oracle"`   // slots promoted with the oracle
 }
 
 // vsaSections builds the artifact's "vsa" section.

@@ -118,19 +118,20 @@ func lintFunc(findings *int, fset *token.FileSet, d *ast.FuncDecl) {
 
 // lintGen checks one const/var/type declaration group. A comment on the
 // group documents every name in it; otherwise each exported spec needs its
-// own.
+// own. The bodies of exported types are checked regardless: a comment on
+// the type does not document its fields.
 func lintGen(findings *int, fset *token.FileSet, d *ast.GenDecl) {
-	if d.Doc != nil {
-		return
-	}
 	for _, spec := range d.Specs {
 		switch s := spec.(type) {
 		case *ast.TypeSpec:
-			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+			if d.Doc == nil && s.Doc == nil && s.Comment == nil && s.Name.IsExported() {
 				report(findings, fset, s.Pos(), "exported type %s is undocumented", s.Name.Name)
 			}
+			if s.Name.IsExported() {
+				lintTypeBody(findings, fset, s)
+			}
 		case *ast.ValueSpec:
-			if s.Doc != nil || s.Comment != nil {
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
 				continue
 			}
 			for _, n := range s.Names {
@@ -138,6 +139,39 @@ func lintGen(findings *int, fset *token.FileSet, d *ast.GenDecl) {
 					report(findings, fset, n.Pos(), "exported %s %s is undocumented", d.Tok, n.Name)
 				}
 			}
+		}
+	}
+}
+
+// lintTypeBody checks the members of one exported type: every exported
+// struct field and every exported interface method needs a doc or line
+// comment of its own (embedded members are exempt — their docs live on the
+// embedded type, as do String and Error, whose contracts are fixed by
+// fmt.Stringer and error).
+func lintTypeBody(findings *int, fset *token.FileSet, s *ast.TypeSpec) {
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		lintMembers(findings, fset, t.Fields, s.Name.Name, "field")
+	case *ast.InterfaceType:
+		lintMembers(findings, fset, t.Methods, s.Name.Name, "method")
+	}
+}
+
+// lintMembers checks one field or method list for undocumented exported
+// names.
+func lintMembers(findings *int, fset *token.FileSet, list *ast.FieldList, typeName, kind string) {
+	if list == nil {
+		return
+	}
+	for _, f := range list.List {
+		if f.Doc != nil || f.Comment != nil || len(f.Names) == 0 {
+			continue
+		}
+		for _, n := range f.Names {
+			if !n.IsExported() || n.Name == "String" || n.Name == "Error" {
+				continue
+			}
+			report(findings, fset, n.Pos(), "exported %s %s.%s is undocumented", kind, typeName, n.Name)
 		}
 	}
 }

@@ -56,13 +56,15 @@ func (s *Severity) UnmarshalJSON(data []byte) error {
 type Diag struct {
 	// Check names the analysis that produced the finding (frame, bounds,
 	// height, init, deadstore, verify).
-	Check    string   `json:"check"`
+	Check string `json:"check"`
+	// Severity grades the finding (Info, Warn, Error).
 	Severity Severity `json:"severity"`
 	// Func is the function the finding is in.
 	Func string `json:"func"`
 	// Loc is the stable func:block:idx location of the offending value
 	// (empty for function-level findings).
 	Loc string `json:"loc,omitempty"`
+	// Msg is the human-readable finding text.
 	Msg string `json:"msg"`
 }
 
@@ -76,7 +78,7 @@ func (d Diag) String() string {
 
 // Report collects the diagnostics of one lint run.
 type Report struct {
-	Diags []Diag `json:"diagnostics"`
+	Diags []Diag `json:"diagnostics"` // findings, in Add order until Sort
 }
 
 // Add records one finding.

@@ -51,8 +51,8 @@ type Problem[S any] struct {
 // Result carries the fixpoint: the state at each block's entry and exit (in
 // execution order, regardless of analysis direction).
 type Result[S any] struct {
-	In  map[*ir.Block]S
-	Out map[*ir.Block]S
+	In  map[*ir.Block]S // state at block entry
+	Out map[*ir.Block]S // state at block exit
 }
 
 // Solve runs the worklist algorithm to a fixpoint over f's reachable

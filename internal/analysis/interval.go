@@ -8,7 +8,7 @@ import "fmt"
 // operation that could wrap 32-bit space or whose transfer is not worth
 // modelling returns Top.
 type Interval struct {
-	Lo, Hi int64
+	Lo, Hi int64 // inclusive bounds
 }
 
 // Infinite endpoints. Kept far inside the int64 range so endpoint

@@ -153,9 +153,9 @@ func evalHeight(v, esp *ir.Value, env heightEnv) height {
 // The location string is captured eagerly because symbolization rewrites
 // the values the analysis saw.
 type HeightRef struct {
-	Off  int32
-	Size uint8
-	Loc  string
+	Off  int32  // sp0-relative offset
+	Size uint8  // access width in bytes
+	Loc  string // stable func:block:idx location of the access
 }
 
 // HeightFacts is the result of the stack-height analysis of one function.

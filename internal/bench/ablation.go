@@ -15,9 +15,9 @@ import (
 // paper attributes to fine-grained symbolization (§6.2's analysis): the
 // same refined module compiled with optimizer passes selectively disabled.
 type AblationRow struct {
-	Program string
-	Config  string
-	Native  uint64
+	Program string // benchmark name
+	Config  string // compiler profile name
+	Native  uint64 // input binary's cycles
 	// Cycles per variant.
 	NoSym      uint64 // unsymbolized recompile (full optimizer)
 	SymNoMem   uint64 // symbolized, but no mem2reg/forwarding (alias info unused)

@@ -34,19 +34,19 @@ var Configs = []gen.Profile{gen.GCC12O3, gen.GCC12O0, gen.Clang16O3, gen.GCC44O3
 
 // Measurement is one binary's run on the ref input.
 type Measurement struct {
-	Cycles   uint64
-	ExitCode int32
-	Output   string
+	Cycles   uint64 // cost-model cycles on the ref input
+	ExitCode int32  // the run's exit status
+	Output   string // captured program output
 	// Failed marks systems that could not produce a binary (SecondWrite's
 	// "—" cells); Reason says why.
 	Failed bool
-	Reason string
+	Reason string // see Failed
 }
 
 // Row is one (program, config) cell group of Table 1.
 type Row struct {
-	Program string
-	Config  string
+	Program string // benchmark name
+	Config  string // compiler profile name
 
 	Native Measurement // the input binary
 	NoSym  Measurement // recompiled without symbolization

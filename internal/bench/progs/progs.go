@@ -10,13 +10,14 @@ import "wytiwyg/internal/machine"
 
 // Program is one benchmark.
 type Program struct {
-	Name string
+	Name string // benchmark name (the SPEC program it mirrors)
 	// Motif documents which SPEC behaviour the workload recreates.
 	Motif string
-	Src   string
-	// Train is an additional coverage input; Ref is the measured input.
+	Src   string // mini-C source text
+	// Train is an additional coverage input.
 	Train machine.Input
-	Ref   machine.Input
+	// Ref is the measured input.
+	Ref machine.Input
 }
 
 // Inputs returns the trace inputs (train + ref).

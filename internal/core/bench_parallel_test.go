@@ -9,8 +9,10 @@ import (
 
 	"wytiwyg/internal/bench"
 	"wytiwyg/internal/bench/progs"
+	"wytiwyg/internal/codegen"
 	"wytiwyg/internal/core"
 	"wytiwyg/internal/minicc/gen"
+	"wytiwyg/internal/opt"
 	"wytiwyg/internal/refcache"
 )
 
@@ -18,11 +20,18 @@ import (
 // count and returns the finished pipeline.
 func refinedAt(t *testing.T, p progs.Program, jobs int) *core.Pipeline {
 	t.Helper()
+	return refinedAtOpts(t, p, core.Options{Jobs: jobs, Lint: core.LintWarn})
+}
+
+// refinedAtOpts is refinedAt with full control over the pipeline options
+// (worker count, streaming mode, ...).
+func refinedAtOpts(t *testing.T, p progs.Program, opts core.Options) *core.Pipeline {
+	t.Helper()
 	img, err := gen.Build(p.Src, gen.GCC12O3, p.Name)
 	if err != nil {
 		t.Fatalf("%s: build: %v", p.Name, err)
 	}
-	pl, err := core.LiftBinaryOpts(img, p.Inputs(), core.Options{Jobs: jobs, Lint: core.LintWarn})
+	pl, err := core.LiftBinaryOpts(img, p.Inputs(), opts)
 	if err != nil {
 		t.Fatalf("%s: lift: %v", p.Name, err)
 	}
@@ -47,9 +56,29 @@ func fingerprint(p *core.Pipeline) string {
 	return b.String()
 }
 
+// fingerprintFull extends fingerprint with the recompiled instruction
+// stream: the refined IR is optimized and run through codegen, and every
+// emitted instruction's disassembly is appended. The IR is printed first —
+// the optimizer mutates the module in place.
+func fingerprintFull(t *testing.T, p *core.Pipeline, name string) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(fingerprint(p))
+	opt.Pipeline(p.Mod)
+	out, err := codegen.Compile(p.Mod, name+"-rec")
+	if err != nil {
+		t.Fatalf("%s: recompile: %v", name, err)
+	}
+	for _, in := range out.Code {
+		fmt.Fprintf(&b, "%s\n", in.String())
+	}
+	return b.String()
+}
+
 // The tentpole determinism invariant: over the whole benchmark corpus, a
-// single-worker run and a heavily parallel run produce byte-identical IR,
-// layouts and reports.
+// single-worker run, a heavily parallel run, and the streaming pipeline at
+// both worker counts all produce byte-identical IR, layouts, reports and
+// recompiled instruction streams.
 func TestParallelDeterminism(t *testing.T) {
 	corpus := progs.All
 	if testing.Short() {
@@ -57,12 +86,23 @@ func TestParallelDeterminism(t *testing.T) {
 		// enough to exercise every fork/join path under the race detector.
 		corpus = corpus[:3]
 	}
+	variants := []struct {
+		label string
+		opts  core.Options
+	}{
+		{"-j8", core.Options{Jobs: 8, Lint: core.LintWarn}},
+		{"-stream -j1", core.Options{Jobs: 1, Lint: core.LintWarn, Stream: true}},
+		{"-stream -j8", core.Options{Jobs: 8, Lint: core.LintWarn, Stream: true}},
+	}
 	for _, p := range corpus {
 		p := bench.Scaled(p, 6)
-		seq := fingerprint(refinedAt(t, p, 1))
-		par := fingerprint(refinedAt(t, p, 8))
-		if seq != par {
-			t.Errorf("%s: -j1 and -j8 outputs differ\n-- j1:\n%.2000s\n-- j8:\n%.2000s", p.Name, seq, par)
+		base := fingerprintFull(t, refinedAt(t, p, 1), p.Name)
+		for _, v := range variants {
+			got := fingerprintFull(t, refinedAtOpts(t, p, v.opts), p.Name)
+			if got != base {
+				t.Errorf("%s: %s output differs from -j1\n-- j1:\n%.2000s\n-- %s:\n%.2000s",
+					p.Name, v.label, base, v.label, got)
+			}
 		}
 	}
 }

@@ -16,7 +16,7 @@ import (
 // of every cache key: bumping it when a refinement, the lifter or a
 // verification check changes behaviour invalidates all prior entries
 // without touching the cache on disk.
-const PassVersion = "refine-3"
+const PassVersion = "refine-4"
 
 // encodeInputs serializes an input set deterministically for hashing.
 func encodeInputs(inputs []machine.Input) []byte {
@@ -61,9 +61,11 @@ func encodeImage(img *obj.Image) []byte {
 // it covers the pass version, the verification mode (an entry records the
 // report of the mode it ran under), whether the value-set analysis stage
 // ran (its findings are part of the report), whether static cold-code
-// recovery ran (it changes the recovered layout and the report), the input
-// set and the full image.
-func ProgramKey(img *obj.Image, inputs []machine.Input, lint LintMode, vsa, static bool) refcache.Key {
+// recovery ran (it changes the recovered layout and the report), whether
+// the streaming pipeline produced the entry (byte-identical by invariant,
+// but keyed separately so a streaming-mode defect can never serve a
+// barriered request or vice versa), the input set and the full image.
+func ProgramKey(img *obj.Image, inputs []machine.Input, lint LintMode, vsa, static, streamed bool) refcache.Key {
 	vb := byte(0)
 	if vsa {
 		vb = 1
@@ -72,9 +74,13 @@ func ProgramKey(img *obj.Image, inputs []machine.Input, lint LintMode, vsa, stat
 	if static {
 		sb = 1
 	}
+	mb := byte(0)
+	if streamed {
+		mb = 1
+	}
 	return refcache.NewKey("program",
 		[]byte(PassVersion),
-		[]byte{byte(lint), vb, sb},
+		[]byte{byte(lint), vb, sb, mb},
 		encodeInputs(inputs),
 		encodeImage(img),
 	)
@@ -82,7 +88,7 @@ func ProgramKey(img *obj.Image, inputs []machine.Input, lint LintMode, vsa, stat
 
 // programKey is ProgramKey over the pipeline's own image and inputs.
 func (p *Pipeline) programKey() refcache.Key {
-	return ProgramKey(p.Img, p.Inputs, p.Lint, p.VSA, p.StaticRecover)
+	return ProgramKey(p.Img, p.Inputs, p.Lint, p.VSA, p.StaticRecover, p.Stream)
 }
 
 // funcBytes serializes one recovered function's machine code: each traced
@@ -176,13 +182,10 @@ func RecoverLayout(img *obj.Image, inputs []machine.Input, opts Options) (*Pipel
 		inputs = []machine.Input{{}}
 	}
 	if opts.Cache != nil {
-		key := ProgramKey(img, inputs, opts.Lint, opts.VSA, opts.StaticRecover)
+		key := ProgramKey(img, inputs, opts.Lint, opts.VSA, opts.StaticRecover, opts.Stream)
 		if e, ok := opts.Cache.GetProgram(key); ok {
-			p := &Pipeline{
-				Img: img, Inputs: inputs,
-				Jobs: opts.Jobs, Lint: opts.Lint, Cache: opts.Cache,
-				VSA: opts.VSA, StaticRecover: opts.StaticRecover, FromCache: true,
-			}
+			p := newPipeline(img, inputs, opts)
+			p.FromCache = true
 			prog, rep := refcache.LayoutFromProgram(e)
 			p.Recovered = prog
 			if opts.Lint != LintOff {

@@ -77,12 +77,55 @@ type Options struct {
 	// proves every frame access safe (otherwise they degrade to trap
 	// stubs, like any other untraced path).
 	StaticRecover bool
+	// Stream selects the streaming trace→lift pipeline: emulator
+	// producers push block records onto a bounded channel, a worker pool
+	// decodes and merges them, and refinement starts on a
+	// coverage-complete input prefix while later inputs still trace
+	// (refine-ahead, validated by trace digest). Output is byte-identical
+	// to the phase-barriered pipeline at every worker count; see
+	// ARCHITECTURE.md §3.
+	Stream bool
+	// StreamBuf overrides the streaming record-channel capacity
+	// (0 means stream.DefaultBuf). It bounds producer run-ahead, never
+	// the output.
+	StreamBuf int
+	// Observer, when non-nil, receives a start and a finish event for
+	// every pipeline stage. It may be called concurrently from several
+	// goroutines (streaming mode overlaps stages) and must be
+	// goroutine-safe; events are observability only and never influence
+	// pipeline output.
+	Observer func(StageEvent)
+}
+
+// StageEvent is one pipeline-stage lifecycle notification delivered to
+// Options.Observer.
+type StageEvent struct {
+	// Stage is the stage name as recorded in Pipeline.Times ("trace",
+	// "cfg", "funcrec", "coldrec", "lift", "regsave", "varargs",
+	// "stackref", "symbolize", "vsa").
+	Stage string
+	// Action is "start" or "finish".
+	Action string
+}
+
+// StreamStats summarizes a streaming run for reporting and benchmarks.
+type StreamStats struct {
+	// Records and Blocks count the records that crossed the bounded
+	// channel and the distinct block records among them.
+	Records, Blocks int
+	// Closes counts the resolved function-close events.
+	Closes int
+	// Speculated reports that a refine-ahead pipeline was launched on an
+	// input prefix; Adopted that its trace digest matched the final merge
+	// and its results were kept.
+	Speculated, Adopted bool
 }
 
 // ColdStat records one cold candidate's admission outcome.
 type ColdStat struct {
-	// Func is the function name; Entry its address.
-	Func  string
+	// Func is the function name.
+	Func string
+	// Entry is the function's entry address.
 	Entry uint32
 	// Admitted reports whether the function kept its recovered layout.
 	Admitted bool
@@ -107,14 +150,14 @@ type VSAStat struct {
 
 // StageTime records one pipeline stage's wall-clock cost.
 type StageTime struct {
-	Stage   string
-	Elapsed time.Duration
+	Stage   string        // stage name (see StageEvent.Stage)
+	Elapsed time.Duration // the stage's wall-clock cost
 }
 
 // Pipeline carries the state of one recompilation.
 type Pipeline struct {
-	Img    *obj.Image
-	Inputs []machine.Input
+	Img    *obj.Image      // the binary under recompilation
+	Inputs []machine.Input // the trace/refinement input set
 
 	// Jobs bounds the worker pool (see Options.Jobs).
 	Jobs int
@@ -123,6 +166,18 @@ type Pipeline struct {
 	// FromCache marks a pipeline whose results were served entirely from
 	// the cache; the trace/IR fields are nil on such a pipeline.
 	FromCache bool
+
+	// Stream mirrors the option of the same name.
+	Stream bool
+	// StreamBuf mirrors the option of the same name.
+	StreamBuf int
+	// StreamStats summarizes the streaming run (nil in barriered mode).
+	StreamStats *StreamStats
+	// Observer mirrors Options.Observer (may be nil).
+	Observer func(StageEvent)
+	// refined marks that the refinement sequence has already run (the
+	// streaming scheduler refines ahead), making Refine a no-op.
+	refined bool
 
 	// Lint selects the post-refinement verification stage's behaviour.
 	Lint LintMode
@@ -154,10 +209,10 @@ type Pipeline struct {
 	// Times records per-stage wall-clock costs in execution order.
 	Times []StageTime
 
-	Trace *tracer.Trace
-	CFG   *tracer.CFG
-	Rec   *funcrec.Result
-	Mod   *ir.Module
+	Trace *tracer.Trace   // merged dynamic trace
+	CFG   *tracer.CFG     // recovered control-flow graph
+	Rec   *funcrec.Result // recovered function partition
+	Mod   *ir.Module      // lifted (then refined) IR
 
 	// RegClasses is the saved-register classification after the first
 	// refinement.
@@ -174,11 +229,21 @@ type Pipeline struct {
 // jobs returns the effective worker count.
 func (p *Pipeline) jobs() int { return par.N(p.Jobs) }
 
-// timed runs one stage and records its wall-clock cost.
+// observe delivers one stage event to the configured observer.
+func (p *Pipeline) observe(stage, action string) {
+	if p.Observer != nil {
+		p.Observer(StageEvent{Stage: stage, Action: action})
+	}
+}
+
+// timed runs one stage, records its wall-clock cost and notifies the
+// observer.
 func (p *Pipeline) timed(stage string, fn func() error) error {
+	p.observe(stage, "start")
 	start := time.Now()
 	err := fn()
 	p.Times = append(p.Times, StageTime{Stage: stage, Elapsed: time.Since(start)})
+	p.observe(stage, "finish")
 	return err
 }
 
@@ -189,16 +254,28 @@ func LiftBinary(img *obj.Image, inputs []machine.Input) (*Pipeline, error) {
 	return LiftBinaryOpts(img, inputs, Options{Jobs: 1})
 }
 
+// newPipeline builds an empty pipeline carrying the option set.
+func newPipeline(img *obj.Image, inputs []machine.Input, opts Options) *Pipeline {
+	return &Pipeline{Img: img, Inputs: inputs, Jobs: opts.Jobs, Lint: opts.Lint,
+		Cache: opts.Cache, VSA: opts.VSA, StaticRecover: opts.StaticRecover,
+		Stream: opts.Stream, StreamBuf: opts.StreamBuf, Observer: opts.Observer}
+}
+
 // LiftBinaryOpts performs the front half of the pipeline with explicit
 // options: the per-input traces run over the worker pool and merge in
 // input order, so the trace — and everything derived from it — is
-// independent of the worker count.
+// independent of the worker count. With Options.Stream set the trace
+// streams through the bounded-channel pipeline instead, overlapping
+// tracing with lifting and refinement (see liftStreamed); the returned
+// pipeline may then already be refined, which Refine detects.
 func LiftBinaryOpts(img *obj.Image, inputs []machine.Input, opts Options) (*Pipeline, error) {
 	if len(inputs) == 0 {
 		inputs = []machine.Input{{}}
 	}
-	p := &Pipeline{Img: img, Inputs: inputs, Jobs: opts.Jobs, Lint: opts.Lint,
-		Cache: opts.Cache, VSA: opts.VSA, StaticRecover: opts.StaticRecover}
+	if opts.Stream {
+		return liftStreamed(img, inputs, opts)
+	}
+	p := newPipeline(img, inputs, opts)
 	err := p.timed("trace", func() error {
 		p.Trace = tracer.New(img)
 		return p.Trace.RunAllJobs(inputs, io.Discard, p.jobs())
@@ -206,13 +283,25 @@ func LiftBinaryOpts(img *obj.Image, inputs []machine.Input, opts Options) (*Pipe
 	if err != nil {
 		return nil, fmt.Errorf("core: tracing: %w", err)
 	}
-	err = p.timed("cfg", func() error {
+	if err := p.buildFromTrace(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// buildFromTrace runs the trace-derived build stages — CFG construction,
+// function recovery, optional cold-code discovery, and lifting — on
+// p.Trace. It is shared by the barriered path, the streaming path and the
+// streaming scheduler's refine-ahead speculation: everything below here is
+// a pure function of the trace's fact sets (see tracer.Digest).
+func (p *Pipeline) buildFromTrace() error {
+	err := p.timed("cfg", func() error {
 		cfg, err := p.Trace.BuildCFG()
 		p.CFG = cfg
 		return err
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: cfg: %w", err)
+		return fmt.Errorf("core: cfg: %w", err)
 	}
 	err = p.timed("funcrec", func() error {
 		rec, err := funcrec.Recover(p.CFG)
@@ -220,17 +309,17 @@ func LiftBinaryOpts(img *obj.Image, inputs []machine.Input, opts Options) (*Pipe
 		return err
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: function recovery: %w", err)
+		return fmt.Errorf("core: function recovery: %w", err)
 	}
 	if p.StaticRecover {
 		_ = p.timed("coldrec", func() error {
-			p.Cold = coldrec.Discover(img, p.Trace, p.Rec)
+			p.Cold = coldrec.Discover(p.Img, p.Trace, p.Rec)
 			coldrec.Merge(p.CFG, p.Rec, p.Cold)
 			return nil
 		})
 	}
 	err = p.timed("lift", func() error {
-		mod, err := lifter.Lift(img, p.CFG, p.Rec)
+		mod, err := lifter.LiftJobs(p.Img, p.CFG, p.Rec, p.jobs())
 		if err != nil && p.Cold != nil && len(p.Cold.Cands) > 0 {
 			// All-or-nothing safety net: if the merged module does not
 			// lift, roll the cold code back, reject every candidate with
@@ -246,15 +335,15 @@ func LiftBinaryOpts(img *obj.Image, inputs []machine.Input, opts Options) (*Pipe
 			sort.Slice(p.Cold.Rejected, func(i, j int) bool {
 				return p.Cold.Rejected[i].Entry < p.Cold.Rejected[j].Entry
 			})
-			mod, err = lifter.Lift(img, p.CFG, p.Rec)
+			mod, err = lifter.LiftJobs(p.Img, p.CFG, p.Rec, p.jobs())
 		}
 		p.Mod = mod
 		return err
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: lifting: %w", err)
+		return fmt.Errorf("core: lifting: %w", err)
 	}
-	return p, nil
+	return nil
 }
 
 // coldCands returns the accepted cold candidates, or nil.
@@ -642,8 +731,27 @@ func (p *Pipeline) Oracle() func(*ir.Func) opt.AliasOracle {
 // Refine runs the complete refinement-lifting sequence on a lifted module.
 // On success, the recovered layout and verification report are recorded in
 // the cache under the binary's program key, so an identical future run can
-// skip the pipeline (see RecoverLayout).
+// skip the pipeline (see RecoverLayout). On a streamed pipeline the
+// refine-ahead scheduler may already have run the sequence, in which case
+// Refine is a no-op.
 func (p *Pipeline) Refine() error {
+	if p.refined {
+		return nil
+	}
+	if err := p.refineStages(); err != nil {
+		return err
+	}
+	p.refined = true
+	p.recordProgram()
+	return nil
+}
+
+// refineStages is the refinement sequence itself: regsave → varargs →
+// stackref → symbolize → [vsa]. It deliberately does not write the
+// program-key cache entry — a speculative refine-ahead run must never
+// record a program-level result until its trace is validated
+// (recordProgram is called only on the authoritative pipeline).
+func (p *Pipeline) refineStages() error {
 	if err := p.timed("regsave", p.RefineRegSave); err != nil {
 		return err
 	}
@@ -664,8 +772,13 @@ func (p *Pipeline) Refine() error {
 			return err
 		}
 	}
+	return nil
+}
+
+// recordProgram memoizes the finished pipeline's layout and report under
+// the binary's program key.
+func (p *Pipeline) recordProgram() {
 	if p.Cache != nil && p.Recovered != nil {
 		p.Cache.PutProgram(p.programKey(), refcache.ProgramFromLayout(p.Recovered, p.Report))
 	}
-	return nil
 }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/obj"
+	"wytiwyg/internal/stream"
+	"wytiwyg/internal/tracer"
+)
+
+// specResult is one refine-ahead speculation's outcome.
+type specResult struct {
+	p      *Pipeline
+	err    error
+	digest [32]byte
+}
+
+// liftStreamed is the streaming stage graph: trace producers, decode
+// workers and the merge stage run concurrently (package stream), and as
+// soon as a contiguous prefix of inputs has retired — while later inputs
+// are still executing — one refine-ahead pipeline is launched on the
+// prefix's merged trace with the full input list. When the stream drains,
+// the speculation is adoptable iff its trace digest equals the final
+// merged digest: digest equality means the fact sets are identical, and
+// every stage below the trace is a pure function of those sets plus the
+// (full) input list, so the speculative result is byte-for-byte the result
+// a barriered run would have produced. Otherwise the speculation is
+// discarded and the pipeline is built fresh from the final trace — output
+// never depends on scheduling, only wall-clock does.
+func liftStreamed(img *obj.Image, inputs []machine.Input, opts Options) (*Pipeline, error) {
+	p := newPipeline(img, inputs, opts)
+	p.observe("trace", "start")
+	traceStart := time.Now()
+
+	s := stream.Start(img, inputs, stream.Opts{Jobs: p.jobs(), Buf: opts.StreamBuf})
+
+	// Watch input retirement; speculate once, on the longest contiguous
+	// retired prefix at that moment, only while at least one later input
+	// is still tracing (with a single input there is nothing to overlap).
+	var specCh chan specResult
+	retired := make([]bool, len(inputs))
+	prefix := 0
+	for i := range s.Done() {
+		retired[i] = true
+		for prefix < len(inputs) && retired[prefix] {
+			prefix++
+		}
+		if specCh == nil && prefix >= 1 && prefix < len(inputs) {
+			prefixTrace := s.PrefixTrace(prefix)
+			specCh = make(chan specResult, 1)
+			go func() {
+				sp := newPipeline(img, inputs, opts)
+				sp.Trace = prefixTrace
+				err := sp.buildFromTrace()
+				if err == nil {
+					err = sp.refineStages()
+				}
+				specCh <- specResult{p: sp, err: err, digest: prefixTrace.Digest()}
+			}()
+		}
+	}
+
+	res, streamErr := s.Wait()
+	p.Times = append(p.Times, StageTime{Stage: "trace", Elapsed: time.Since(traceStart)})
+	p.observe("trace", "finish")
+	if streamErr != nil {
+		if specCh != nil {
+			<-specCh // join the speculation; its result is moot
+		}
+		return nil, fmt.Errorf("core: tracing: %w", streamErr)
+	}
+
+	stats := &StreamStats{Records: res.Records, Blocks: res.Blocks, Closes: len(res.Closes)}
+	finalDigest := res.Trace.Digest()
+
+	if specCh != nil {
+		stats.Speculated = true
+		sr := <-specCh
+		if sr.digest == finalDigest {
+			// The prefix already had full coverage: the speculative run is
+			// the authoritative result (including any deterministic
+			// failure it hit — a fresh run over a digest-equal trace would
+			// fail identically).
+			if sr.err != nil {
+				return nil, sr.err
+			}
+			sp := sr.p
+			sp.Trace = res.Trace // the full merge (correct input count)
+			sp.Times = append(p.Times, sp.Times...)
+			sp.StreamStats = stats
+			stats.Adopted = true
+			sp.refined = true
+			sp.recordProgram()
+			return sp, nil
+		}
+	}
+
+	// No speculation, or a stale one: build from the authoritative trace;
+	// the caller's Refine runs the refinement sequence as usual.
+	p.Trace = res.Trace
+	p.StreamStats = stats
+	if err := p.buildFromTrace(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// StreamTraceDigest is a small utility for external digest comparisons
+// (ci.sh's streaming smoke): trace the binary in the requested mode and
+// return the merged trace's content digest.
+func StreamTraceDigest(img *obj.Image, inputs []machine.Input, streamed bool, jobs int) ([32]byte, error) {
+	if streamed {
+		s := stream.Start(img, inputs, stream.Opts{Jobs: jobs})
+		res, err := s.Wait()
+		if err != nil {
+			return [32]byte{}, err
+		}
+		return res.Trace.Digest(), nil
+	}
+	t := tracer.New(img)
+	if err := t.RunAllJobs(inputs, nil, jobs); err != nil {
+		return [32]byte{}, err
+	}
+	return t.Digest(), nil
+}

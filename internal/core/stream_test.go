@@ -1,0 +1,203 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"wytiwyg/internal/core"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/minicc/gen"
+	"wytiwyg/internal/refcache"
+)
+
+// overlapSrc has two inputs with identical coverage (every block and branch
+// outcome is reached by both), so the refine-ahead speculation launched on
+// the fast input's prefix trace is digest-equal to the final merge and must
+// be adopted. The iteration count is input-controlled: a small first input
+// retires almost immediately while a large second input keeps the trace
+// stage busy.
+const overlapSrc = `
+extern int printf(char *fmt, ...);
+extern int input_int(int i);
+
+int mix(int a, int b) {
+	int t = a * 31 + b;
+	return t % 9973;
+}
+
+int work(int n) {
+	int acc = 1;
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		acc = mix(acc, i);
+	}
+	return acc;
+}
+
+int main() {
+	printf("v=%d\n", work(input_int(0)));
+	return 0;
+}
+`
+
+// eventLog is a goroutine-safe Observer recording stage events in arrival
+// order.
+type eventLog struct {
+	mu     sync.Mutex
+	events []core.StageEvent
+}
+
+func (l *eventLog) observe(e core.StageEvent) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// overlapped reports whether a refinement stage started before the trace
+// stage finished.
+func (l *eventLog) overlapped() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	refine := map[string]bool{"regsave": true, "varargs": true, "stackref": true, "symbolize": true}
+	for _, e := range l.events {
+		if e.Stage == "trace" && e.Action == "finish" {
+			return false
+		}
+		if refine[e.Stage] && e.Action == "start" {
+			return true
+		}
+	}
+	return false
+}
+
+// The streaming scheduler must actually overlap stages: with one input
+// retiring early and another tracing for a long time, a refinement stage
+// starts before the trace stage finishes, the speculation is adopted, and
+// the output still equals the phase-barriered run's byte for byte.
+func TestStreamOverlap(t *testing.T) {
+	img, err := gen.Build(overlapSrc, gen.GCC12O3, "overlap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := func(slow int32) []machine.Input {
+		return []machine.Input{{Ints: []int32{3}}, {Ints: []int32{slow}}}
+	}
+
+	barriered, err := core.LiftBinaryOpts(img, inputs(50000), core.Options{Jobs: 2, Lint: core.LintWarn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := barriered.Refine(); err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(barriered)
+
+	// The wall-clock gap between "first input retired" and "trace drained"
+	// is scheduling-dependent; escalate the slow input until the refine-ahead
+	// pipeline demonstrably started inside it.
+	sawOverlap := false
+	for _, slow := range []int32{50000, 200000, 800000} {
+		log := &eventLog{}
+		p, err := core.LiftBinaryOpts(img, inputs(slow), core.Options{
+			Jobs: 2, Lint: core.LintWarn, Stream: true, Observer: log.observe,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Refine(); err != nil {
+			t.Fatal(err)
+		}
+		if p.StreamStats == nil {
+			t.Fatal("streamed run left StreamStats nil")
+		}
+		if !p.StreamStats.Speculated {
+			t.Errorf("slow=%d: no refine-ahead speculation launched", slow)
+		}
+		if !p.StreamStats.Adopted {
+			t.Errorf("slow=%d: speculation not adopted despite identical coverage", slow)
+		}
+		if slow == 50000 {
+			if got := fingerprint(p); got != want {
+				t.Errorf("streamed output differs from barriered\n-- barriered:\n%.2000s\n-- streamed:\n%.2000s", want, got)
+			}
+		}
+		if log.overlapped() {
+			sawOverlap = true
+			break
+		}
+	}
+	if !sawOverlap {
+		t.Error("no refinement stage started before the trace stage finished (no overlap observed)")
+	}
+}
+
+// A streamed run over a single input has nothing to overlap (no prefix is
+// ever strict); it must still complete, unspeculated, with the barriered
+// output.
+func TestStreamSingleInput(t *testing.T) {
+	img, err := gen.Build(overlapSrc, gen.GCC12O3, "overlap-single")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []machine.Input{{Ints: []int32{40}}}
+
+	b, err := core.LiftBinaryOpts(img, in, core.Options{Lint: core.LintWarn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Refine(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := core.LiftBinaryOpts(img, in, core.Options{Jobs: 4, Lint: core.LintWarn, Stream: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Refine(); err != nil {
+		t.Fatal(err)
+	}
+	if s.StreamStats == nil || s.StreamStats.Speculated {
+		t.Errorf("single-input run: stats = %+v, want unspeculated", s.StreamStats)
+	}
+	if got, want := fingerprint(s), fingerprint(b); got != want {
+		t.Error("single-input streamed output differs from barriered")
+	}
+}
+
+// The streaming flag is part of the program cache key: a barriered entry
+// must never serve a streamed request (or vice versa), while a repeat run
+// in the same mode hits.
+func TestStreamDistinctCacheKey(t *testing.T) {
+	cache, err := refcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := gen.Build(overlapSrc, gen.GCC12O3, "overlap-cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []machine.Input{{Ints: []int32{3}}, {Ints: []int32{50}}}
+
+	barriered := core.Options{Lint: core.LintWarn, Cache: cache}
+	streamed := core.Options{Lint: core.LintWarn, Cache: cache, Stream: true, Jobs: 2}
+
+	if p, err := core.RecoverLayout(img, in, barriered); err != nil {
+		t.Fatal(err)
+	} else if p.FromCache {
+		t.Fatal("cold barriered run reported a cache hit")
+	}
+	p, err := core.RecoverLayout(img, in, streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FromCache {
+		t.Fatal("streamed run was served from the barriered entry")
+	}
+	p, err = core.RecoverLayout(img, in, streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.FromCache {
+		t.Fatal("repeat streamed run missed the cache")
+	}
+}

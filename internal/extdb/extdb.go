@@ -34,19 +34,19 @@ const (
 
 // Effect is one constraint instance.
 type Effect struct {
-	Kind    EffectKind
-	A, B, C int
+	Kind    EffectKind // which constraint the instance asserts
+	A, B, C int        // argument indices; meaning depends on Kind
 }
 
 // Sig describes an external function.
 type Sig struct {
-	Name     string
-	Params   int
-	Variadic bool
+	Name     string // link name
+	Params   int    // fixed parameter count
+	Variadic bool   // accepts trailing arguments
 	// RetPtr notes that the return value may be a pointer into program
 	// memory (heap or derived).
 	RetPtr  bool
-	Effects []Effect
+	Effects []Effect // pointer/aliasing constraints on the arguments
 }
 
 // DB holds the signature database, keyed by function name. It covers every

@@ -18,8 +18,8 @@ import (
 
 // Function is one recovered function.
 type Function struct {
-	Name  string
-	Entry uint32
+	Name  string // recovered (or symbol-table) name
+	Entry uint32 // entry address
 	// Blocks lists the block start addresses belonging to the body,
 	// sorted, entry first.
 	Blocks []uint32
@@ -27,7 +27,7 @@ type Function struct {
 
 // Result is the outcome of function recovery.
 type Result struct {
-	Funcs []*Function
+	Funcs []*Function // recovered functions, in entry-address order
 	// ByEntry indexes functions by entry address.
 	ByEntry map[uint32]*Function
 	// Owner maps each block start to its (single) owning function.

@@ -146,29 +146,29 @@ func (op Op) IsBinALU() bool { return op >= OpAdd && op <= OpSar }
 
 // SwitchCase pairs a constant with a successor index.
 type SwitchCase struct {
-	Val uint32
+	Val uint32 // the matched constant
 }
 
 // Value is one SSA value / instruction.
 type Value struct {
-	ID    int
-	Op    Op
-	Block *Block
-	Args  []*Value
+	ID    int      // function-unique value number
+	Op    Op       // opcode
+	Block *Block   // owning block
+	Args  []*Value // operands
 
-	Const   int32
-	Size    uint8
-	Signed  bool
-	Cond    isa.Cond
-	Sym     string
-	Callee  *Func
-	Targets []*Func // possible callees of OpCallInd
-	NumRet  int
-	Idx     int
-	RegHint isa.Reg
+	Const   int32    // OpConst payload; displacement for memory ops
+	Size    uint8    // access width in bytes for memory ops
+	Signed  bool     // signedness of widening loads and divisions
+	Cond    isa.Cond // condition for OpSetCC / conditional branches
+	Sym     string   // external callee name (OpCallExt) or symbol ref
+	Callee  *Func    // direct callee (OpCall)
+	Targets []*Func  // possible callees of OpCallInd
+	NumRet  int      // result count of call ops
+	Idx     int      // parameter/result index (OpParam, OpRetVal)
+	RegHint isa.Reg  // original machine register, for diagnostics
 
-	AllocSize uint32
-	Align     uint32
+	AllocSize uint32 // OpAlloca object size in bytes
+	Align     uint32 // OpAlloca alignment
 	// Name optionally labels allocas and params for diagnostics.
 	Name string
 
@@ -195,13 +195,13 @@ func (v *Value) String() string {
 
 // Block is a basic block.
 type Block struct {
-	ID    int
-	Func  *Func
-	Addr  uint32 // original machine address of the block head, 0 if synthetic
-	Phis  []*Value
+	ID    int      // function-unique block number
+	Func  *Func    // owning function
+	Addr  uint32   // original machine address of the block head, 0 if synthetic
+	Phis  []*Value // phi nodes, evaluated on entry
 	Insts []*Value // body, terminator last
-	Preds []*Block
-	Succs []*Block
+	Preds []*Block // predecessors, in edge-creation order
+	Succs []*Block // successors; order is the terminator's contract
 }
 
 // Term returns the block terminator, or nil.
@@ -218,16 +218,16 @@ func (b *Block) Term() *Value {
 
 // Func is an IR function.
 type Func struct {
-	Name   string
-	Addr   uint32 // original entry address
-	Mod    *Module
-	Params []*Value
-	NumRet int
+	Name   string   // function name
+	Addr   uint32   // original entry address
+	Mod    *Module  // owning module
+	Params []*Value // OpParam values, in signature order
+	NumRet int      // number of return slots
 	// RetRegs names the virtual register each return slot carries while the
 	// lifted signature is register-based (parallel to OpRet args). Empty
 	// after symbolization.
 	RetRegs []isa.Reg
-	Blocks  []*Block
+	Blocks  []*Block // basic blocks; Blocks[0] is the entry
 
 	// StackArgs counts the recovered stack-passed arguments appended to
 	// Params by symbolization.
@@ -290,8 +290,8 @@ func (b *Block) AddPhi(v *Value) *Value {
 
 // Module is a lifted program.
 type Module struct {
-	Name  string
-	Funcs []*Func
+	Name  string  // module (program) name
+	Funcs []*Func // functions, in recovery order
 	// Entry is the function executed first (the lifted _start).
 	Entry *Func
 	// Data is the original binary's data section (loaded at isa.DataBase).

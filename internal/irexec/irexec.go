@@ -34,8 +34,8 @@ const NativeStackTop uint32 = 0xDFFF_FF00
 // live, and pointer identity does not distinguish activations — use Epoch
 // for that.
 type Frame struct {
-	Fn       *ir.Func
-	Caller   *Frame
+	Fn       *ir.Func  // the function this activation executes
+	Caller   *Frame    // the activation below, nil for entry
 	CallSite *ir.Value // the OpCall/OpCallInd in the caller, nil for entry
 	// SP0 is the virtual stack pointer at entry (while the lifted
 	// signature still carries ESP; 0 afterwards).
@@ -139,13 +139,13 @@ type Tracer interface {
 
 // Interp executes a module.
 type Interp struct {
-	Mod *ir.Module
-	Mem *machine.Memory
-	Lib *machine.LibState
-	Tr  Tracer
+	Mod *ir.Module        // the executed module
+	Mem *machine.Memory   // the program's address space
+	Lib *machine.LibState // simulated library state (shared with Mem)
+	Tr  Tracer            // observation hook, may be nil
 
-	Steps    uint64
-	MaxSteps uint64
+	Steps    uint64 // IR values evaluated
+	MaxSteps uint64 // execution budget; 0 means the default limit
 
 	// StubHits counts executions of trap instructions, keyed by the name
 	// of the function the trap sits in. Populated lazily on the first hit;
@@ -158,8 +158,8 @@ type Interp struct {
 
 // Result of a complete run.
 type Result struct {
-	ExitCode int32
-	Steps    uint64
+	ExitCode int32  // the program's exit status
+	Steps    uint64 // IR values evaluated
 }
 
 var errHalted = errors.New("halted")

@@ -257,10 +257,10 @@ func (op Op) IsControl() bool {
 // MemRef is a memory operand: base + index*scale + disp. Absent registers
 // are NoReg; Scale is 1, 2, 4 or 8.
 type MemRef struct {
-	Base  Reg
-	Index Reg
-	Scale uint8
-	Disp  int32
+	Base  Reg   // base register (NoReg if absent)
+	Index Reg   // index register (NoReg if absent)
+	Scale uint8 // index multiplier: 1, 2, 4 or 8
+	Disp  int32 // constant displacement
 }
 
 // HasBase reports whether the operand includes a base register.
@@ -288,14 +288,14 @@ func (m MemRef) String() string {
 // assembler and codegen produce canonical instructions; Decode preserves
 // whatever was encoded).
 type Instr struct {
-	Op     Op
-	Cond   Cond
-	Dst    Reg
-	Src    Reg
-	Size   uint8 // 1, 2 or 4 for LOAD/STORE/STOREI
-	Signed bool  // sign-extend sub-word LOADs
-	Imm    int32
-	Mem    MemRef
+	Op     Op     // opcode
+	Cond   Cond   // condition for JCC/SETCC/CMOV
+	Dst    Reg    // destination register
+	Src    Reg    // source register
+	Size   uint8  // 1, 2 or 4 for LOAD/STORE/STOREI
+	Signed bool   // sign-extend sub-word LOADs
+	Imm    int32  // immediate operand
+	Mem    MemRef // memory operand
 }
 
 // Uses reports the registers an instruction reads.

@@ -20,9 +20,9 @@ import (
 // locals below the return address) and the object occupies
 // [Offset, Offset+Size).
 type Var struct {
-	Name   string
-	Offset int32
-	Size   uint32
+	Name   string // variable name (synthetic for recovered objects)
+	Offset int32  // frame-relative start offset
+	Size   uint32 // object size in bytes
 }
 
 // End returns the first offset past the object.
@@ -44,8 +44,8 @@ func (v Var) String() string {
 
 // Frame is the layout of one function's stack frame.
 type Frame struct {
-	Func string
-	Vars []Var
+	Func string // owning function
+	Vars []Var  // stack objects, sorted by offset
 }
 
 // Sort orders the variables by offset (stable by name within equal offsets).
@@ -69,7 +69,7 @@ func (f *Frame) String() string {
 
 // Program maps function names to frames.
 type Program struct {
-	Frames map[string]*Frame
+	Frames map[string]*Frame // frame layouts keyed by function name
 }
 
 // NewProgram returns an empty layout table.
@@ -113,7 +113,7 @@ func (c Category) String() string { return categoryNames[c] }
 // Accuracy aggregates a comparison between recovered and ground-truth
 // layouts.
 type Accuracy struct {
-	Counts [NumCategories]int
+	Counts [NumCategories]int // per-category object tallies
 	// TruthTotal is the number of ground-truth objects considered.
 	TruthTotal int
 	// RecoveredTotal is the number of recovered objects considered.

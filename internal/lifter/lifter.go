@@ -25,6 +25,7 @@ import (
 	"wytiwyg/internal/ir"
 	"wytiwyg/internal/isa"
 	"wytiwyg/internal/obj"
+	"wytiwyg/internal/par"
 	"wytiwyg/internal/tracer"
 )
 
@@ -34,6 +35,16 @@ const EmuStackSize = 1 << 20
 
 // Lift translates every recovered function.
 func Lift(img *obj.Image, cfg *tracer.CFG, rec *funcrec.Result) (*ir.Module, error) {
+	return LiftJobs(img, cfg, rec, 1)
+}
+
+// LiftJobs is Lift over a bounded worker pool: function skeletons are
+// created sequentially in recovery order (which fixes the module's print
+// order and call-target identity), then each function body is lifted in
+// parallel. A fnLift only reads the shared CFG/recovery maps and writes
+// its own function — value IDs are per function — so the lifted module is
+// byte-identical at every worker count.
+func LiftJobs(img *obj.Image, cfg *tracer.CFG, rec *funcrec.Result, jobs int) (*ir.Module, error) {
 	mod := ir.NewModule(img.Name)
 	mod.Data = img.Data
 	mod.EmuStackSize = EmuStackSize
@@ -41,14 +52,19 @@ func Lift(img *obj.Image, cfg *tracer.CFG, rec *funcrec.Result) (*ir.Module, err
 	for _, mf := range rec.Funcs {
 		mod.NewFunc(mf.Name, mf.Entry)
 	}
-	for _, mf := range rec.Funcs {
+	err := par.ForEach(jobs, len(rec.Funcs), func(i int) error {
+		mf := rec.Funcs[i]
 		fl := &fnLift{
 			img: img, cfg: cfg, rec: rec, mod: mod,
 			mf: mf, f: mod.FuncAt(mf.Entry),
 		}
 		if err := fl.lift(); err != nil {
-			return nil, fmt.Errorf("lifter: %s: %w", mf.Name, err)
+			return fmt.Errorf("lifter: %s: %w", mf.Name, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	mod.Entry = mod.FuncAt(img.Entry)
 	if mod.Entry == nil {

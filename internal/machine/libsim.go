@@ -26,13 +26,13 @@ import (
 // interpreter (running instrumented lifted programs), so that external
 // behaviour is bit-identical in both worlds.
 type LibState struct {
-	Mem *Memory
-	Out io.Writer
+	Mem *Memory   // the program's address space
+	Out io.Writer // printf/puts output sink
 	// Cycles accumulates work done inside library functions.
 	Cycles uint64
-	// Halted/ExitCode are set by exit().
+	// Halted is set by exit(); ExitCode carries its status argument.
 	Halted   bool
-	ExitCode int32
+	ExitCode int32 // see Halted
 
 	input     Input
 	inStrPtr  []uint32

@@ -30,18 +30,18 @@ const (
 // control to To. For conditional branches both outcomes are reported (the
 // fall-through address when not taken), which is what CFG recovery needs.
 type Transfer struct {
-	Kind  TransferKind
-	From  uint32
-	To    uint32
-	Taken bool // meaningful for TransferBranch
+	Kind  TransferKind // what kind of control transfer
+	From  uint32       // address of the transferring instruction
+	To    uint32       // destination address (or fall-through when not taken)
+	Taken bool         // meaningful for TransferBranch
 }
 
 // Input is the program input vector provided by the harness; the analogue
 // of the paper's user-provided (ref) input sets. Programs read it through
 // the input_int/input_str library functions.
 type Input struct {
-	Ints []int32
-	Strs []string
+	Ints []int32  // values served by input_int, by index
+	Strs []string // values served by input_str, by index
 }
 
 // Cycle costs. ALU and moves cost 1; memory traffic dominates, as on real
@@ -63,22 +63,33 @@ const (
 // Machine executes one loaded image.
 type Machine struct {
 	img   *obj.Image
-	Mem   *Memory
-	Regs  [isa.NumRegs]uint32
+	Mem   *Memory             // the address space
+	Regs  [isa.NumRegs]uint32 // architectural register file
 	flags flags
 	pc    uint32
 
-	Cycles   uint64
-	Steps    uint64
-	MaxSteps uint64
+	Cycles   uint64 // accumulated cost-model cycles
+	Steps    uint64 // instructions executed
+	MaxSteps uint64 // execution budget; 0 means the default limit
 
-	Out io.Writer
+	Out io.Writer // program output sink
 
 	// Hook, when non-nil, receives every control transfer.
 	Hook func(Transfer)
 	// InstrHook, when non-nil, is called with the PC of every executed
 	// instruction (tracing support).
 	InstrHook func(pc uint32)
+	// BlockHook, when non-nil, is called at the end of every dynamic basic
+	// block — the maximal run of instructions between two control
+	// transfers. start and end are the addresses of the block's first and
+	// last executed instruction; when the block ended at a control transfer
+	// term is true and t is that transfer, and when it ended because the
+	// program stopped (HALT, exit syscall) term is false and t is zero.
+	// Because every control opcode terminates a block regardless of
+	// direction, the end address is a pure function of the start address
+	// and the static code — the streaming tracer relies on this to dedup
+	// block records by start address.
+	BlockHook func(start, end uint32, t Transfer, term bool)
 
 	lib *LibState
 
@@ -90,6 +101,13 @@ type Machine struct {
 	// stubAddrs maps the halt address of each trap stub to the owning
 	// function name.
 	stubAddrs map[uint32]string
+
+	// blockStart is the address of the first instruction of the dynamic
+	// block currently executing (BlockHook support); blockPending marks
+	// that the current instruction ended a block, so the next block starts
+	// at whatever address control moves to.
+	blockStart   uint32
+	blockPending bool
 
 	halted   bool
 	exitCode int32
@@ -154,6 +172,7 @@ func New(img *obj.Image, input Input, out io.Writer) (*Machine, error) {
 	m.lib = lib
 	m.Regs[isa.ESP] = isa.StackTop
 	m.pc = img.Entry
+	m.blockStart = img.Entry
 	return m, nil
 }
 
@@ -169,6 +188,18 @@ func (m *Machine) ExitCode() int32 { return m.exitCode }
 func (m *Machine) emit(t Transfer) {
 	if m.Hook != nil {
 		m.Hook(t)
+	}
+	if m.BlockHook != nil {
+		m.BlockHook(m.blockStart, m.pc, t, true)
+		m.blockPending = true
+	}
+}
+
+// endBlock reports the in-flight block when execution stops without a
+// control transfer (HALT or the exit syscall).
+func (m *Machine) endBlock() {
+	if m.BlockHook != nil {
+		m.BlockHook(m.blockStart, m.pc, Transfer{}, false)
 	}
 }
 
@@ -467,6 +498,7 @@ func (m *Machine) exec(in *isa.Instr) error {
 			return err
 		}
 		if m.halted {
+			m.endBlock()
 			return nil
 		}
 	case isa.HALT:
@@ -475,6 +507,7 @@ func (m *Machine) exec(in *isa.Instr) error {
 		}
 		m.halted = true
 		m.exitCode = int32(m.Regs[isa.EAX])
+		m.endBlock()
 		return nil
 
 	default:
@@ -482,6 +515,10 @@ func (m *Machine) exec(in *isa.Instr) error {
 	}
 
 	m.pc = next
+	if m.blockPending {
+		m.blockStart = next
+		m.blockPending = false
+	}
 	return nil
 }
 
@@ -543,9 +580,9 @@ func (m *Machine) runHooked() error {
 
 // Result summarizes one complete execution.
 type Result struct {
-	ExitCode int32
-	Cycles   uint64
-	Steps    uint64
+	ExitCode int32  // the program's exit status
+	Cycles   uint64 // accumulated cost-model cycles
+	Steps    uint64 // instructions executed
 	// StubHits counts trap-stub executions per stubbed function (empty for
 	// images without stub symbols — see Machine.StubHits).
 	StubHits map[string]uint64

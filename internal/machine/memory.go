@@ -35,8 +35,8 @@ func NewMemory() *Memory {
 
 // Fault is a memory access violation.
 type Fault struct {
-	Addr uint32
-	Why  string
+	Addr uint32 // the faulting address
+	Why  string // what the access violated
 }
 
 func (f *Fault) Error() string {

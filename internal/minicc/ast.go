@@ -4,10 +4,10 @@ package minicc
 
 // Program is a parsed translation unit.
 type Program struct {
-	Structs []*StructType
-	Externs []*ExternDecl
-	Globals []*GlobalDecl
-	Funcs   []*FuncDecl
+	Structs []*StructType // struct definitions, in declaration order
+	Externs []*ExternDecl // external library declarations
+	Globals []*GlobalDecl // file-scope variables
+	Funcs   []*FuncDecl   // function definitions
 }
 
 // FindFunc returns a function by name.
@@ -22,25 +22,25 @@ func (p *Program) FindFunc(name string) *FuncDecl {
 
 // ExternDecl declares an external library function.
 type ExternDecl struct {
-	Name     string
-	Ret      *Type
-	Params   []*Type
-	Variadic bool
+	Name     string  // link name
+	Ret      *Type   // return type
+	Params   []*Type // fixed parameter types
+	Variadic bool    // trailing `...` present
 }
 
 // GlobalDecl is a file-scope variable.
 type GlobalDecl struct {
-	Name    string
-	Type    *Type
+	Name    string // variable name
+	Type    *Type  // declared type
 	InitNum *int32 // scalar initializer, if any
 	InitStr string // string initializer for char* globals ("" = none)
-	HasStr  bool
+	HasStr  bool   // distinguishes InitStr == "" from no initializer
 }
 
 // VarDecl is a local variable or parameter.
 type VarDecl struct {
-	Name string
-	Type *Type
+	Name string // variable name
+	Type *Type  // declared type
 	// AddrTaken is set by the checker when &v occurs or when the variable
 	// is a non-scalar (arrays/structs are memory objects by nature).
 	AddrTaken bool
@@ -53,10 +53,10 @@ type VarDecl struct {
 
 // FuncDecl is a function definition.
 type FuncDecl struct {
-	Name   string
-	Ret    *Type
-	Params []*VarDecl
-	Body   *Block
+	Name   string     // function name
+	Ret    *Type      // return type
+	Params []*VarDecl // parameters, in declaration order
+	Body   *Block     // function body
 	// Locals collects every VarDecl in the body (filled by the checker).
 	Locals []*VarDecl
 	// AddressTaken is set when &name occurs somewhere (function pointer).
@@ -70,29 +70,31 @@ type Stmt interface{ stmt() }
 
 // Block is a `{ ... }` statement list (declarations may be interleaved).
 type Block struct {
-	Stmts []Stmt
+	Stmts []Stmt // statements in source order
 }
 
 // DeclStmt declares a local, with an optional initializer.
 type DeclStmt struct {
-	Var  *VarDecl
-	Init Expr
+	Var  *VarDecl // the declared local
+	Init Expr     // initializer (may be nil)
 }
 
 // ExprStmt evaluates an expression for effect.
-type ExprStmt struct{ X Expr }
+type ExprStmt struct {
+	X Expr // the evaluated expression
+}
 
 // If is if/else.
 type If struct {
-	Cond Expr
-	Then Stmt
+	Cond Expr // controlling condition
+	Then Stmt // taken branch
 	Else Stmt // may be nil
 }
 
 // While is a while loop.
 type While struct {
-	Cond Expr
-	Body Stmt
+	Cond Expr // loop condition
+	Body Stmt // loop body
 }
 
 // For is for(init; cond; post).
@@ -100,20 +102,20 @@ type For struct {
 	Init Stmt // ExprStmt or DeclStmt or nil
 	Cond Expr // may be nil (infinite)
 	Post Expr // may be nil
-	Body Stmt
+	Body Stmt // loop body
 }
 
 // Switch selects among constant cases.
 type Switch struct {
-	X       Expr
-	Cases   []*Case
-	Default []Stmt // may be nil
+	X       Expr    // switched expression
+	Cases   []*Case // constant arms, in source order
+	Default []Stmt  // may be nil
 }
 
 // Case is one `case k:` arm (falls through unless it ends in break).
 type Case struct {
-	Val  int32
-	Body []Stmt
+	Val  int32  // the case constant
+	Body []Stmt // the arm's statements
 }
 
 // Return exits the function.
@@ -157,89 +159,89 @@ func (t *typed) Type() *Type { return t.Typ }
 // NumLit is an integer (or char) literal.
 type NumLit struct {
 	typed
-	Val int32
+	Val int32 // the literal value
 }
 
 // StrLit is a string literal (char*).
 type StrLit struct {
 	typed
-	Val string
+	Val string // the literal bytes, unescaped
 }
 
 // VarRef names a variable or function. Exactly one of Local/Global/Func/Ext
 // is set after checking.
 type VarRef struct {
 	typed
-	Name   string
-	Local  *VarDecl
-	Global *GlobalDecl
-	Func   *FuncDecl
-	Ext    *ExternDecl
+	Name   string      // the source identifier
+	Local  *VarDecl    // resolved local or parameter
+	Global *GlobalDecl // resolved file-scope variable
+	Func   *FuncDecl   // resolved function (address taken)
+	Ext    *ExternDecl // resolved external declaration
 }
 
 // Unary is -x, !x, ~x, *x, &x, ++x, --x (Op: "-", "!", "~", "*", "&",
 // "++", "--").
 type Unary struct {
 	typed
-	Op string
-	X  Expr
+	Op string // operator spelling
+	X  Expr   // operand
 }
 
 // Postfix is x++ or x-- (Op: "++", "--").
 type Postfix struct {
 	typed
-	Op string
-	X  Expr
+	Op string // operator spelling
+	X  Expr   // operand
 }
 
 // Binary is a binary operator (arithmetic, comparison, logical &&/||).
 type Binary struct {
 	typed
-	Op   string
-	L, R Expr
+	Op   string // operator spelling
+	L, R Expr   // operands
 }
 
 // Assign is L = R (compound assignments are desugared by the parser).
 type Assign struct {
 	typed
-	L, R Expr
+	L, R Expr // assignee and value
 }
 
 // Call invokes a function, extern, or fnptr value.
 type Call struct {
 	typed
-	Fn   Expr
-	Args []Expr
+	Fn   Expr   // callee (VarRef or fnptr-valued expression)
+	Args []Expr // actual arguments, in source order
 }
 
 // Index is a[i].
 type Index struct {
 	typed
-	Arr, Idx Expr
+	Arr, Idx Expr // array (or pointer) and subscript
 }
 
 // Member is x.f or x->f.
 type Member struct {
 	typed
-	X     Expr
-	Name  string
-	Arrow bool
+	X     Expr   // the struct (or pointer) operand
+	Name  string // accessed field name
+	Arrow bool   // true for ->, false for .
 	Field *Field // set by the checker
 }
 
 // Cast is (T)x.
 type Cast struct {
 	typed
-	To *Type
-	X  Expr
+	To *Type // target type
+	X  Expr  // operand
 }
 
 // SizeofType is sizeof(T) or sizeof(expr); for the expression form the
 // checker fills Of from X's type.
 type SizeofType struct {
 	typed
-	Of *Type
-	X  Expr
+	Of *Type // the measured type
+	X  Expr  // expression form's operand (nil for sizeof(T))
 }
 
 func (*NumLit) expr()     {}

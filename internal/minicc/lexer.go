@@ -20,8 +20,8 @@ func NewLexer(src string) *Lexer {
 
 // SyntaxError is a lexing or parsing error with position information.
 type SyntaxError struct {
-	Line, Col int
-	Msg       string
+	Line, Col int    // 1-based source position
+	Msg       string // what went wrong
 }
 
 func (e *SyntaxError) Error() string {

@@ -29,11 +29,11 @@ const (
 
 // Token is one lexical token.
 type Token struct {
-	Kind Kind
-	Lit  string
-	Num  int32 // value for NUMBER and CHARLIT
-	Line int
-	Col  int
+	Kind Kind   // token class
+	Lit  string // literal spelling (identifiers, strings)
+	Num  int32  // value for NUMBER and CHARLIT
+	Line int    // 1-based source line
+	Col  int    // 1-based source column
 }
 
 func (t Token) String() string {

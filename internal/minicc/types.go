@@ -21,7 +21,7 @@ const (
 
 // Type describes a mini-C type.
 type Type struct {
-	Kind   TypeKind
+	Kind   TypeKind    // which type this is
 	Elem   *Type       // TPtr, TArray
 	Len    int         // TArray
 	Struct *StructType // TStruct
@@ -43,17 +43,17 @@ func ArrayOf(t *Type, n int) *Type { return &Type{Kind: TArray, Elem: t, Len: n}
 
 // StructType is a named struct with laid-out fields.
 type StructType struct {
-	Name   string
-	Fields []Field
+	Name   string  // struct tag
+	Fields []Field // members, in declaration order
 	size   uint32
 	align  uint32
 }
 
 // Field is one struct member.
 type Field struct {
-	Name   string
-	Type   *Type
-	Offset uint32
+	Name   string // member name
+	Type   *Type  // member type
+	Offset uint32 // byte offset within the struct
 }
 
 // FieldByName finds a member.

@@ -19,8 +19,8 @@ import (
 // pipeline treats symbols as optional (funcrec only uses them for
 // cross-checking, as §5.1 of the paper does).
 type Symbol struct {
-	Name string
-	Addr uint32
+	Name string // symbol name
+	Addr uint32 // code address the name labels
 }
 
 // Image is a loaded, executable binary.

@@ -343,9 +343,9 @@ func CSE(f *ir.Func) int {
 // PipelineOpts disables individual passes (for the ablation experiments)
 // and optionally supplies an alias oracle.
 type PipelineOpts struct {
-	NoMem2Reg bool
-	NoMemOpt  bool
-	NoLICM    bool
+	NoMem2Reg bool // skip stack-slot promotion
+	NoMemOpt  bool // skip store-to-load forwarding and dead-store removal
+	NoLICM    bool // skip loop-invariant code motion
 	// Oracle, when non-nil, builds a per-function alias oracle each round.
 	// It is a factory rather than a fixed oracle because every round
 	// rewrites the IR the oracle's facts are keyed on.

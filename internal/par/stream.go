@@ -1,0 +1,148 @@
+package par
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pipe is the handle returned by OrderedPipe: a bounded, order-preserving
+// parallel stage. Results appear on Out in exactly the order the inputs
+// were read from the upstream channel, regardless of which worker finished
+// first — the streaming analogue of ForEach's index-addressed slots.
+type Pipe[R any] struct {
+	// Out delivers results in input order. It is closed when the upstream
+	// channel closes and every in-flight item has been released, or when
+	// the pipe aborts on an error. Consumers must drain Out to completion.
+	Out <-chan R
+	// Aborted is closed when the pipe has stopped releasing results
+	// because an item failed. Producers feeding the upstream channel may
+	// select on it to stop early; the pipe keeps draining the upstream
+	// channel after an abort, so producers that keep sending never block.
+	Aborted <-chan struct{}
+
+	err  error
+	done chan struct{}
+}
+
+// Err returns the first in-input-order error (not the first in time), so
+// the reported failure is deterministic. Valid once Out has been drained.
+func (p *Pipe[R]) Err() error {
+	<-p.done
+	return p.err
+}
+
+// ordered tags an in-flight item with its submission sequence number.
+type ordered[T any] struct {
+	seq  uint64
+	item T
+}
+
+type orderedResult[R any] struct {
+	seq uint64
+	res R
+	err error
+}
+
+// OrderedPipe spawns a bounded worker stage over an input channel: jobs
+// workers apply fn concurrently, and a collector releases results
+// downstream strictly in submission order. The reorder window is bounded
+// by the worker count and Out is buffered to buf entries, so total
+// in-flight items are capped at roughly jobs+buf — when the consumer
+// stalls, the stage exerts backpressure all the way to the upstream
+// producers instead of buffering without bound.
+//
+// A panicking fn is converted into an error. On the first in-order error
+// the pipe closes Aborted and stops releasing results, but continues
+// draining the input channel so upstream producers never deadlock; the
+// error is reported by Err after Out closes.
+func OrderedPipe[T, R any](jobs, buf int, in <-chan T, fn func(T) (R, error)) *Pipe[R] {
+	workers := N(jobs)
+	if buf < 1 {
+		buf = 1
+	}
+	out := make(chan R, buf)
+	aborted := make(chan struct{})
+	p := &Pipe[R]{Out: out, Aborted: aborted, done: make(chan struct{})}
+
+	work := make(chan ordered[T])
+	results := make(chan orderedResult[R])
+
+	// Dispatcher: stamp each input with a sequence number. After an abort
+	// it keeps reading (and discarding) the input channel so producers
+	// blocked on a send always make progress.
+	go func() {
+		defer close(work)
+		var seq uint64
+		for item := range in {
+			select {
+			case <-aborted:
+				continue
+			default:
+			}
+			work <- ordered[T]{seq: seq, item: item}
+			seq++
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for job := range work {
+				res, err := protectPipe(fn, job.item)
+				results <- orderedResult[R]{seq: job.seq, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: hold out-of-order completions and release consecutive
+	// sequence numbers. The pending map never exceeds the worker count:
+	// an out-of-order completion means an earlier item still occupies a
+	// worker.
+	go func() {
+		defer close(p.done)
+		defer close(out)
+		pending := make(map[uint64]orderedResult[R])
+		var next uint64
+		failed := false
+		for r := range results {
+			pending[r.seq] = r
+			for {
+				pr, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				if failed {
+					continue
+				}
+				if pr.err != nil {
+					p.err = pr.err
+					failed = true
+					close(aborted)
+					continue
+				}
+				out <- pr.res
+			}
+		}
+	}()
+	return p
+}
+
+// protectPipe runs fn on one item, converting a panic into an error so a
+// bad item cannot take down the stage (the streaming counterpart of
+// protect).
+func protectPipe[T, R any](fn func(T) (R, error), item T) (res R, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("par: pipe item panicked: %v", r)
+		}
+	}()
+	return fn(item)
+}

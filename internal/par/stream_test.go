@@ -1,0 +1,162 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// feed sends 0..n-1 on the returned channel from a goroutine and reports
+// on fed when the producer has finished (i.e. was never deadlocked).
+func feed(n int) (<-chan int, <-chan struct{}) {
+	in := make(chan int)
+	fed := make(chan struct{})
+	go func() {
+		defer close(fed)
+		defer close(in)
+		for i := 0; i < n; i++ {
+			in <- i
+		}
+	}()
+	return in, fed
+}
+
+// Results must come out in submission order no matter which worker
+// finishes first.
+func TestOrderedPipeOrder(t *testing.T) {
+	in, _ := feed(100)
+	p := OrderedPipe(8, 4, in, func(v int) (int, error) {
+		// Earlier items sleep longer, maximizing reordering pressure.
+		time.Sleep(time.Duration((99-v)%7) * time.Millisecond)
+		return v * 2, nil
+	})
+	var got []int
+	for r := range p.Out {
+		got = append(got, r)
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("got %d results, want 100", len(got))
+	}
+	for i, r := range got {
+		if r != i*2 {
+			t.Fatalf("result %d = %d, want %d", i, r, i*2)
+		}
+	}
+}
+
+// The reported error must be the first in input order, not the first in
+// time, and results before it are still delivered.
+func TestOrderedPipeErrorDeterministic(t *testing.T) {
+	in, fed := feed(100)
+	p := OrderedPipe(8, 4, in, func(v int) (int, error) {
+		switch v {
+		case 10:
+			return 0, errors.New("item 10 failed") // finishes first
+		case 17:
+			time.Sleep(5 * time.Millisecond)
+			return 0, errors.New("item 17 failed")
+		}
+		time.Sleep(time.Millisecond)
+		return v, nil
+	})
+	var got []int
+	for r := range p.Out {
+		got = append(got, r)
+	}
+	err := p.Err()
+	if err == nil || !strings.Contains(err.Error(), "item 10") {
+		t.Fatalf("err = %v, want the lowest-index failure (item 10)", err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d results before the failure, want 10", len(got))
+	}
+	select {
+	case <-fed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer deadlocked after abort: input channel was not drained")
+	}
+}
+
+// A panicking work item surfaces as an error instead of crashing the pool.
+func TestOrderedPipePanic(t *testing.T) {
+	in, fed := feed(50)
+	p := OrderedPipe(4, 2, in, func(v int) (int, error) {
+		if v == 20 {
+			panic(fmt.Sprintf("bad item %d", v))
+		}
+		return v, nil
+	})
+	n := 0
+	for range p.Out {
+		n++
+	}
+	err := p.Err()
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want a panic-converted error", err)
+	}
+	if n != 20 {
+		t.Fatalf("got %d results before the panic, want 20", n)
+	}
+	select {
+	case <-fed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer deadlocked after panic")
+	}
+}
+
+// When the consumer stalls, the stage must stop accepting input after its
+// bounded windows fill — backpressure, not unbounded buffering.
+func TestOrderedPipeBackpressure(t *testing.T) {
+	const jobs, buf, total = 2, 4, 1000
+	in := make(chan int)
+	var sent atomic.Int64
+	go func() {
+		defer close(in)
+		for i := 0; i < total; i++ {
+			in <- i
+			sent.Add(1)
+		}
+	}()
+	p := OrderedPipe(jobs, buf, in, func(v int) (int, error) { return v, nil })
+
+	// Nobody reads Out. The accepted count must settle at a small bound:
+	// out buffer + a result held by each worker + the dispatcher's one +
+	// the collector's in-hand item.
+	bound := int64(buf + 2*jobs + 3)
+	deadline := time.Now().Add(2 * time.Second)
+	var last int64 = -1
+	for time.Now().Before(deadline) {
+		cur := sent.Load()
+		if cur == last {
+			break
+		}
+		last = cur
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := sent.Load(); got > bound {
+		t.Fatalf("stage accepted %d items with a stalled consumer, want <= %d", got, bound)
+	}
+
+	// Unstall: everything still arrives, in order.
+	var got []int
+	for r := range p.Out {
+		got = append(got, r)
+	}
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != total {
+		t.Fatalf("got %d results, want %d", len(got), total)
+	}
+	for i, r := range got {
+		if r != i {
+			t.Fatalf("result %d = %d, want %d", i, r, i)
+		}
+	}
+}

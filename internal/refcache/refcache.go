@@ -73,7 +73,7 @@ type ProgramEntry struct {
 
 // Stats counts cache traffic for one Cache handle.
 type Stats struct {
-	Hits, Misses, Puts int
+	Hits, Misses, Puts int // lookup and write tallies
 	// Corrupt counts entries that existed but failed to decode (each was
 	// removed and counted as a miss too).
 	Corrupt int

@@ -1,0 +1,423 @@
+// Package stream implements the streaming half of the trace→lift pipeline
+// (the il_trace architecture): emulator producers push executed-block
+// records — raw instruction bytes stamped with a per-input monotonic
+// sequence number — onto a bounded channel while a worker pool decodes the
+// blocks and a single merge stage folds the recovered facts into per-input
+// traces. Later stages never see channel-arrival order: every ordering
+// decision (function close, error selection, trace merge) is resolved by
+// the (input, sequence-stamp) pair or by commutative set union, which is
+// what keeps streaming output byte-identical to the phase-barriered
+// pipeline at every worker count (see ARCHITECTURE.md §3 and DESIGN.md
+// §12).
+package stream
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/obj"
+	"wytiwyg/internal/par"
+	"wytiwyg/internal/tracer"
+)
+
+// DefaultBuf is the default capacity of the block-record channel (and of
+// the decode stage's output buffer). The total number of buffered records
+// is bounded by roughly 2*Buf plus the worker count; producers block once
+// the windows fill, which is the backpressure contract.
+const DefaultBuf = 256
+
+// RecKind discriminates the record types a trace producer emits.
+type RecKind uint8
+
+// Record kinds, in the order a consumer typically sees them per input.
+const (
+	// KindBlock carries the raw bytes of a dynamic basic block the first
+	// time this input executes it.
+	KindBlock RecKind = iota
+	// KindEdge carries a control transfer the first time this input
+	// observes it (deduplicated per (kind, from, to)).
+	KindEdge
+	// KindClose marks that every activation of a function has returned in
+	// this input (the provisional function-close event).
+	KindClose
+	// KindEnd marks that this input's record stream is complete; the
+	// input's facts are frozen after it.
+	KindEnd
+)
+
+// Rec is one record on the streaming channel. Seq is the per-input
+// monotonic sequence stamp: the index of the dynamic block whose execution
+// produced the record. Consumers must order by (Input, Seq), never by
+// arrival.
+type Rec struct {
+	// Kind selects which of the remaining fields are meaningful.
+	Kind RecKind
+	// Input is the index of the traced input that produced the record.
+	Input int
+	// Seq is the per-input sequence stamp (counts executed dynamic blocks).
+	Seq uint64
+	// Start and End bound the block's instructions (KindBlock).
+	Start, End uint32
+	// Bytes is the encoded instruction stream of the block (KindBlock).
+	Bytes []byte
+	// Edge is the observed control transfer (KindEdge).
+	Edge machine.Transfer
+	// Entry is the entry address of the closed function (KindClose).
+	Entry uint32
+}
+
+// Close records that a function received its last activation exit: after
+// stamp Seq of input Input, no traced input executes the function again.
+type Close struct {
+	// Entry is the function's entry address.
+	Entry uint32
+	// Input is the highest input index whose trace still ran the function.
+	Input int
+	// Seq is the stamp of the block that popped the last activation (or
+	// the input's final stamp when the activation was still open at exit).
+	Seq uint64
+}
+
+// Result is the outcome of a drained stream: the merged trace plus
+// streaming-specific observability.
+type Result struct {
+	// Trace is the merged dynamic CFG, identical to what the
+	// phase-barriered tracer produces for the same image and inputs.
+	Trace *tracer.Trace
+	// Closes lists the authoritative function-close events, sorted by
+	// (Input, Seq, Entry) — a deterministic schedule independent of
+	// channel arrival order and worker count.
+	Closes []Close
+	// Records counts every record that reached the merge stage.
+	Records int
+	// Blocks counts the distinct block records decoded.
+	Blocks int
+}
+
+// Opts configures a stream.
+type Opts struct {
+	// Jobs bounds the decode worker pool and the number of concurrently
+	// traced inputs (par.N semantics: <1 means one per CPU).
+	Jobs int
+	// Buf is the record-channel capacity; 0 means DefaultBuf.
+	Buf int
+
+	// decodeWrap, when non-nil, wraps the block-decode function (test
+	// hook: gate it to observe backpressure, panic it to exercise the
+	// error drain).
+	decodeWrap func(func(Rec) (fact, error)) func(Rec) (fact, error)
+	// onSend, when non-nil, observes every record just before the
+	// producer sends it (test hook for buffering bounds).
+	onSend func(Rec)
+}
+
+// fact is a decoded record: the original Rec plus, for blocks, the
+// recovered instruction addresses.
+type fact struct {
+	rec   Rec
+	addrs []uint32
+}
+
+// Stream is an in-flight streaming trace. Start launches it; Done exposes
+// input retirement; Wait joins it.
+type Stream struct {
+	img    *obj.Image
+	inputs []machine.Input
+	opts   Opts
+
+	done     chan int
+	finished chan struct{}
+	prodWG   sync.WaitGroup
+
+	pipe *par.Pipe[fact]
+	errs []error
+
+	// Fields below are written by the merge goroutine. subs[i] is frozen
+	// (and safe to read) once i has been delivered on done.
+	subs    []*tracer.Trace
+	closeAt map[closeID]uint64
+	records int
+	blocks  int
+
+	result *Result
+	err    error
+}
+
+type closeID struct {
+	input int
+	entry uint32
+}
+
+type edgeKey struct {
+	kind     machine.TransferKind
+	from, to uint32
+}
+
+// Start launches producers, decode workers and the merge stage, and
+// returns immediately. The caller must eventually call Wait.
+func Start(img *obj.Image, inputs []machine.Input, opts Opts) *Stream {
+	buf := opts.Buf
+	if buf <= 0 {
+		buf = DefaultBuf
+	}
+	s := &Stream{
+		img:      img,
+		inputs:   inputs,
+		opts:     opts,
+		done:     make(chan int, len(inputs)),
+		finished: make(chan struct{}),
+		errs:     make([]error, len(inputs)),
+		subs:     make([]*tracer.Trace, len(inputs)),
+		closeAt:  make(map[closeID]uint64),
+	}
+
+	recs := make(chan Rec, buf)
+	decode := s.decodeBlock
+	if opts.decodeWrap != nil {
+		decode = opts.decodeWrap(decode)
+	}
+	s.pipe = par.OrderedPipe(opts.Jobs, buf, recs, decode)
+
+	// Producers: one emulator per input, at most par.N(Jobs) at a time,
+	// claimed in input-index order.
+	workers := par.N(opts.Jobs)
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	var next atomic.Int64
+	s.prodWG.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer s.prodWG.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(inputs) {
+					return
+				}
+				s.errs[i] = s.produce(i, recs)
+			}
+		}()
+	}
+	go func() {
+		s.prodWG.Wait()
+		close(recs)
+	}()
+
+	go s.merge()
+	return s
+}
+
+// Done delivers the index of each input whose facts have frozen (its
+// KindEnd record passed the merge stage); it is closed when the whole
+// stream has drained. Inputs may retire out of index order.
+func (s *Stream) Done() <-chan int { return s.done }
+
+// PrefixTrace returns a fresh trace merging inputs [0, n). Every one of
+// them must already have been delivered on Done; the returned trace is
+// independent of the stream and safe to mutate.
+func (s *Stream) PrefixTrace(n int) *tracer.Trace {
+	tr := tracer.New(s.img)
+	for i := 0; i < n; i++ {
+		if s.subs[i] != nil {
+			tr.Merge(s.subs[i])
+		}
+	}
+	return tr
+}
+
+// Wait joins the stream: producers, decode workers and the merge stage.
+// The error is deterministic — the lowest failing input's error, else the
+// decode stage's first in-order error.
+func (s *Stream) Wait() (*Result, error) {
+	s.prodWG.Wait()
+	<-s.finished
+	if s.result != nil || s.err != nil {
+		return s.result, s.err
+	}
+	for _, err := range s.errs {
+		if err != nil {
+			s.err = err
+			return nil, s.err
+		}
+	}
+	if err := s.pipe.Err(); err != nil {
+		s.err = err
+		return nil, s.err
+	}
+
+	tr := tracer.New(s.img)
+	for _, sub := range s.subs {
+		if sub != nil {
+			tr.Merge(sub)
+		}
+	}
+	// Resolve each function's authoritative close: the (input, seq)-max
+	// over the per-input provisional closes.
+	last := make(map[uint32]Close)
+	for id, seq := range s.closeAt {
+		c := Close{Entry: id.entry, Input: id.input, Seq: seq}
+		prev, ok := last[id.entry]
+		if !ok || c.Input > prev.Input || (c.Input == prev.Input && c.Seq > prev.Seq) {
+			last[id.entry] = c
+		}
+	}
+	closes := make([]Close, 0, len(last))
+	for _, c := range last {
+		closes = append(closes, c)
+	}
+	sort.Slice(closes, func(i, j int) bool {
+		a, b := closes[i], closes[j]
+		if a.Input != b.Input {
+			return a.Input < b.Input
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.Entry < b.Entry
+	})
+	s.result = &Result{Trace: tr, Closes: closes, Records: s.records, Blocks: s.blocks}
+	return s.result, nil
+}
+
+// produce runs one input under the emulator, pushing deduplicated block,
+// edge and close records. The producer owns its call stack, so function
+// closes are stamped here — with the sequence number of the block that
+// retired the last activation — not at the consumer.
+func (s *Stream) produce(i int, recs chan<- Rec) error {
+	m, err := machine.New(s.img, s.inputs[i], io.Discard)
+	if err != nil {
+		return fmt.Errorf("input %d: %w", i, err)
+	}
+	var seq uint64
+	stopped := false
+	send := func(r Rec) {
+		if stopped {
+			return
+		}
+		select {
+		case <-s.pipe.Aborted:
+			// The decode stage failed; it keeps draining, but there is no
+			// point paying for more records.
+			stopped = true
+			return
+		default:
+		}
+		if s.opts.onSend != nil {
+			s.opts.onSend(r)
+		}
+		recs <- r
+	}
+
+	seenBlock := make(map[uint32]bool)
+	seenEdge := make(map[edgeKey]bool)
+	stack := []uint32{s.img.Entry}
+	depth := map[uint32]int{s.img.Entry: 1}
+
+	m.BlockHook = func(start, end uint32, t machine.Transfer, term bool) {
+		seq++
+		if !seenBlock[start] {
+			seenBlock[start] = true
+			lo, hi := obj.IndexOf(start), obj.IndexOf(end)
+			send(Rec{
+				Kind: KindBlock, Input: i, Seq: seq,
+				Start: start, End: end,
+				Bytes: isa.EncodeAll(s.img.Code[lo : hi+1]),
+			})
+		}
+		if !term {
+			return
+		}
+		ek := edgeKey{t.Kind, t.From, t.To}
+		if !seenEdge[ek] {
+			seenEdge[ek] = true
+			send(Rec{Kind: KindEdge, Input: i, Seq: seq, Edge: t})
+		}
+		switch t.Kind {
+		case machine.TransferCall:
+			stack = append(stack, t.To)
+			depth[t.To]++
+		case machine.TransferRet:
+			if n := len(stack); n > 0 {
+				e := stack[n-1]
+				stack = stack[:n-1]
+				if depth[e]--; depth[e] == 0 {
+					send(Rec{Kind: KindClose, Input: i, Seq: seq, Entry: e})
+				}
+			}
+		}
+	}
+	if err := m.Run(); err != nil {
+		return fmt.Errorf("input %d: %w", i, err)
+	}
+	// The input is over: every still-open activation (exit() deep in a
+	// call chain, tail-called frames) closes at the final stamp.
+	for n := len(stack) - 1; n >= 0; n-- {
+		e := stack[n]
+		if depth[e]--; depth[e] == 0 {
+			send(Rec{Kind: KindClose, Input: i, Seq: seq, Entry: e})
+		}
+	}
+	send(Rec{Kind: KindEnd, Input: i, Seq: seq})
+	return nil
+}
+
+// decodeBlock is the worker-pool stage: it lifts a block record's raw
+// bytes back into instruction addresses (validating the encoding), the
+// streaming counterpart of the tracer's per-instruction Executed marking.
+// Non-block records pass through.
+func (s *Stream) decodeBlock(r Rec) (fact, error) {
+	f := fact{rec: r}
+	if r.Kind != KindBlock {
+		return f, nil
+	}
+	ins, err := isa.DecodeAll(r.Bytes)
+	if err != nil {
+		return fact{}, fmt.Errorf("stream: input %d block 0x%x: %w", r.Input, r.Start, err)
+	}
+	if want := int(r.End-r.Start)/isa.InstrSize + 1; len(ins) != want {
+		return fact{}, fmt.Errorf("stream: input %d block 0x%x: decoded %d instrs, want %d", r.Input, r.Start, len(ins), want)
+	}
+	f.addrs = make([]uint32, len(ins))
+	for k := range f.addrs {
+		f.addrs[k] = r.Start + uint32(k)*isa.InstrSize
+	}
+	return f, nil
+}
+
+// merge is the single consumer of the decode stage: it folds facts into
+// per-input traces (set union — commutative, so cross-input interleaving
+// cannot change the result) and tracks provisional closes by stamp.
+func (s *Stream) merge() {
+	defer close(s.finished)
+	defer close(s.done)
+	for f := range s.pipe.Out {
+		r := f.rec
+		s.records++
+		sub := s.subs[r.Input]
+		if sub == nil {
+			sub = tracer.New(s.img)
+			s.subs[r.Input] = sub
+		}
+		switch r.Kind {
+		case KindBlock:
+			s.blocks++
+			for _, a := range f.addrs {
+				sub.MarkExecuted(a)
+			}
+		case KindEdge:
+			sub.AddTransfer(r.Edge)
+		case KindClose:
+			// Per-input records arrive in stamp order, so the last write
+			// per (input, entry) wins — it carries the latest stamp.
+			s.closeAt[closeID{r.Input, r.Entry}] = r.Seq
+		case KindEnd:
+			sub.Inputs = 1
+			s.done <- r.Input
+		}
+	}
+}

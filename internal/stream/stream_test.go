@@ -1,0 +1,230 @@
+package stream
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wytiwyg/internal/bench/progs"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/minicc/gen"
+	"wytiwyg/internal/obj"
+	"wytiwyg/internal/tracer"
+)
+
+// scaled pins the benchmark's ref input to a small size (mirrors
+// bench.Scaled, which cannot be imported here: bench depends on core,
+// which depends on this package).
+func scaled(p progs.Program, refScale int32) progs.Program {
+	p.Ref = machine.Input{Ints: []int32{refScale}}
+	return p
+}
+
+func buildProg(t *testing.T, p progs.Program) (*obj.Image, []machine.Input) {
+	t.Helper()
+	img, err := gen.Build(p.Src, gen.GCC12O3, p.Name)
+	if err != nil {
+		t.Fatalf("%s: build: %v", p.Name, err)
+	}
+	return img, p.Inputs()
+}
+
+// The streamed merge must recover exactly the facts the phase-barriered
+// tracer records: same executed set, same edges, same external bindings —
+// at every worker count and channel capacity.
+func TestStreamTraceMatchesBarriered(t *testing.T) {
+	corpus := progs.All
+	if testing.Short() {
+		corpus = corpus[:3]
+	}
+	for _, p := range corpus {
+		p := scaled(p, 4)
+		img, inputs := buildProg(t, p)
+
+		want := tracer.New(img)
+		if err := want.RunAll(inputs, nil); err != nil {
+			t.Fatalf("%s: barriered trace: %v", p.Name, err)
+		}
+		wantDigest := want.Digest()
+
+		for _, cfg := range []Opts{{Jobs: 1, Buf: 1}, {Jobs: 4, Buf: 8}, {Jobs: 8}} {
+			s := Start(img, inputs, cfg)
+			res, err := s.Wait()
+			if err != nil {
+				t.Fatalf("%s (jobs=%d buf=%d): %v", p.Name, cfg.Jobs, cfg.Buf, err)
+			}
+			if res.Trace.Digest() != wantDigest {
+				t.Errorf("%s (jobs=%d buf=%d): streamed trace digest differs from barriered", p.Name, cfg.Jobs, cfg.Buf)
+			}
+			if res.Trace.Inputs != len(inputs) {
+				t.Errorf("%s: merged %d inputs, want %d", p.Name, res.Trace.Inputs, len(inputs))
+			}
+			if res.Blocks == 0 || res.Records <= res.Blocks {
+				t.Errorf("%s: implausible stats: %d records, %d blocks", p.Name, res.Records, res.Blocks)
+			}
+		}
+	}
+}
+
+// Function-close events are resolved by (input, sequence stamp), so the
+// close schedule must be identical across worker counts and buffer sizes —
+// never a function of channel arrival order.
+func TestStreamCloseOrderDeterministic(t *testing.T) {
+	p := scaled(progs.All[0], 4)
+	img, inputs := buildProg(t, p)
+
+	base := func() []Close {
+		s := Start(img, inputs, Opts{Jobs: 1, Buf: 1})
+		res, err := s.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Closes
+	}()
+	if len(base) == 0 {
+		t.Fatal("no close events recorded")
+	}
+	for i := 1; i < len(base); i++ {
+		a, b := base[i-1], base[i]
+		if a.Input > b.Input || (a.Input == b.Input && a.Seq > b.Seq) {
+			t.Fatalf("closes not in (input, seq) order: %+v before %+v", a, b)
+		}
+	}
+
+	for _, cfg := range []Opts{{Jobs: 4, Buf: 2}, {Jobs: 8, Buf: 64}} {
+		s := Start(img, inputs, cfg)
+		res, err := s.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Closes) != len(base) {
+			t.Fatalf("jobs=%d: %d closes, want %d", cfg.Jobs, len(res.Closes), len(base))
+		}
+		for i := range base {
+			if res.Closes[i] != base[i] {
+				t.Fatalf("jobs=%d: close %d = %+v, want %+v", cfg.Jobs, i, res.Closes[i], base[i])
+			}
+		}
+	}
+}
+
+// Done must deliver every input index exactly once, and PrefixTrace over
+// all retired inputs must equal the final merged trace.
+func TestStreamPrefixTrace(t *testing.T) {
+	p := scaled(progs.All[1], 4)
+	img, inputs := buildProg(t, p)
+
+	s := Start(img, inputs, Opts{Jobs: 2, Buf: 16})
+	seen := make(map[int]bool)
+	for i := range s.Done() {
+		if seen[i] {
+			t.Fatalf("input %d retired twice", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != len(inputs) {
+		t.Fatalf("retired %d inputs, want %d", len(seen), len(inputs))
+	}
+	res, err := s.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PrefixTrace(len(inputs)).Digest() != res.Trace.Digest() {
+		t.Error("full-prefix trace differs from the merged result")
+	}
+}
+
+// With the decode stage stalled, producers must block on the bounded
+// channel after the windows fill — the tracer cannot run ahead without
+// bound — and the run must still complete correctly once unstalled.
+func TestStreamBackpressure(t *testing.T) {
+	p := scaled(progs.All[0], 4)
+	img, inputs := buildProg(t, p)
+
+	want := tracer.New(img)
+	if err := want.RunAll(inputs, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	const jobs, buf = 2, 4
+	gate := make(chan struct{})
+	var sent atomic.Int64
+	opts := Opts{
+		Jobs: jobs,
+		Buf:  buf,
+		decodeWrap: func(inner func(Rec) (fact, error)) func(Rec) (fact, error) {
+			return func(r Rec) (fact, error) {
+				<-gate
+				return inner(r)
+			}
+		},
+		onSend: func(Rec) { sent.Add(1) },
+	}
+	s := Start(img, inputs, opts)
+
+	// Record channel + decode-out buffer + one record per worker/stage
+	// hand: the most the producers can get ahead while decode is stalled.
+	bound := int64(2*buf + 2*jobs + 3)
+	deadline := time.Now().Add(2 * time.Second)
+	var last int64 = -1
+	for time.Now().Before(deadline) {
+		cur := sent.Load()
+		if cur == last {
+			break
+		}
+		last = cur
+		time.Sleep(20 * time.Millisecond)
+	}
+	stalled := sent.Load()
+	if stalled > bound {
+		t.Fatalf("producers pushed %d records against a stalled decode stage, want <= %d", stalled, bound)
+	}
+
+	close(gate)
+	res, err := s.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(res.Records) <= bound {
+		t.Fatalf("test too small to prove backpressure: only %d records total", res.Records)
+	}
+	if res.Trace.Digest() != want.Digest() {
+		t.Error("trace after a stall differs from the barriered trace")
+	}
+}
+
+// A panic in a decode worker must drain the stream — producers unblock,
+// every goroutine exits — and surface as an error, not a crash or hang.
+func TestStreamWorkerPanicDrains(t *testing.T) {
+	p := scaled(progs.All[0], 4)
+	img, inputs := buildProg(t, p)
+
+	var n atomic.Int64
+	opts := Opts{
+		Jobs: 4,
+		Buf:  4,
+		decodeWrap: func(inner func(Rec) (fact, error)) func(Rec) (fact, error) {
+			return func(r Rec) (fact, error) {
+				if r.Kind == KindBlock && n.Add(1) == 5 {
+					panic("lift worker exploded")
+				}
+				return inner(r)
+			}
+		},
+	}
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		_, err = Start(img, inputs, opts).Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream did not drain after a worker panic")
+	}
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want a panic-converted error", err)
+	}
+}

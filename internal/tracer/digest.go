@@ -1,0 +1,85 @@
+package tracer
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Digest returns a content digest over the trace's recovered control-flow
+// facts: the executed-instruction set, call and jump target sets, external
+// call bindings and return sites. The digest is computed over a sorted
+// serialization, so it is independent of merge order, worker count and the
+// number of inputs that produced the facts (Inputs is deliberately
+// excluded). Every downstream stage — CFG construction, function recovery,
+// lifting, refinement — is a function of exactly these five fact sets, so
+// two traces with equal digests drive the whole pipeline identically. The
+// streaming scheduler relies on this to validate refine-ahead speculation:
+// a pipeline built from a coverage-complete input prefix is adoptable iff
+// the prefix digest equals the final merged digest.
+func (t *Trace) Digest() [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		h.Write(buf[:4])
+	}
+	count := func(n int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(n))
+		h.Write(buf[:])
+	}
+	set := func(tag byte, s map[uint32]bool) {
+		h.Write([]byte{tag})
+		count(len(s))
+		for _, a := range sortedAddrs(s) {
+			u32(a)
+		}
+	}
+	targets := func(tag byte, m map[uint32]map[uint32]bool) {
+		h.Write([]byte{tag})
+		count(len(m))
+		froms := make([]uint32, 0, len(m))
+		for from := range m {
+			froms = append(froms, from)
+		}
+		sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
+		for _, from := range froms {
+			u32(from)
+			tos := Targets(m, from)
+			count(len(tos))
+			for _, to := range tos {
+				u32(to)
+			}
+		}
+	}
+
+	set('x', t.Executed)
+	targets('c', t.CallTargets)
+	targets('j', t.JumpTargets)
+	set('r', t.RetSites)
+	h.Write([]byte{'e'})
+	count(len(t.ExtCalls))
+	froms := make([]uint32, 0, len(t.ExtCalls))
+	for from := range t.ExtCalls {
+		froms = append(froms, from)
+	}
+	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
+	for _, from := range froms {
+		u32(from)
+		h.Write([]byte(t.ExtCalls[from]))
+		h.Write([]byte{0})
+	}
+
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func sortedAddrs(s map[uint32]bool) []uint32 {
+	out := make([]uint32, 0, len(s))
+	for a := range s {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

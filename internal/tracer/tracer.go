@@ -18,7 +18,7 @@ import (
 
 // Trace is the merged dynamic CFG information for one binary.
 type Trace struct {
-	Img *obj.Image
+	Img *obj.Image // the traced binary
 	// Executed marks every instruction address that ran under any input.
 	Executed map[uint32]bool
 	// CallTargets maps a call-site address to the set of observed callee
@@ -65,27 +65,36 @@ func (t *Trace) Run(input machine.Input, out io.Writer) (machine.Result, error) 
 		return machine.Result{}, err
 	}
 	m.InstrHook = func(pc uint32) { t.Executed[pc] = true }
-	m.Hook = func(tr machine.Transfer) {
-		switch tr.Kind {
-		case machine.TransferCall:
-			addTarget(t.CallTargets, tr.From, tr.To)
-		case machine.TransferExt:
-			name, _ := t.Img.ExtName(tr.To)
-			t.ExtCalls[tr.From] = name
-		case machine.TransferJump:
-			addTarget(t.JumpTargets, tr.From, tr.To)
-		case machine.TransferBranch:
-			addTarget(t.JumpTargets, tr.From, tr.To)
-		case machine.TransferRet:
-			t.RetSites[tr.From] = true
-		}
-	}
+	m.Hook = t.AddTransfer
 	if err := m.Run(); err != nil {
 		return machine.Result{}, fmt.Errorf("tracer: %w", err)
 	}
 	t.Inputs++
 	return machine.Result{ExitCode: m.ExitCode(), Cycles: m.TotalCycles(), Steps: m.Steps}, nil
 }
+
+// AddTransfer folds one observed control transfer into the trace. It is
+// the single classification point shared by the phase-barriered tracer
+// (Run's machine hook) and the streaming pipeline's merge stage, so both
+// modes record identical facts for identical events.
+func (t *Trace) AddTransfer(tr machine.Transfer) {
+	switch tr.Kind {
+	case machine.TransferCall:
+		addTarget(t.CallTargets, tr.From, tr.To)
+	case machine.TransferExt:
+		name, _ := t.Img.ExtName(tr.To)
+		t.ExtCalls[tr.From] = name
+	case machine.TransferJump:
+		addTarget(t.JumpTargets, tr.From, tr.To)
+	case machine.TransferBranch:
+		addTarget(t.JumpTargets, tr.From, tr.To)
+	case machine.TransferRet:
+		t.RetSites[tr.From] = true
+	}
+}
+
+// MarkExecuted records one executed instruction address.
+func (t *Trace) MarkExecuted(pc uint32) { t.Executed[pc] = true }
 
 // RunAll merges traces for several inputs (incremental lifting's "provide
 // more inputs until coverage suffices").
@@ -162,7 +171,7 @@ func Targets(m map[uint32]map[uint32]bool, from uint32) []uint32 {
 // Block is a recovered basic block: a maximal run of executed instructions
 // with a single entry at Start.
 type Block struct {
-	Start uint32
+	Start uint32 // address of the block's first instruction
 	// End is the address of the last instruction in the block.
 	End uint32
 	// Succs are intra-procedural successor block starts (branch, jump,
@@ -178,7 +187,7 @@ type Block struct {
 
 // CFG is the block-level dynamic control-flow graph.
 type CFG struct {
-	Trace  *Trace
+	Trace  *Trace            // the trace the graph was built from
 	Blocks map[uint32]*Block // keyed by start address
 	// TailJumps marks jump sites that were classified as tail calls by
 	// function recovery (filled in by funcrec, consumed by the lifter).

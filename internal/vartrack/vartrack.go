@@ -38,14 +38,14 @@ import (
 // is keyed by the static base-pointer value, not by address, so one
 // StackVar serves every activation in recursive call chains.
 type StackVar struct {
-	ID int
-	Fn *ir.Func
+	ID int      // stable variable number (assignment order)
+	Fn *ir.Func // owning function
 	// SPOff is the base pointer's displacement from its function's sp0.
 	SPOff int32
 	// Bounds relative to the base pointer; undefined until the first
 	// dereference through any associated pointer.
 	Defined   bool
-	Low, High int32
+	Low, High int32 // see Defined
 	// Align is the strongest alignment observed through AND masking (0 =
 	// none).
 	Align uint32
@@ -65,8 +65,8 @@ func (v *StackVar) String() string {
 
 // PointerInfo associates a runtime value with a stack variable.
 type PointerInfo struct {
-	Var *StackVar
-	Off int32
+	Var *StackVar // the variable the value points into
+	Off int32     // displacement from the variable's base
 }
 
 // Result is everything symbolization needs.

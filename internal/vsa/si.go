@@ -14,7 +14,7 @@ import (
 // computation that leaves the window wraps, and norm replaces it with the
 // full congruence class it can still claim (see norm).
 type SI struct {
-	Lo, Hi, Stride int64
+	Lo, Hi, Stride int64 // inclusive bounds and step of the represented set
 }
 
 // TopSI is the unconstrained strided interval.

@@ -25,8 +25,8 @@ const (
 // Region identifies one memory region. For RegFrame, Base is the alloca
 // whose storage the region denotes; it is nil otherwise.
 type Region struct {
-	Kind RegionKind
-	Base *ir.Value
+	Kind RegionKind // which region class
+	Base *ir.Value  // the identifying alloca for RegFrame
 }
 
 func (r Region) String() string {
