@@ -47,19 +47,28 @@ step "wytiwyg lint (benchmark corpus)" sh -c '
     /tmp/wytiwyg-ci lint -all'
 step "examples" check_examples
 
+# Superblock differential under the race detector: the full corpus compared
+# between superblock and per-instruction dispatch, all hook configurations.
+# The corpus/random-IR differentials skip under -short, so the blanket
+# `go test -race -short` above does not duplicate this step.
+step "superblock differential (-race)" \
+    go test -race -run 'TestSuperblock|TestStepInterleavesWithRun' -count=1 ./internal/machine/
+
 # Bench smoke: one iteration of every interpreter/emulator micro-benchmark.
-# Catches benchmarks that stop compiling or crash, and refreshes the
-# "current" numbers in BENCH_interp.json (the committed baseline is kept).
-# The second invocation refreshes the artifact's "vsa" section: value-set
-# analysis cost per function and promoted slots with/without the oracle;
-# the third its "static" section: cold-candidate discovery and admission
-# counts under partial trace coverage.
+# Catches benchmarks that stop compiling or crash. The smoke numbers go to
+# a scratch copy, never the committed artifact: 1-iteration timings are
+# noise, and the committed BENCH_interp.json holds only full-protocol runs
+# (bench.sh). benchjson -check then validates both files' structure so a
+# malformed artifact fails CI instead of being published.
 check_bench() {
+    cp BENCH_interp.json /tmp/wytiwyg-bench-smoke.json
     go test -bench=. -benchtime=1x -run '^$' \
         ./internal/machine/ ./internal/irexec/ |
-        go run ./cmd/benchjson -o BENCH_interp.json
-    go run ./cmd/benchjson -vsa -o BENCH_interp.json
-    go run ./cmd/benchjson -static -o BENCH_interp.json
+        go run ./cmd/benchjson -mode smoke -o /tmp/wytiwyg-bench-smoke.json
+    go run ./cmd/benchjson -vsa -o /tmp/wytiwyg-bench-smoke.json
+    go run ./cmd/benchjson -static -o /tmp/wytiwyg-bench-smoke.json
+    go run ./cmd/benchjson -check -o /tmp/wytiwyg-bench-smoke.json
+    go run ./cmd/benchjson -check -o BENCH_interp.json
 }
 step "bench smoke" check_bench
 

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"fmt"
+
+	"wytiwyg/internal/bench"
+	"wytiwyg/internal/bench/progs"
+	"wytiwyg/internal/codegen"
+	"wytiwyg/internal/core"
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/minicc/gen"
+	"wytiwyg/internal/opt"
+	"wytiwyg/internal/sanitize"
+	"wytiwyg/internal/vsa"
+)
+
+// The -guards mode re-measures the paper's Table 1 story for the sanitizer
+// extension: the cycle overhead of stack-bounds hardening on a recompiled
+// binary, before and after the VSA oracle elides the guards it can prove
+// redundant (codegen/guards.go). Each measured program is lifted, refined,
+// sanitized, optimized, and compiled three ways — unsanitized, sanitized,
+// and sanitized with elision — then run on its ref input.
+
+// guardsPrograms is the corpus slice -guards measures: workloads that keep
+// hot arrays on the stack, so the sanitizer has accesses to bracket.
+var guardsPrograms = []string{"bzip2"}
+
+// maskedSrc is an extra workload built so some guards are provably
+// redundant: the buffer indices are masked to the buffer size, the bound
+// VSA recovers exactly. Its elided count is the regression canary for the
+// oracle→codegen wiring (the corpus programs' indices are input-scaled,
+// which nothing can bound statically).
+const maskedSrc = `
+extern int input_int(int i);
+extern int printf(char *fmt, ...);
+
+int main() {
+	int buf[8];
+	int n = input_int(0);
+	int acc = 0;
+	int i;
+	for (i = 0; i < n; i++) {
+		buf[i & 7] = i;
+		acc += buf[(i + 3) & 7];
+	}
+	printf("masked checksum=%d\n", acc);
+	return acc % 251;
+}
+`
+
+// masked wraps maskedSrc as a runnable program.
+func masked() progs.Program {
+	return progs.Program{
+		Name:  "masked",
+		Src:   maskedSrc,
+		Train: machine.Input{Ints: []int32{5}},
+		Ref:   machine.Input{Ints: []int32{23}},
+	}
+}
+
+// guardsScale is the ref-input scale for -guards runs.
+const guardsScale = 4
+
+// GuardSection is one program's sanitizer-overhead measurements.
+type GuardSection struct {
+	Program string `json:"program"` // benchmark name
+	Checks  int    `json:"checks"`  // sanitizer checks inserted
+	Guards  int    `json:"guards"`  // guard blocks codegen recognized post-opt
+	Elided  int    `json:"elided"`  // guards the VSA oracle discharged
+	// PlainCycles is the ref-input cycle count of the unsanitized build.
+	PlainCycles uint64 `json:"plain_cycles"`
+	// SanitizedCycles is the ref-input cycle count with all guards kept.
+	SanitizedCycles uint64 `json:"sanitized_cycles"`
+	// ElidedCycles is the ref-input cycle count after VSA guard elision.
+	ElidedCycles uint64 `json:"elided_cycles"`
+	// SanitizedRatio is the Table 1-style overhead ratio of the fully
+	// guarded build over the unsanitized build.
+	SanitizedRatio float64 `json:"sanitized_ratio"`
+	// ElidedRatio is the same ratio after VSA guard elision.
+	ElidedRatio float64 `json:"elided_ratio"`
+}
+
+// guardsSections builds the artifact's "guards" section.
+func guardsSections() ([]GuardSection, error) {
+	var out []GuardSection
+	for _, name := range guardsPrograms {
+		p, ok := progs.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown guards program %q", name)
+		}
+		sec, err := guardsOne(bench.Scaled(p, guardsScale))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out = append(out, sec)
+	}
+	sec, err := guardsOne(masked())
+	if err != nil {
+		return nil, fmt.Errorf("masked: %w", err)
+	}
+	return append(out, sec), nil
+}
+
+// guardsOne builds one program three ways and measures the overhead
+// ratios. Each build lifts afresh: sanitization and optimization mutate
+// the module.
+func guardsOne(p progs.Program) (GuardSection, error) {
+	img, err := gen.Build(p.Src, gen.GCC12O3, p.Name)
+	if err != nil {
+		return GuardSection{}, fmt.Errorf("build: %w", err)
+	}
+	sec := GuardSection{Program: p.Name}
+
+	run := func(sanitized, elide bool) (uint64, error) {
+		pl, err := refined(img, p, core.Options{Lint: core.LintOff})
+		if err != nil {
+			return 0, err
+		}
+		if sanitized {
+			checks := sanitize.Apply(pl.Mod)
+			if checks == 0 {
+				return 0, fmt.Errorf("sanitizer instrumented nothing")
+			}
+			sec.Checks = checks
+		}
+		opt.Pipeline(pl.Mod)
+		var opts codegen.Options
+		var st codegen.GuardStats
+		if elide {
+			opts.Oracle = func(f *ir.Func) codegen.BoundsOracle { return vsa.NewOracle(f) }
+			opts.Guards = &st
+		}
+		bin, err := codegen.CompileWith(pl.Mod, p.Name+"-guards", opts)
+		if err != nil {
+			return 0, fmt.Errorf("codegen: %w", err)
+		}
+		if elide {
+			sec.Guards = st.Guards
+			sec.Elided = st.Elided
+		}
+		res, err := machine.Execute(bin, p.Ref, nil)
+		if err != nil {
+			return 0, fmt.Errorf("execute: %w", err)
+		}
+		return res.Cycles, nil
+	}
+
+	if sec.PlainCycles, err = run(false, false); err != nil {
+		return GuardSection{}, err
+	}
+	if sec.SanitizedCycles, err = run(true, false); err != nil {
+		return GuardSection{}, err
+	}
+	if sec.ElidedCycles, err = run(true, true); err != nil {
+		return GuardSection{}, err
+	}
+	sec.SanitizedRatio = round2(float64(sec.SanitizedCycles) / float64(sec.PlainCycles))
+	sec.ElidedRatio = round2(float64(sec.ElidedCycles) / float64(sec.PlainCycles))
+	return sec, nil
+}
+
+// writeGuards merges a freshly measured "guards" section into the
+// artifact, leaving the other sections untouched.
+func writeGuards(path string) error {
+	sections, err := guardsSections()
+	if err != nil {
+		return err
+	}
+	f, err := readArtifact(path)
+	if err != nil {
+		return err
+	}
+	f.Guards = sections
+	return writeArtifact(path, f, fmt.Sprintf("guards section for %d programs", len(sections)))
+}

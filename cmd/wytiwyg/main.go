@@ -44,6 +44,7 @@ import (
 	"wytiwyg/internal/bench/progs"
 	"wytiwyg/internal/codegen"
 	"wytiwyg/internal/core"
+	"wytiwyg/internal/ir"
 	"wytiwyg/internal/machine"
 	"wytiwyg/internal/minicc/gen"
 	"wytiwyg/internal/obj"
@@ -51,6 +52,7 @@ import (
 	"wytiwyg/internal/profiling"
 	"wytiwyg/internal/sanitize"
 	"wytiwyg/internal/symbolize"
+	"wytiwyg/internal/vsa"
 )
 
 func main() {
@@ -63,6 +65,7 @@ func main() {
 	inputsFlag := flag.String("inputs", "", "comma-separated integer inputs for tracing/validation")
 	emit := flag.String("emit", "", "additionally print: ir, asm, layout")
 	sanitizeFlag := flag.Bool("sanitize", false, "retrofit stack-bounds checks onto the recompiled binary")
+	sanElide := flag.Bool("sanitize-elide", false, "with -sanitize: let the value-set analysis elide provably redundant bounds checks")
 	lintMode := flag.String("lint", "warn", "post-refinement verification: off, warn, fail")
 	vsaFlag := flag.Bool("vsa", false, "run the value-set analysis stage: verify the layout and enable alias-oracle optimizations")
 	staticFlag := flag.Bool("static-recover", false, "statically recover untraced functions, admitting only VSA-verified layouts")
@@ -223,9 +226,22 @@ func main() {
 		}
 	}
 
-	out, err := codegen.Compile(p.Mod, "recovered")
+	var cgOpts codegen.Options
+	var guardStats codegen.GuardStats
+	if *sanElide {
+		if !*sanitizeFlag {
+			fail("-sanitize-elide requires -sanitize")
+		}
+		cgOpts.Oracle = func(f *ir.Func) codegen.BoundsOracle { return vsa.NewOracle(f) }
+		cgOpts.Guards = &guardStats
+	}
+	out, err := codegen.CompileWith(p.Mod, "recovered", cgOpts)
 	if err != nil {
 		fail("recompile: %v", err)
+	}
+	if *sanElide {
+		fmt.Printf("sanitizer: %d of %d guards proven redundant and elided\n",
+			guardStats.Elided, guardStats.Guards)
 	}
 	fmt.Printf("recovered binary: %d instructions\n", len(out.Code))
 	if *emit == "asm" {

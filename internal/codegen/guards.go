@@ -1,0 +1,165 @@
+package codegen
+
+// VSA-fed guard elision: the sanitizer (internal/sanitize) brackets every
+// provably-stack-derived memory access with a bounds check that exits the
+// program on violation. Many of those checks are statically redundant —
+// the value-set analysis proves the address can only ever fall inside the
+// checked object — and the recompiled binary pays their cost on every
+// execution (the paper's Table 1 overhead ratios). When the caller
+// supplies a bounds oracle, codegen recognizes the sanitizer's exact guard
+// shape and deletes the guards the oracle discharges, before lowering.
+//
+// The pass is deliberately narrow: it only removes branches whose failure
+// successor is the sanitizer's abort block (exit(253); trap). A
+// user-written branch that happens to look like a bounds comparison is
+// never touched, so a wrong answer from the oracle could at worst keep a
+// sanitizer check alive — it can never change program-visible behaviour
+// of unsanitized code.
+
+import (
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/opt"
+)
+
+// BoundsOracle is the bounds-proof interface guard elision consumes. It is
+// implemented by vsa.Oracle; codegen depends only on the contract so the
+// packages stay layered (mirroring opt.AliasOracle). Answers must be
+// conservative: false means "cannot prove", and a false answer only costs
+// a retained check.
+type BoundsOracle interface {
+	// InBounds reports that a sz-byte access through p is proven to stay
+	// inside the object allocated by base.
+	InBounds(p *ir.Value, sz int64, base *ir.Value) bool
+}
+
+// GuardStats counts the guards elision saw and removed across a module.
+type GuardStats struct {
+	Guards int // sanitizer bounds guards recognized
+	Elided int // guards proven redundant and deleted
+}
+
+// guard is one matched sanitizer check: a sz-byte access at addr checked
+// against the object allocated by base.
+type guard struct {
+	addr *ir.Value
+	base *ir.Value
+	sz   int64
+}
+
+// elideGuards removes every sanitizer guard in f the oracle proves
+// redundant, accumulating counts into st. The CFG is re-simplified and
+// dead check values swept only when something was elided.
+func elideGuards(f *ir.Func, orc BoundsOracle, st *GuardStats) {
+	if orc == nil {
+		return
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		g, ok := matchGuard(b)
+		if !ok {
+			continue
+		}
+		st.Guards++
+		if !orc.InBounds(g.addr, g.sz, g.base) {
+			continue
+		}
+		st.Elided++
+		// The check can never fail: rewrite the branch into a jump to the
+		// in-bounds successor and unlink the abort block.
+		t := b.Insts[len(b.Insts)-1]
+		t.Op = ir.OpJmp
+		t.Args = nil
+		fail := b.Succs[1]
+		b.Succs = b.Succs[:1]
+		for i, p := range fail.Preds {
+			if p == b {
+				fail.Preds = append(fail.Preds[:i], fail.Preds[i+1:]...)
+				break
+			}
+		}
+		changed = true
+	}
+	if changed {
+		// Unreachable abort blocks drop, guard blocks merge back into the
+		// straight line they split, and the orphaned compare/add/const
+		// chain dies.
+		opt.SimplifyCFG(f)
+		opt.DCE(f)
+	}
+}
+
+// matchGuard recognizes the block shape sanitize.insertCheck emits:
+//
+//	ok1 = cmp.ae addr, base          (base is an alloca)
+//	end = add base, #AllocSize
+//	lim = add addr, #accessSize
+//	ok2 = cmp.be lim, end
+//	br (and ok1, ok2) -> cont, fail  (fail = exit(253); trap)
+//
+// Only the dataflow is matched, not instruction positions, so the guard
+// survives scheduling and CSE.
+func matchGuard(b *ir.Block) (guard, bool) {
+	t := b.Term()
+	if t == nil || t.Op != ir.OpBr || len(b.Succs) != 2 {
+		return guard{}, false
+	}
+	cond := t.Args[0]
+	if cond.Op != ir.OpAnd {
+		return guard{}, false
+	}
+	ok1, ok2 := cond.Args[0], cond.Args[1]
+	if ok1.Op != ir.OpCmp || ok2.Op != ir.OpCmp {
+		return guard{}, false
+	}
+	if ok1.Cond == isa.CondBE && ok2.Cond == isa.CondAE {
+		ok1, ok2 = ok2, ok1
+	}
+	if ok1.Cond != isa.CondAE || ok2.Cond != isa.CondBE {
+		return guard{}, false
+	}
+	addr, base := ok1.Args[0], ok1.Args[1]
+	if base.Op != ir.OpAlloca {
+		return guard{}, false
+	}
+	lim, end := ok2.Args[0], ok2.Args[1]
+	if lim.Op != ir.OpAdd || end.Op != ir.OpAdd {
+		return guard{}, false
+	}
+	if lim.Args[0] != addr || end.Args[0] != base {
+		return guard{}, false
+	}
+	acc, size := lim.Args[1], end.Args[1]
+	if acc.Op != ir.OpConst || size.Op != ir.OpConst {
+		return guard{}, false
+	}
+	if int64(size.Const) != int64(base.AllocSize) {
+		return guard{}, false
+	}
+	if !isAbortBlock(b.Succs[1]) {
+		return guard{}, false
+	}
+	return guard{addr: addr, base: base, sz: int64(acc.Const)}, true
+}
+
+// isAbortBlock reports whether b is a sanitizer failure path: constants
+// feeding a call to exit, then a trap, reached only to die.
+func isAbortBlock(b *ir.Block) bool {
+	n := len(b.Insts)
+	if n < 2 || len(b.Phis) != 0 || len(b.Succs) != 0 {
+		return false
+	}
+	if b.Insts[n-1].Op != ir.OpTrap {
+		return false
+	}
+	call := b.Insts[n-2]
+	if call.Op != ir.OpCallExt || call.Sym != "exit" {
+		return false
+	}
+	for _, v := range b.Insts[:n-2] {
+		if v.Op != ir.OpConst {
+			return false
+		}
+	}
+	return true
+}

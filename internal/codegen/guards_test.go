@@ -1,0 +1,188 @@
+package codegen_test
+
+// Guard elision tests: the sanitizer's bounds checks must disappear
+// exactly when the VSA oracle proves the address in-bounds — and never
+// when the index is attacker-controlled. Each case compiles the same
+// module with and without the oracle and requires identical program
+// behaviour, including the sanitizer still firing on violations.
+
+import (
+	"testing"
+
+	"wytiwyg/internal/codegen"
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/isa"
+	"wytiwyg/internal/machine"
+	"wytiwyg/internal/sanitize"
+	"wytiwyg/internal/vsa"
+)
+
+// vsaOracle adapts the VSA analysis into codegen's bounds interface.
+func vsaOracle(f *ir.Func) codegen.BoundsOracle { return vsa.NewOracle(f) }
+
+// buildGuarded returns a module whose one function writes a 16-byte stack
+// buffer at constant offsets and through a masked dynamic index — all
+// provably in bounds. When wild is true it adds one more store whose index
+// comes straight from input_int(0), which nothing bounds.
+func buildGuarded(wild bool) *ir.Module {
+	m := ir.NewModule("guards")
+	f := m.NewFunc("f", 0x2000)
+	f.NumRet = 1
+	p := f.NewParam(isa.EAX, "x")
+	b := f.NewBlock(0)
+	k := func(c int32) *ir.Value {
+		v := f.NewValue(ir.OpConst)
+		v.Const = c
+		b.Append(v)
+		return v
+	}
+	buf := f.NewValue(ir.OpAlloca)
+	buf.AllocSize = 16
+	buf.Align = 4
+	buf.Const = -16
+	buf.Name = "buf"
+	b.Append(buf)
+	for _, off := range []int32{0, 4, 8, 12} {
+		a := f.NewValue(ir.OpAdd, buf, k(off))
+		b.Append(a)
+		st := f.NewValue(ir.OpStore, a, p)
+		st.Size = 4
+		b.Append(st)
+	}
+	// Dynamic but masked: (x & 3) * 4 stays inside the buffer.
+	idx := f.NewValue(ir.OpAnd, p, k(3))
+	b.Append(idx)
+	sc := f.NewValue(ir.OpMul, idx, k(4))
+	b.Append(sc)
+	da := f.NewValue(ir.OpAdd, buf, sc)
+	b.Append(da)
+	dst := f.NewValue(ir.OpStore, da, idx)
+	dst.Size = 4
+	b.Append(dst)
+	last := da
+	if wild {
+		in := f.NewValue(ir.OpCallExt, k(0))
+		in.Sym = "input_int"
+		in.NumRet = 1
+		b.Append(in)
+		iv := f.NewValue(ir.OpExtract, in)
+		iv.Idx = 0
+		b.Append(iv)
+		wsc := f.NewValue(ir.OpMul, iv, k(4))
+		b.Append(wsc)
+		wa := f.NewValue(ir.OpAdd, buf, wsc)
+		b.Append(wa)
+		wst := f.NewValue(ir.OpStore, wa, iv)
+		wst.Size = 4
+		b.Append(wst)
+		last = wa
+	}
+	ld := f.NewValue(ir.OpLoad, last)
+	ld.Size = 4
+	b.Append(ld)
+	b.Append(f.NewValue(ir.OpRet, ld))
+
+	start := m.NewFunc("_start", 0x1000)
+	sb := start.NewBlock(0)
+	arg := start.NewValue(ir.OpConst)
+	arg.Const = 6
+	sb.Append(arg)
+	call := start.NewValue(ir.OpCall, arg)
+	call.Callee = f
+	call.NumRet = 1
+	sb.Append(call)
+	ex := start.NewValue(ir.OpExtract, call)
+	ex.Idx = 0
+	sb.Append(ex)
+	ec := start.NewValue(ir.OpCallExt, ex)
+	ec.Sym = "exit"
+	ec.NumRet = 1
+	sb.Append(ec)
+	sb.Append(start.NewValue(ir.OpTrap))
+	m.Entry = start
+	return m
+}
+
+// compileGuarded sanitizes a fresh module and compiles it, with or without
+// the oracle, returning the image and the guard stats (zero without).
+func compileGuarded(t *testing.T, wild, oracle bool) (*machine.Result, codegen.GuardStats, uint64) {
+	t.Helper()
+	m := buildGuarded(wild)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("invalid module: %v", err)
+	}
+	checks := sanitize.Apply(m)
+	if checks == 0 {
+		t.Fatal("sanitizer instrumented nothing")
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("sanitizer broke the module: %v", err)
+	}
+	var st codegen.GuardStats
+	opts := codegen.Options{}
+	if oracle {
+		opts.Oracle = vsaOracle
+		opts.Guards = &st
+	}
+	img, err := codegen.CompileWith(m, "guards", opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := machine.Execute(img, machine.Input{Ints: []int32{2}}, nil)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	return &res, st, res.Cycles
+}
+
+// TestGuardElisionProvable: every guard over provably in-bounds accesses is
+// recognized and removed, and the program behaves identically but cheaper.
+func TestGuardElisionProvable(t *testing.T) {
+	plain, _, plainCycles := compileGuarded(t, false, false)
+	elided, st, elidedCycles := compileGuarded(t, false, true)
+	if st.Guards == 0 {
+		t.Fatal("no guards recognized — pattern matcher is out of sync with the sanitizer")
+	}
+	if st.Elided != st.Guards {
+		t.Fatalf("elided %d of %d provable guards", st.Elided, st.Guards)
+	}
+	if plain.ExitCode != elided.ExitCode {
+		t.Fatalf("exit codes diverge: plain=%d elided=%d", plain.ExitCode, elided.ExitCode)
+	}
+	if elidedCycles >= plainCycles {
+		t.Fatalf("elision did not pay: %d cycles with guards, %d without", plainCycles, elidedCycles)
+	}
+}
+
+// TestGuardElisionKeepsUnprovable: an attacker-controlled index defeats the
+// oracle, its guard stays, and the sanitizer still catches the violation.
+func TestGuardElisionKeepsUnprovable(t *testing.T) {
+	_, st, _ := compileGuarded(t, true, true)
+	if st.Elided >= st.Guards {
+		t.Fatalf("elided %d of %d guards — the attacker-controlled check must survive", st.Elided, st.Guards)
+	}
+
+	// The surviving guard must still fire: index 9 writes past the buffer.
+	m := buildGuarded(true)
+	sanitize.Apply(m)
+	var st2 codegen.GuardStats
+	img, err := codegen.CompileWith(m, "guards", codegen.Options{Oracle: vsaOracle, Guards: &st2})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := machine.Execute(img, machine.Input{Ints: []int32{9}}, nil)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if res.ExitCode != sanitize.ViolationExitCode {
+		t.Fatalf("out-of-bounds write not caught after elision: exit=%d", res.ExitCode)
+	}
+}
+
+// TestGuardElisionOffByDefault: the zero Options never touch guards.
+func TestGuardElisionOffByDefault(t *testing.T) {
+	_, st, _ := compileGuarded(t, false, false)
+	if st.Guards != 0 || st.Elided != 0 {
+		t.Fatalf("guard stats populated without an oracle: %+v", st)
+	}
+}

@@ -60,19 +60,19 @@ const (
 	costLea    = 1
 )
 
-// Machine executes one loaded image.
+// Machine executes one loaded image. Field order groups the per-instruction
+// execution state (registers, flags, pc, counters, halt flag, dispatch
+// tables) at the front so the dispatch loops touch as few cache lines as
+// possible.
 type Machine struct {
-	img   *obj.Image
-	Mem   *Memory             // the address space
-	Regs  [isa.NumRegs]uint32 // architectural register file
-	flags flags
-	pc    uint32
+	Regs   [isa.NumRegs]uint32 // architectural register file
+	flags  flags
+	pc     uint32
+	halted bool
 
 	Cycles   uint64 // accumulated cost-model cycles
 	Steps    uint64 // instructions executed
 	MaxSteps uint64 // execution budget; 0 means the default limit
-
-	Out io.Writer // program output sink
 
 	// Hook, when non-nil, receives every control transfer.
 	Hook func(Transfer)
@@ -91,7 +91,32 @@ type Machine struct {
 	// block records by start address.
 	BlockHook func(start, end uint32, t Transfer, term bool)
 
+	// blockStart is the address of the first instruction of the dynamic
+	// block currently executing (BlockHook support); blockPending marks
+	// that the current instruction ended a block, so the next block starts
+	// at whatever address control moves to.
+	blockStart   uint32
+	blockPending bool
+
+	// code is the image's decoded instruction stream; prog, runLen and
+	// runCost are its pre-decoded superblock tables (see superblock.go),
+	// built once at load time — the code section is immutable.
+	code    []isa.Instr
+	prog    []uop
+	runLen  []int32
+	runCost []uint64
+
+	img *obj.Image
+	Mem *Memory // the address space
+
+	Out io.Writer // program output sink
+
 	lib *LibState
+
+	// NoSuperblocks forces Run onto per-instruction dispatch — the
+	// reference mode the differential tests compare superblock execution
+	// against. Observable behaviour is identical either way.
+	NoSuperblocks bool
 
 	// StubHits counts executions of trap stubs, keyed by the name of the
 	// function the stub stands in for. Stubs are located through the
@@ -102,14 +127,6 @@ type Machine struct {
 	// function name.
 	stubAddrs map[uint32]string
 
-	// blockStart is the address of the first instruction of the dynamic
-	// block currently executing (BlockHook support); blockPending marks
-	// that the current instruction ended a block, so the next block starts
-	// at whatever address control moves to.
-	blockStart   uint32
-	blockPending bool
-
-	halted   bool
 	exitCode int32
 }
 
@@ -129,8 +146,17 @@ func stubFunc(sym string) string {
 	return name
 }
 
+// flags is the lazily evaluated flags register. CMP/CMPI record their raw
+// operands and TEST records its result; nothing else in the ISA writes
+// flags. A consumer (JCC or SET) evaluates just the one condition it needs
+// via eval. The predicates are the standard x86 identities the previous
+// eager zf/sf/of/cf encoding computed (signed < is sf≠of after a
+// subtraction, unsigned < is cf, and so on), so consumers observe exactly
+// the same outcomes — only the work moves from every compare to the
+// compares a branch actually reads.
 type flags struct {
-	zf, sf, of, cf bool
+	a, b uint32 // CMP/CMPI operands; TEST stores its masked result in a
+	test bool   // the last producer was TEST
 }
 
 // ErrMaxSteps is returned when execution exceeds the step budget.
@@ -173,6 +199,8 @@ func New(img *obj.Image, input Input, out io.Writer) (*Machine, error) {
 	m.Regs[isa.ESP] = isa.StackTop
 	m.pc = img.Entry
 	m.blockStart = img.Entry
+	m.code = img.Code
+	m.predecode()
 	return m, nil
 }
 
@@ -184,6 +212,22 @@ func (m *Machine) Halted() bool { return m.halted }
 
 // ExitCode returns the program's exit status (valid after Halted).
 func (m *Machine) ExitCode() int32 { return m.exitCode }
+
+// transferTo completes a control transfer with observers attached: it
+// emits the event (From is the current pc, still the transferring
+// instruction), moves pc to the target and starts a new dynamic block if
+// the block hook asked for one. The dispatch loops call it from their
+// JMP/JCC cases only when a hook is set or a block boundary is pending;
+// with no observers they just move pc, which is all a transfer does then.
+// exec's tail performs the same sequence for the remaining control ops.
+func (m *Machine) transferTo(kind TransferKind, to uint32, taken bool) {
+	m.emit(Transfer{Kind: kind, From: m.pc, To: to, Taken: taken})
+	m.pc = to
+	if m.blockPending {
+		m.blockStart = to
+		m.blockPending = false
+	}
+}
 
 func (m *Machine) emit(t Transfer) {
 	if m.Hook != nil {
@@ -203,17 +247,6 @@ func (m *Machine) endBlock() {
 	}
 }
 
-func (m *Machine) effAddr(mem isa.MemRef) uint32 {
-	var a uint32
-	if mem.HasBase() {
-		a = m.Regs[mem.Base]
-	}
-	if mem.HasIndex() {
-		a += m.Regs[mem.Index] * uint32(mem.Scale)
-	}
-	return a + uint32(mem.Disp)
-}
-
 func (m *Machine) push(v uint32) error {
 	m.Regs[isa.ESP] -= 4
 	return m.Mem.Store(m.Regs[isa.ESP], v, 4)
@@ -228,48 +261,57 @@ func (m *Machine) pop() (uint32, error) {
 	return v, nil
 }
 
-func (m *Machine) setCmpFlags(a, b uint32) {
-	r := a - b
-	m.flags.zf = r == 0
-	m.flags.sf = int32(r) < 0
-	m.flags.cf = a < b
-	// Signed overflow of a-b: operands have different signs and the result's
-	// sign differs from a's.
-	m.flags.of = ((int32(a) >= 0) != (int32(b) >= 0)) && ((int32(r) >= 0) != (int32(a) >= 0))
-}
-
-func (m *Machine) setTestFlags(a, b uint32) {
-	r := a & b
-	m.flags.zf = r == 0
-	m.flags.sf = int32(r) < 0
-	m.flags.cf = false
-	m.flags.of = false
-}
-
-// EvalCond evaluates a condition against flag state produced by CMP a,b the
-// way x86 does.
+// eval evaluates a condition against the recorded compare, exactly as the
+// eager flag encoding would after CMP a,b (or TEST a,b) the way x86 does.
 func (f flags) eval(c isa.Cond) bool {
+	if f.test {
+		// After TEST: zf = r==0, sf = r<0 signed, cf = of = false.
+		r := f.a
+		switch c {
+		case isa.CondEQ:
+			return r == 0
+		case isa.CondNE:
+			return r != 0
+		case isa.CondLT:
+			return int32(r) < 0
+		case isa.CondLE:
+			return r == 0 || int32(r) < 0
+		case isa.CondGT:
+			return r != 0 && int32(r) >= 0
+		case isa.CondGE:
+			return int32(r) >= 0
+		case isa.CondB:
+			return false
+		case isa.CondBE:
+			return r == 0
+		case isa.CondA:
+			return r != 0
+		case isa.CondAE:
+			return true
+		}
+		return false
+	}
 	switch c {
 	case isa.CondEQ:
-		return f.zf
+		return f.a == f.b
 	case isa.CondNE:
-		return !f.zf
+		return f.a != f.b
 	case isa.CondLT:
-		return f.sf != f.of
+		return int32(f.a) < int32(f.b)
 	case isa.CondLE:
-		return f.zf || f.sf != f.of
+		return int32(f.a) <= int32(f.b)
 	case isa.CondGT:
-		return !f.zf && f.sf == f.of
+		return int32(f.a) > int32(f.b)
 	case isa.CondGE:
-		return f.sf == f.of
+		return int32(f.a) >= int32(f.b)
 	case isa.CondB:
-		return f.cf
+		return f.a < f.b
 	case isa.CondBE:
-		return f.cf || f.zf
+		return f.a <= f.b
 	case isa.CondA:
-		return !f.cf && !f.zf
+		return f.a > f.b
 	case isa.CondAE:
-		return !f.cf
+		return f.a >= f.b
 	}
 	return false
 }
@@ -296,163 +338,17 @@ var opCost = [256]uint64{
 	isa.SYS: costCall, isa.HALT: 0,
 }
 
-// Step executes one instruction.
-func (m *Machine) Step() error {
-	if m.halted {
-		return nil
-	}
-	if m.Steps >= m.MaxSteps {
-		return ErrMaxSteps
-	}
-	in, err := m.img.InstrAt(m.pc)
-	if err != nil {
-		return fmt.Errorf("machine: pc=0x%x: %w", m.pc, err)
-	}
-	m.Steps++
-	if m.InstrHook != nil {
-		m.InstrHook(m.pc)
-	}
-	return m.exec(in)
-}
-
-// exec dispatches one fetched instruction.
+// exec dispatches one control-transferring instruction (everything
+// straight-line executes through the uop dispatch in superblock.go;
+// decodeUop routes only control transfers, SYS, HALT and undecodable
+// opcodes here). Control transfers
+// are where hooks and block events fire, which is why superblock dispatch
+// funnels terminators through this one path.
 func (m *Machine) exec(in *isa.Instr) error {
 	next := m.pc + isa.InstrSize
 	m.Cycles += opCost[in.Op]
 
 	switch in.Op {
-	case isa.NOP:
-
-	case isa.MOV:
-		m.Regs[in.Dst] = m.Regs[in.Src]
-	case isa.MOVI:
-		m.Regs[in.Dst] = uint32(in.Imm)
-	case isa.MOVLO8:
-		m.Regs[in.Dst] = m.Regs[in.Dst]&^0xFF | m.Regs[in.Src]&0xFF
-
-	case isa.LOAD:
-		v, err := m.Mem.Load(m.effAddr(in.Mem), in.Size)
-		if err != nil {
-			return err
-		}
-		if in.Signed {
-			switch in.Size {
-			case 1:
-				v = uint32(int32(int8(v)))
-			case 2:
-				v = uint32(int32(int16(v)))
-			}
-		}
-		m.Regs[in.Dst] = v
-	case isa.LOADLO8:
-		v, err := m.Mem.Load(m.effAddr(in.Mem), 1)
-		if err != nil {
-			return err
-		}
-		m.Regs[in.Dst] = m.Regs[in.Dst]&^0xFF | v&0xFF
-	case isa.STORE:
-		if err := m.Mem.Store(m.effAddr(in.Mem), m.Regs[in.Src], in.Size); err != nil {
-			return err
-		}
-	case isa.STOREI:
-		if err := m.Mem.Store(m.effAddr(in.Mem), uint32(in.Imm), in.Size); err != nil {
-			return err
-		}
-	case isa.LEA:
-		m.Regs[in.Dst] = m.effAddr(in.Mem)
-
-	case isa.ADD:
-		m.Regs[in.Dst] += m.Regs[in.Src]
-	case isa.SUB:
-		m.Regs[in.Dst] -= m.Regs[in.Src]
-	case isa.AND:
-		m.Regs[in.Dst] &= m.Regs[in.Src]
-	case isa.OR:
-		m.Regs[in.Dst] |= m.Regs[in.Src]
-	case isa.XOR:
-		m.Regs[in.Dst] ^= m.Regs[in.Src]
-	case isa.SHL:
-		m.Regs[in.Dst] <<= m.Regs[in.Src] & 31
-	case isa.SHR:
-		m.Regs[in.Dst] >>= m.Regs[in.Src] & 31
-	case isa.SAR:
-		m.Regs[in.Dst] = uint32(int32(m.Regs[in.Dst]) >> (m.Regs[in.Src] & 31))
-	case isa.MUL:
-		m.Regs[in.Dst] *= m.Regs[in.Src]
-	case isa.DIV, isa.MOD:
-		d := int32(m.Regs[in.Src])
-		if d == 0 {
-			return fmt.Errorf("machine: division by zero at pc=0x%x", m.pc)
-		}
-		n := int32(m.Regs[in.Dst])
-		if in.Op == isa.DIV {
-			m.Regs[in.Dst] = uint32(n / d)
-		} else {
-			m.Regs[in.Dst] = uint32(n % d)
-		}
-
-	case isa.ADDI:
-		m.Regs[in.Dst] += uint32(in.Imm)
-	case isa.SUBI:
-		m.Regs[in.Dst] -= uint32(in.Imm)
-	case isa.ANDI:
-		m.Regs[in.Dst] &= uint32(in.Imm)
-	case isa.ORI:
-		m.Regs[in.Dst] |= uint32(in.Imm)
-	case isa.XORI:
-		m.Regs[in.Dst] ^= uint32(in.Imm)
-	case isa.SHLI:
-		m.Regs[in.Dst] <<= uint32(in.Imm) & 31
-	case isa.SHRI:
-		m.Regs[in.Dst] >>= uint32(in.Imm) & 31
-	case isa.SARI:
-		m.Regs[in.Dst] = uint32(int32(m.Regs[in.Dst]) >> (uint32(in.Imm) & 31))
-	case isa.MULI:
-		m.Regs[in.Dst] *= uint32(in.Imm)
-	case isa.DIVI, isa.MODI:
-		if in.Imm == 0 {
-			return fmt.Errorf("machine: division by zero at pc=0x%x", m.pc)
-		}
-		n := int32(m.Regs[in.Dst])
-		if in.Op == isa.DIVI {
-			m.Regs[in.Dst] = uint32(n / in.Imm)
-		} else {
-			m.Regs[in.Dst] = uint32(n % in.Imm)
-		}
-
-	case isa.NEG:
-		m.Regs[in.Dst] = -m.Regs[in.Dst]
-	case isa.NOT:
-		m.Regs[in.Dst] = ^m.Regs[in.Dst]
-
-	case isa.CMP:
-		m.setCmpFlags(m.Regs[in.Dst], m.Regs[in.Src])
-	case isa.CMPI:
-		m.setCmpFlags(m.Regs[in.Dst], uint32(in.Imm))
-	case isa.TEST:
-		m.setTestFlags(m.Regs[in.Dst], m.Regs[in.Src])
-	case isa.SET:
-		if m.flags.eval(in.Cond) {
-			m.Regs[in.Dst] = 1
-		} else {
-			m.Regs[in.Dst] = 0
-		}
-
-	case isa.PUSH:
-		if err := m.push(m.Regs[in.Src]); err != nil {
-			return err
-		}
-	case isa.PUSHI:
-		if err := m.push(uint32(in.Imm)); err != nil {
-			return err
-		}
-	case isa.POP:
-		v, err := m.pop()
-		if err != nil {
-			return err
-		}
-		m.Regs[in.Dst] = v
-
 	case isa.JMP:
 		next = uint32(in.Imm)
 		m.emit(Transfer{Kind: TransferJump, From: m.pc, To: next})
@@ -533,49 +429,16 @@ func (m *Machine) syscall(num int32) error {
 	}
 }
 
-// Run executes until halt or error. The per-instruction hook check is
-// hoisted out of the loop: the variant (hooked or unhooked) is selected once
-// on entry, so the common untraced run pays nothing for the tracing support.
+// Run executes until halt or error. Without an instruction hook it uses
+// superblock dispatch (see superblock.go); with InstrHook set — or with
+// NoSuperblocks — it steps per-instruction, so the hook fires at every
+// instruction in program order. Both modes produce identical registers,
+// memory, Steps, Cycles and control-transfer/block event streams.
 func (m *Machine) Run() error {
-	if m.InstrHook != nil {
-		return m.runHooked()
+	if m.InstrHook != nil || m.NoSuperblocks {
+		return m.runStepwise()
 	}
-	return m.runUnhooked()
-}
-
-func (m *Machine) runUnhooked() error {
-	for !m.halted {
-		if m.Steps >= m.MaxSteps {
-			return ErrMaxSteps
-		}
-		in, err := m.img.InstrAt(m.pc)
-		if err != nil {
-			return fmt.Errorf("machine: pc=0x%x: %w", m.pc, err)
-		}
-		m.Steps++
-		if err := m.exec(in); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (m *Machine) runHooked() error {
-	for !m.halted {
-		if m.Steps >= m.MaxSteps {
-			return ErrMaxSteps
-		}
-		in, err := m.img.InstrAt(m.pc)
-		if err != nil {
-			return fmt.Errorf("machine: pc=0x%x: %w", m.pc, err)
-		}
-		m.Steps++
-		m.InstrHook(m.pc)
-		if err := m.exec(in); err != nil {
-			return err
-		}
-	}
-	return nil
+	return m.runSuper()
 }
 
 // Result summarizes one complete execution.

@@ -2,8 +2,10 @@ package machine
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // pageBits selects 64 KiB pages for the sparse flat memory.
@@ -20,17 +22,23 @@ const pageSize = 1 << pageBits
 // that straddle a page boundary fall back to a byte-at-a-time slow path.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
-	// lastPN/lastPage cache the most recently touched page. lastPage is nil
-	// until the first successful page lookup; page 0 is never cached (it can
-	// only be reached above the null guard, but keeping it out of the cache
-	// keeps the hit test a single comparison).
+	// lastPN/lastPage cache the most recently touched page. lastPN starts
+	// at noPage (an impossible page number — real ones fit in 16 bits), so
+	// the hit test is a single comparison with no nil check; page 0 is
+	// never cached (addresses 0x1000..0xFFFF are legal but rare, and
+	// excluding the page keeps a cache hit from ever bypassing the null
+	// guard).
 	lastPN   uint32
 	lastPage *[pageSize]byte
 }
 
+// noPage is the lastPN sentinel meaning "nothing cached": page numbers are
+// addr>>pageBits, so 1<<pageBits can never match a real page.
+const noPage = 1 << pageBits
+
 // NewMemory returns an empty address space.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+	return &Memory{pages: make(map[uint32]*[pageSize]byte), lastPN: noPage}
 }
 
 // Fault is a memory access violation.
@@ -48,7 +56,7 @@ func (m *Memory) page(addr uint32) (*[pageSize]byte, error) {
 		return nil, &Fault{Addr: addr, Why: "null-page access"}
 	}
 	pn := addr >> pageBits
-	if pn == m.lastPN && m.lastPage != nil {
+	if pn == m.lastPN {
 		return m.lastPage, nil
 	}
 	p := m.pages[pn]
@@ -80,6 +88,48 @@ func (m *Memory) Load(addr uint32, size uint8) (uint32, error) {
 		}
 	}
 	return m.loadSlow(addr, size)
+}
+
+// load32Fast reads a 4-byte value when addr hits the cached page without
+// crossing its end; ok is false when the caller must take the full Load
+// path. A cached page is never page 0, so the null guard is implied by the
+// hit, and lastPN==noPage until something is cached, so no nil check is
+// needed. Small enough to inline into the dispatch loops.
+func (m *Memory) load32Fast(addr uint32) (v uint32, ok bool) {
+	off := addr & (pageSize - 1)
+	if off <= pageSize-4 && addr>>pageBits == m.lastPN {
+		return binary.LittleEndian.Uint32(m.lastPage[off:]), true
+	}
+	return 0, false
+}
+
+// store32Fast is the store-side twin of load32Fast.
+func (m *Memory) store32Fast(addr uint32, v uint32) bool {
+	off := addr & (pageSize - 1)
+	if off <= pageSize-4 && addr>>pageBits == m.lastPN {
+		binary.LittleEndian.PutUint32(m.lastPage[off:], v)
+		return true
+	}
+	return false
+}
+
+// Load32 is Load(addr, 4) specialized for the emulator's dominant access
+// width: when the access stays inside the cached page, one comparison and
+// one bounds-checked slice read replace the size switch and page lookup.
+func (m *Memory) Load32(addr uint32) (uint32, error) {
+	if v, ok := m.load32Fast(addr); ok {
+		return v, nil
+	}
+	return m.Load(addr, 4)
+}
+
+// Store32 is Store(addr, v, 4) with the same cached-page fast path as
+// Load32.
+func (m *Memory) Store32(addr uint32, v uint32) error {
+	if m.store32Fast(addr, v) {
+		return nil
+	}
+	return m.Store(addr, v, 4)
 }
 
 // loadSlow assembles a load that straddles a page boundary byte by byte.
@@ -183,4 +233,33 @@ func (m *Memory) CString(addr uint32) (string, error) {
 		addr += uint32(len(chunk))
 	}
 	return "", &Fault{Addr: addr, Why: "unterminated string"}
+}
+
+// zeroPage is the reference all-zero page Digest compares against.
+var zeroPage [pageSize]byte
+
+// Digest returns a canonical sha256 over the memory contents: every
+// non-zero page, in ascending page order, hashed as (page number, bytes).
+// Pages that were materialized by reads but never written hash like pages
+// that were never touched, so two executions digest equal exactly when
+// they leave the same bytes behind — the property the superblock
+// differential tests check.
+func (m *Memory) Digest() [sha256.Size]byte {
+	pns := make([]uint32, 0, len(m.pages))
+	for pn, p := range m.pages {
+		if !bytes.Equal(p[:], zeroPage[:]) {
+			pns = append(pns, pn)
+		}
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	h := sha256.New()
+	var num [4]byte
+	for _, pn := range pns {
+		binary.LittleEndian.PutUint32(num[:], pn)
+		h.Write(num[:])
+		h.Write(m.pages[pn][:])
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
 }

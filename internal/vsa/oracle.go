@@ -56,6 +56,21 @@ func (o *Oracle) PointsToFrame(p *ir.Value) (alloca *ir.Value, offs SI, ok bool)
 	return o.fr.ValueSetOf(p).FramePart()
 }
 
+// InBounds reports whether a sz-byte access through p is proven to land
+// entirely inside the object allocated by base: every address p can take
+// is base+off with off in [0, base.AllocSize−sz]. This is the elision
+// license codegen uses to drop a sanitizer bounds guard that checks p
+// against exactly that object — the same in-slot proof the layout
+// verifier (Check) accepts. false means "cannot prove"; wrapped or
+// widened offset sets never qualify.
+func (o *Oracle) InBounds(p *ir.Value, sz int64, base *ir.Value) bool {
+	alloca, offs, ok := o.fr.ValueSetOf(p).FramePart()
+	if !ok || alloca != base || offs.unbounded() {
+		return false
+	}
+	return offs.Lo >= 0 && offs.Hi+sz <= int64(base.AllocSize)
+}
+
 // MayTouchSlot reports whether a sz-byte access at address p may overlap
 // the width-byte cell at offset off inside the given alloca. The
 // optimizer's invalidation queries use this to keep forwarded values live
