@@ -67,6 +67,7 @@ check_bench() {
         go run ./cmd/benchjson -mode smoke -o /tmp/wytiwyg-bench-smoke.json
     go run ./cmd/benchjson -vsa -o /tmp/wytiwyg-bench-smoke.json
     go run ./cmd/benchjson -static -o /tmp/wytiwyg-bench-smoke.json
+    go run ./cmd/benchjson -types -o /tmp/wytiwyg-bench-smoke.json
     go run ./cmd/benchjson -check -o /tmp/wytiwyg-bench-smoke.json
     go run ./cmd/benchjson -check -o BENCH_interp.json
 }

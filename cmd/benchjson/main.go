@@ -33,6 +33,13 @@
 // without the alias oracle — and merges the result into the artifact's
 // "vsa" section.
 //
+// With -types the tool ignores stdin and measures the type-recovery stage
+// on an aggregate-heavy slice of the corpus — per-function inference wall
+// time, typed-slot coverage, precision/recall against the compiler's
+// declared slot types, and the optimizer's promoted-slot counts with and
+// without the typed slot splitter — and merges the result into the
+// artifact's "types" section.
+//
 // With -static the tool likewise ignores stdin and measures static
 // cold-code recovery under partial trace coverage: how many cold candidates
 // discovery finds, how many the VSA admission gate accepts, and each
@@ -55,6 +62,7 @@
 //	go test -bench=. -benchtime=1x ./... | benchjson -mode smoke -o /tmp/smoke.json
 //	benchjson -check -o BENCH_interp.json
 //	benchjson -vsa -o BENCH_interp.json
+//	benchjson -types -o BENCH_interp.json
 //	benchjson -static -o BENCH_interp.json
 //	benchjson -guards -o BENCH_interp.json
 //	benchjson -stream -o BENCH_stream.json
@@ -100,6 +108,7 @@ type File struct {
 	Current  map[string]Metrics `json:"current"`            // latest run's numbers
 	Speedup  map[string]float64 `json:"speedup,omitempty"`  // baseline/current per benchmark; full mode only
 	VSA      []VSASection       `json:"vsa,omitempty"`      // value-set analysis measurements
+	Types    []TypeSection      `json:"types,omitempty"`    // type-recovery measurements
 	Static   []StaticSection    `json:"static,omitempty"`   // cold-code recovery measurements
 	Stream   []StreamSection    `json:"stream,omitempty"`   // streaming-pipeline measurements
 	Guards   []GuardSection     `json:"guards,omitempty"`   // sanitizer guard-elision measurements
@@ -135,6 +144,7 @@ func main() {
 	setBaseline := flag.Bool("set-baseline", false, "record this run as the baseline instead of the current numbers")
 	check := flag.Bool("check", false, "validate the artifact named by -o instead of writing; exit non-zero on malformed or missing fields")
 	vsaFlag := flag.Bool("vsa", false, "measure the value-set analysis (cost and promoted slots) instead of reading bench output")
+	typesFlag := flag.Bool("types", false, "measure the type-recovery stage (cost, accuracy, promoted slots) instead of reading bench output")
 	staticFlag := flag.Bool("static", false, "measure static cold-code recovery (candidates, admissions, analysis cost) instead of reading bench output")
 	streamFlag := flag.Bool("stream", false, "measure the streaming pipeline (wall clock, record traffic, trace/refine overlap) instead of reading bench output")
 	guardsFlag := flag.Bool("guards", false, "measure sanitizer overhead with and without VSA guard elision instead of reading bench output")
@@ -153,6 +163,11 @@ func main() {
 		return
 	case *vsaFlag:
 		if err := writeVSA(*out); err != nil {
+			fail(err)
+		}
+		return
+	case *typesFlag:
+		if err := writeTypes(*out); err != nil {
 			fail(err)
 		}
 		return
@@ -290,6 +305,21 @@ func checkArtifact(path string) error {
 			if want := round2(base.NsPerOp / cur.NsPerOp); math.Abs(want-r) > 0.01 {
 				return fmt.Errorf("speedup %s: %v does not match baseline/current = %v", name, r, want)
 			}
+		}
+	}
+	for _, sec := range f.Types {
+		if sec.Program == "" {
+			return fmt.Errorf("types section entry missing program")
+		}
+		if sec.TypedSlots > sec.TotalSlots {
+			return fmt.Errorf("types %s: typed %d exceeds total %d", sec.Program, sec.TypedSlots, sec.TotalSlots)
+		}
+		if sec.Precision < 0 || sec.Precision > 1 || sec.Recall < 0 || sec.Recall > 1 {
+			return fmt.Errorf("types %s: precision/recall out of [0,1]", sec.Program)
+		}
+		if sec.PromotedTyped < sec.PromotedBaseline {
+			return fmt.Errorf("types %s: typed splitting lost promotions (%d < %d)",
+				sec.Program, sec.PromotedTyped, sec.PromotedBaseline)
 		}
 	}
 	for _, sec := range f.Guards {

@@ -48,6 +48,7 @@ func lintMain(args []string) int {
 	inputsFlag := fs.String("inputs", "", "comma-separated integer inputs for tracing")
 	jsonOut := fs.Bool("json", false, "machine-readable JSON output")
 	vsaFlag := fs.Bool("vsa", false, "add the value-set analysis verifier's findings to the report")
+	typesFlag := fs.Bool("types", false, "add the type-recovery stage's typed-conflict findings to the report")
 	staticFlag := fs.Bool("static-recover", false, "statically recover untraced functions before linting")
 	streamFlag := fs.Bool("stream", false, "stream the trace through the bounded-channel pipeline (byte-identical output)")
 	jobs := fs.Int("j", 0, "refinement worker pool size (0 = one per CPU)")
@@ -107,7 +108,7 @@ func lintMain(args []string) int {
 	for _, tgt := range targets {
 		rep, err := lintOne(tgt, prof,
 			core.Options{Jobs: *jobs, Lint: core.LintWarn, Cache: cache, VSA: *vsaFlag,
-				StaticRecover: *staticFlag, Stream: *streamFlag})
+				Types: *typesFlag, StaticRecover: *staticFlag, Stream: *streamFlag})
 		if err != nil {
 			fail("%s: %v", tgt.name, err)
 		}

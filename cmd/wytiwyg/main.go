@@ -6,8 +6,9 @@
 // Usage:
 //
 //	wytiwyg -src prog.c [-profile gcc12-O3] [-inputs 3,9] [-emit ir|asm|layout] [-sanitize]
-//	wytiwyg -bench hmmer [-profile gcc44-O3] [-j 8] [-stream] [-cache] [-timings] [-vsa]
-//	wytiwyg lint [-src prog.c | -bench hmmer | -all] [-json] [-j 8] [-cache] [-vsa]
+//	wytiwyg -bench hmmer [-profile gcc44-O3] [-j 8] [-stream] [-cache] [-timings] [-vsa] [-types]
+//	wytiwyg lint [-src prog.c | -bench hmmer | -all] [-json] [-j 8] [-cache] [-vsa] [-types]
+//	wytiwyg types [-src prog.c | -bench hmmer] [-json] [-truth] [-j 8]
 //
 // Steps and outputs mirror the paper's Figure 4: the tool reports the trace
 // size, recovered functions, refined signatures, recovered stack layout and
@@ -20,6 +21,15 @@
 // the optimizer gains a per-function alias oracle that promotes and
 // forwards address-taken stack slots the syntactic escape analysis must
 // leave in memory.
+//
+// -types runs the type-recovery stage after refinement: every recovered
+// frame slot gets a type from a small lattice (integers by width,
+// pointers, arrays, structs), inferred from access widths, value-set
+// stride facts and cross-call unification, and the optimizer gains a
+// typed slot splitter that melts proven struct slots into promotable
+// scalars. The types subcommand prints the typed frames themselves;
+// -emit-types writes the compiler's declared slot types to a JSON
+// sidecar for ground-truth comparison.
 //
 // -j bounds the refinement worker pool (0, the default, means one worker
 // per CPU); every output is byte-identical regardless of the worker count.
@@ -45,6 +55,7 @@ import (
 	"wytiwyg/internal/codegen"
 	"wytiwyg/internal/core"
 	"wytiwyg/internal/ir"
+	"wytiwyg/internal/layout"
 	"wytiwyg/internal/machine"
 	"wytiwyg/internal/minicc/gen"
 	"wytiwyg/internal/obj"
@@ -59,6 +70,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "lint" {
 		os.Exit(lintMain(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "types" {
+		os.Exit(typesMain(os.Args[2:]))
+	}
 	srcPath := flag.String("src", "", "mini-C source file to recompile")
 	benchName := flag.String("bench", "", "built-in benchmark name (alternative to -src)")
 	profName := flag.String("profile", "gcc12-O3", "compiler profile: gcc12-O3, gcc12-O0, clang16-O3, gcc44-O3")
@@ -68,6 +82,8 @@ func main() {
 	sanElide := flag.Bool("sanitize-elide", false, "with -sanitize: let the value-set analysis elide provably redundant bounds checks")
 	lintMode := flag.String("lint", "warn", "post-refinement verification: off, warn, fail")
 	vsaFlag := flag.Bool("vsa", false, "run the value-set analysis stage: verify the layout and enable alias-oracle optimizations")
+	typesFlag := flag.Bool("types", false, "run the type-recovery stage: infer slot types and enable typed slot splitting in the optimizer")
+	emitTypes := flag.String("emit-types", "", "write the compiler's declared slot types (ground truth) to this JSON file")
 	staticFlag := flag.Bool("static-recover", false, "statically recover untraced functions, admitting only VSA-verified layouts")
 	debugPasses := flag.Bool("debug-passes", false, "re-verify IR invariants between every optimization pass")
 	streamFlag := flag.Bool("stream", false, "stream the trace through the bounded-channel pipeline, overlapping tracing with lifting and refinement (output is byte-identical)")
@@ -139,9 +155,16 @@ func main() {
 	}
 	fmt.Printf("native run: exit=%d cycles=%d\n", nat.ExitCode, nat.Cycles)
 
+	if *emitTypes != "" {
+		if err := writeTypedTruth(img, *emitTypes); err != nil {
+			fail("emit-types: %v", err)
+		}
+		fmt.Printf("emit-types: wrote ground truth to %s\n", *emitTypes)
+	}
+
 	p, err := core.LiftBinaryOpts(img, inputs,
 		core.Options{Jobs: *jobs, Lint: lint, Cache: cache, VSA: *vsaFlag,
-			StaticRecover: *staticFlag, Stream: *streamFlag})
+			Types: *typesFlag, StaticRecover: *staticFlag, Stream: *streamFlag})
 	if err != nil {
 		fail("lift: %v", err)
 	}
@@ -173,6 +196,9 @@ func main() {
 	if *vsaFlag {
 		printVSAStats(p.VSAStats, *timings)
 	}
+	if *typesFlag {
+		printTypeStats(p, *timings)
+	}
 	if *staticFlag {
 		printStaticStats(p, *timings)
 	}
@@ -187,7 +213,7 @@ func main() {
 		checks := sanitize.Apply(p.Mod)
 		fmt.Printf("sanitizer: %d stack-bounds checks inserted\n", checks)
 	}
-	pipeOpts := opt.PipelineOpts{Oracle: p.Oracle()}
+	pipeOpts := opt.PipelineOpts{Oracle: p.Oracle(), Typed: p.TypedInfo()}
 	if *debugPasses {
 		if _, err := opt.PipelineWithDebug(p.Mod, pipeOpts, func(pass string) error {
 			var rep analysis.Report
@@ -308,6 +334,30 @@ func printVSAStats(stats []core.VSAStat, showTime bool) {
 	}
 	fmt.Printf("vsa: %d accesses verified, %d cross-slot warning(s), %d out-of-frame error(s)",
 		checked, cross, oof)
+	if showTime {
+		fmt.Printf(" in %v", elapsed.Round(time.Microsecond))
+	}
+	fmt.Println()
+}
+
+// printTypeStats summarizes the type-recovery stage: typed-slot coverage,
+// conflict count, and — when ground-truth types are available — the typed
+// precision/recall. The inference wall time appears only under -timings
+// (the determinism contract, as with printVSAStats).
+func printTypeStats(p *core.Pipeline, showTime bool) {
+	typed, total, conflicts := 0, 0, 0
+	var elapsed time.Duration
+	for _, st := range p.TypeStats {
+		typed += st.TypedSlots
+		total += st.Slots
+		conflicts += st.Conflicts
+		elapsed += st.Elapsed
+	}
+	fmt.Printf("types: %d of %d slot(s) typed, %d conflict(s)", typed, total, conflicts)
+	if p.Img.TypedTruth != nil && p.Typed != nil {
+		acc := layout.CompareTyped(p.Img.TypedTruth, p.Typed)
+		fmt.Printf(", precision %.3f recall %.3f", acc.Precision(), acc.Recall())
+	}
 	if showTime {
 		fmt.Printf(" in %v", elapsed.Round(time.Microsecond))
 	}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"log"
 
+	"wytiwyg/internal/bench"
+	"wytiwyg/internal/bench/progs"
 	"wytiwyg/internal/core"
 	"wytiwyg/internal/layout"
 	"wytiwyg/internal/machine"
@@ -84,6 +86,42 @@ func show(title string, r result) {
 	fmt.Println()
 }
 
+// typedCorpus is the second accuracy table: the type-recovery stage's
+// claims over the whole benchmark corpus, scored per program against
+// minicc's declared slot types (the same data `wytiwyg -emit-types`
+// writes as the ground-truth sidecar). Claims are only counted on slots
+// whose byte range the layout recovery already got exactly right, so
+// the score isolates the *type* question on top of Figure 7's
+// positional one.
+func typedCorpus() {
+	fmt.Println("typed slots over the benchmark corpus (vs -emit-types ground truth):")
+	var total layout.TypeAccuracy
+	for _, prog := range progs.All {
+		p := bench.Scaled(prog, 6)
+		img, err := gen.Build(p.Src, gen.GCC12O3, p.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pl, err := core.LiftBinaryOpts(img, p.Inputs(),
+			core.Options{Lint: core.LintWarn, Types: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pl.Refine(); err != nil {
+			log.Fatal(err)
+		}
+		acc := layout.CompareTyped(img.TypedTruth, pl.Typed)
+		total.Add(acc)
+		fmt.Printf("  %-12s claims=%2d truth=%2d  precision=%.3f recall=%.3f\n",
+			p.Name, acc.Claims, acc.TruthSlots, acc.Precision(), acc.Recall())
+	}
+	fmt.Printf("  %-12s claims=%2d truth=%2d  precision=%.3f recall=%.3f\n",
+		"corpus", total.Claims, total.TruthSlots, total.Precision(), total.Recall())
+	if total.Precision() < 0.9 {
+		log.Fatalf("corpus type precision %.3f below the 0.9 bar", total.Precision())
+	}
+}
+
 func main() {
 	// sizeof(b) = 24; divisor 12 makes f3 return 2, so the traced store
 	// lands in b[2] and links the whole array into one object.
@@ -96,4 +134,6 @@ func main() {
 	// untraced inputs safe, by refusing to keep any boundary a static
 	// access could cross.
 	show("f3 returns 0 in every trace (the paper's splitting case):", analyze(100))
+
+	typedCorpus()
 }

@@ -42,6 +42,7 @@ type Builder struct {
 	nextExt uint32
 	syms    []obj.Symbol
 	truth   *layout.Program
+	typed   *layout.TypedProgram
 	name    string
 
 	// pendingDataLabel holds a data-section label awaiting its directive
@@ -57,6 +58,7 @@ func NewBuilder(name string) *Builder {
 		externs: make(map[string]uint32),
 		nextExt: isa.ExtBase,
 		truth:   layout.NewProgram(),
+		typed:   layout.NewTypedProgram(),
 		name:    name,
 	}
 }
@@ -83,6 +85,10 @@ func (b *Builder) Func(name string) {
 
 // Truth records the ground-truth frame layout for a function.
 func (b *Builder) Truth(f *layout.Frame) { b.truth.Add(f) }
+
+// TypedTruth records the typed ground-truth frame for a function (the
+// compiler's declared slot types).
+func (b *Builder) TypedTruth(f *layout.TypedFrame) { b.typed.Add(f) }
 
 // Emit appends a raw instruction and returns its index.
 func (b *Builder) Emit(in isa.Instr) int {
@@ -390,13 +396,14 @@ func (b *Builder) Link(entry string) (*obj.Image, error) {
 		externs[a] = n
 	}
 	img := &obj.Image{
-		Code:    b.code,
-		Entry:   obj.AddrOf(ei),
-		Data:    b.data,
-		Externs: externs,
-		Syms:    b.syms,
-		Truth:   b.truth,
-		Name:    b.name,
+		Code:       b.code,
+		Entry:      obj.AddrOf(ei),
+		Data:       b.data,
+		Externs:    externs,
+		Syms:       b.syms,
+		Truth:      b.truth,
+		TypedTruth: b.typed,
+		Name:       b.name,
 	}
 	img.SortSyms()
 	if err := img.Validate(); err != nil {

@@ -53,6 +53,20 @@ func fingerprint(p *core.Pipeline) string {
 		p.Report.Sort()
 		b.WriteString(p.Report.String())
 	}
+	// The typed layout (when the type-recovery stage ran) is part of the
+	// contract: the `wytiwyg types` JSON must be byte-identical too.
+	if p.TypeReport != nil {
+		raw, err := p.TypeReport.JSON()
+		if err != nil {
+			fmt.Fprintf(&b, "typereport error: %v\n", err)
+		} else {
+			b.Write(raw)
+		}
+		for _, st := range p.TypeStats {
+			fmt.Fprintf(&b, "%s slots=%d typed=%d conflicts=%d\n",
+				st.Func, st.Slots, st.TypedSlots, st.Conflicts)
+		}
+	}
 	return b.String()
 }
 
@@ -64,7 +78,7 @@ func fingerprintFull(t *testing.T, p *core.Pipeline, name string) string {
 	t.Helper()
 	var b strings.Builder
 	b.WriteString(fingerprint(p))
-	opt.Pipeline(p.Mod)
+	opt.PipelineWith(p.Mod, opt.PipelineOpts{Typed: p.TypedInfo()})
 	out, err := codegen.Compile(p.Mod, name+"-rec")
 	if err != nil {
 		t.Fatalf("%s: recompile: %v", name, err)
@@ -90,13 +104,14 @@ func TestParallelDeterminism(t *testing.T) {
 		label string
 		opts  core.Options
 	}{
-		{"-j8", core.Options{Jobs: 8, Lint: core.LintWarn}},
-		{"-stream -j1", core.Options{Jobs: 1, Lint: core.LintWarn, Stream: true}},
-		{"-stream -j8", core.Options{Jobs: 8, Lint: core.LintWarn, Stream: true}},
+		{"-j8", core.Options{Jobs: 8, Lint: core.LintWarn, Types: true}},
+		{"-stream -j1", core.Options{Jobs: 1, Lint: core.LintWarn, Stream: true, Types: true}},
+		{"-stream -j8", core.Options{Jobs: 8, Lint: core.LintWarn, Stream: true, Types: true}},
 	}
 	for _, p := range corpus {
 		p := bench.Scaled(p, 6)
-		base := fingerprintFull(t, refinedAt(t, p, 1), p.Name)
+		base := fingerprintFull(t,
+			refinedAtOpts(t, p, core.Options{Jobs: 1, Lint: core.LintWarn, Types: true}), p.Name)
 		for _, v := range variants {
 			got := fingerprintFull(t, refinedAtOpts(t, p, v.opts), p.Name)
 			if got != base {

@@ -16,7 +16,7 @@ import (
 // of every cache key: bumping it when a refinement, the lifter or a
 // verification check changes behaviour invalidates all prior entries
 // without touching the cache on disk.
-const PassVersion = "refine-4"
+const PassVersion = "refine-5"
 
 // encodeInputs serializes an input set deterministically for hashing.
 func encodeInputs(inputs []machine.Input) []byte {
@@ -64,23 +64,19 @@ func encodeImage(img *obj.Image) []byte {
 // recovery ran (it changes the recovered layout and the report), whether
 // the streaming pipeline produced the entry (byte-identical by invariant,
 // but keyed separately so a streaming-mode defect can never serve a
-// barriered request or vice versa), the input set and the full image.
-func ProgramKey(img *obj.Image, inputs []machine.Input, lint LintMode, vsa, static, streamed bool) refcache.Key {
-	vb := byte(0)
-	if vsa {
-		vb = 1
-	}
-	sb := byte(0)
-	if static {
-		sb = 1
-	}
-	mb := byte(0)
-	if streamed {
-		mb = 1
+// barriered request or vice versa), whether the type-recovery stage ran
+// (its typed-conflict findings are part of the report), the input set and
+// the full image.
+func ProgramKey(img *obj.Image, inputs []machine.Input, lint LintMode, vsa, static, streamed, types bool) refcache.Key {
+	flag := func(b bool) byte {
+		if b {
+			return 1
+		}
+		return 0
 	}
 	return refcache.NewKey("program",
 		[]byte(PassVersion),
-		[]byte{byte(lint), vb, sb, mb},
+		[]byte{byte(lint), flag(vsa), flag(static), flag(streamed), flag(types)},
 		encodeInputs(inputs),
 		encodeImage(img),
 	)
@@ -88,7 +84,7 @@ func ProgramKey(img *obj.Image, inputs []machine.Input, lint LintMode, vsa, stat
 
 // programKey is ProgramKey over the pipeline's own image and inputs.
 func (p *Pipeline) programKey() refcache.Key {
-	return ProgramKey(p.Img, p.Inputs, p.Lint, p.VSA, p.StaticRecover, p.Stream)
+	return ProgramKey(p.Img, p.Inputs, p.Lint, p.VSA, p.StaticRecover, p.Stream, p.Types)
 }
 
 // funcBytes serializes one recovered function's machine code: each traced
@@ -182,7 +178,7 @@ func RecoverLayout(img *obj.Image, inputs []machine.Input, opts Options) (*Pipel
 		inputs = []machine.Input{{}}
 	}
 	if opts.Cache != nil {
-		key := ProgramKey(img, inputs, opts.Lint, opts.VSA, opts.StaticRecover, opts.Stream)
+		key := ProgramKey(img, inputs, opts.Lint, opts.VSA, opts.StaticRecover, opts.Stream, opts.Types)
 		if e, ok := opts.Cache.GetProgram(key); ok {
 			p := newPipeline(img, inputs, opts)
 			p.FromCache = true

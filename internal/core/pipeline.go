@@ -40,6 +40,7 @@ import (
 	"wytiwyg/internal/staticsym"
 	"wytiwyg/internal/symbolize"
 	"wytiwyg/internal/tracer"
+	"wytiwyg/internal/typerec"
 	"wytiwyg/internal/varargs"
 	"wytiwyg/internal/vartrack"
 	"wytiwyg/internal/vsa"
@@ -71,6 +72,13 @@ type Options struct {
 	// over-approximation of its pointer values, and the per-function
 	// results are kept for the optimizer's alias oracle.
 	VSA bool
+	// Types enables the type-recovery stage after symbolization (and after
+	// VSA when both are on): every recovered frame slot gets a type from
+	// the small lattice in package layout, inferred from access widths,
+	// strided-interval facts and cross-call unification. The typed layout
+	// and report are kept on the pipeline, and the per-function results
+	// drive the optimizer's typed slot splitting.
+	Types bool
 	// StaticRecover enables the cold-code recovery stage: functions the
 	// traces never executed are statically disassembled, lifted alongside
 	// the traced code, and admitted with a recovered layout only when VSA
@@ -102,7 +110,7 @@ type Options struct {
 type StageEvent struct {
 	// Stage is the stage name as recorded in Pipeline.Times ("trace",
 	// "cfg", "funcrec", "coldrec", "lift", "regsave", "varargs",
-	// "stackref", "symbolize", "vsa").
+	// "stackref", "symbolize", "vsa", "typerec").
 	Stage string
 	// Action is "start" or "finish".
 	Action string
@@ -136,6 +144,18 @@ type ColdStat struct {
 	// Checked, CrossSlot and Unbounded mirror vsa.CheckStats for the
 	// admission run.
 	Checked, CrossSlot, Unbounded int
+}
+
+// TypeStat records one function's type-recovery outcome.
+type TypeStat struct {
+	// Func is the function name.
+	Func string
+	// Elapsed is the inference's wall-clock cost (excluding unification,
+	// which is a single cross-function pass).
+	Elapsed time.Duration
+	// Slots counts the function's layout slots; TypedSlots those that got
+	// a committed type; Conflicts the irreconcilable-evidence events.
+	Slots, TypedSlots, Conflicts int
 }
 
 // VSAStat records one function's value-set analysis outcome.
@@ -183,6 +203,8 @@ type Pipeline struct {
 	Lint LintMode
 	// VSA enables the post-symbolization value-set analysis stage.
 	VSA bool
+	// Types enables the post-symbolization type-recovery stage (see Options).
+	Types bool
 	// StaticRecover enables the cold-code recovery stage (see Options).
 	StaticRecover bool
 	// Cold is the static discovery result (nil unless StaticRecover).
@@ -193,6 +215,18 @@ type Pipeline struct {
 	// VSAStats holds the per-function value-set analysis outcomes, in
 	// module function order (nil until the VSA stage has run).
 	VSAStats []VSAStat
+	// TypeStats holds the per-function type-recovery outcomes, in module
+	// function order (nil until the typerec stage has run).
+	TypeStats []TypeStat
+	// Typed is the recovered typed layout — each frame slot with its
+	// inferred type (nil unless Options.Types).
+	Typed *layout.TypedProgram
+	// TypeReport is the rendered typed-frame report, the payload of
+	// `wytiwyg types` (nil unless Options.Types).
+	TypeReport *typerec.Report
+	// typeResults indexes the per-function inference results for the
+	// optimizer's typed-info factory.
+	typeResults map[*ir.Func]*typerec.FuncResult
 	// Report accumulates the verification findings (nil until a lint-enabled
 	// refinement stage has run).
 	Report *analysis.Report
@@ -257,8 +291,9 @@ func LiftBinary(img *obj.Image, inputs []machine.Input) (*Pipeline, error) {
 // newPipeline builds an empty pipeline carrying the option set.
 func newPipeline(img *obj.Image, inputs []machine.Input, opts Options) *Pipeline {
 	return &Pipeline{Img: img, Inputs: inputs, Jobs: opts.Jobs, Lint: opts.Lint,
-		Cache: opts.Cache, VSA: opts.VSA, StaticRecover: opts.StaticRecover,
-		Stream: opts.Stream, StreamBuf: opts.StreamBuf, Observer: opts.Observer}
+		Cache: opts.Cache, VSA: opts.VSA, Types: opts.Types,
+		StaticRecover: opts.StaticRecover,
+		Stream:        opts.Stream, StreamBuf: opts.StreamBuf, Observer: opts.Observer}
 }
 
 // LiftBinaryOpts performs the front half of the pipeline with explicit
@@ -769,6 +804,11 @@ func (p *Pipeline) refineStages() error {
 	}
 	if p.VSA {
 		if err := p.timed("vsa", p.RefineVSA); err != nil {
+			return err
+		}
+	}
+	if p.Types {
+		if err := p.timed("typerec", p.RefineTypes); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,415 @@
+// Typed layouts: the small recovered-type lattice layered on top of the
+// positional layouts of this package, plus the precision/recall metric
+// that scores inferred slot types against minicc's emitted ground truth.
+//
+// The lattice is deliberately small — int8/int16/int32, ptr(T),
+// array(T, n), struct{off→T}, with top (no claim) and conflict
+// (irreconcilable evidence) — because it is exactly the set of shapes the
+// access-width and strided-interval facts of internal/vsa can witness.
+// Scoring flattens both the claim and the truth to their scalar leaves
+// (offset, width, pointerness) and demands exact leaf-set equality, so
+// padding (which contributes no leaves on either side) is neutral,
+// array-of-T and struct-of-uniform-T are structurally interchangeable,
+// and partial claims do not score. Pointee types are reported but not
+// scored: the dynamic facts witness that a cell holds a pointer, not what
+// the pointer's target "really is".
+package layout
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TKind enumerates the recovered type lattice.
+type TKind uint8
+
+// Lattice points, from "no claim" to "contradictory claims": TTop makes
+// no statement, the three integer kinds and TPtr are the scalar leaves,
+// TArray and TStruct are the composite shapes, and TConflict records that
+// the evidence for a slot was irreconcilable (e.g. the same offset read
+// at two different widths).
+const (
+	TTop TKind = iota
+	TInt8
+	TInt16
+	TInt32
+	TPtr
+	TArray
+	TStruct
+	TConflict
+)
+
+var tkindNames = [...]string{"top", "int8", "int16", "int32", "ptr", "array", "struct", "conflict"}
+
+func (k TKind) String() string {
+	if int(k) < len(tkindNames) {
+		return tkindNames[k]
+	}
+	return fmt.Sprintf("TKind(%d)", int(k))
+}
+
+// TField is one field of a struct type: a member type at a byte offset
+// from the struct's start.
+type TField struct {
+	Off  uint32 `json:"off"`  // byte offset from the struct start
+	Type *Type  `json:"type"` // member type
+}
+
+// Type is one point of the recovered-type lattice. The zero value (and a
+// nil *Type) mean TTop: no claim. Types are immutable by convention —
+// clients share and never mutate them.
+type Type struct {
+	Kind TKind // lattice point
+	// Elem is the pointee for TPtr (nil = unknown pointee) and the
+	// element type for TArray.
+	Elem *Type
+	// Count is the element count for TArray.
+	Count uint32
+	// Fields lists the members for TStruct, sorted by offset.
+	Fields []TField
+}
+
+// Shared scalar lattice points. Composite types are built with PtrTo,
+// ArrayOf and StructOf.
+var (
+	Top      = &Type{Kind: TTop}
+	Int8     = &Type{Kind: TInt8}
+	Int16    = &Type{Kind: TInt16}
+	Int32    = &Type{Kind: TInt32}
+	Conflict = &Type{Kind: TConflict}
+)
+
+// IntOfWidth returns the integer lattice point of the given byte width,
+// or nil if no integer kind has that width.
+func IntOfWidth(w uint32) *Type {
+	switch w {
+	case 1:
+		return Int8
+	case 2:
+		return Int16
+	case 4:
+		return Int32
+	}
+	return nil
+}
+
+// PtrTo returns a pointer type with the given pointee (nil = unknown).
+func PtrTo(elem *Type) *Type { return &Type{Kind: TPtr, Elem: elem} }
+
+// ArrayOf returns an array type of n elements.
+func ArrayOf(elem *Type, n uint32) *Type {
+	return &Type{Kind: TArray, Elem: elem, Count: n}
+}
+
+// StructOf returns a struct type over the given fields (sorted by
+// offset by the caller).
+func StructOf(fields []TField) *Type { return &Type{Kind: TStruct, Fields: fields} }
+
+// Kind0 returns the type's kind, treating nil as TTop.
+func (t *Type) Kind0() TKind {
+	if t == nil {
+		return TTop
+	}
+	return t.Kind
+}
+
+// Committed reports whether the type makes a positive claim — anything
+// other than top or conflict.
+func (t *Type) Committed() bool {
+	k := t.Kind0()
+	return k != TTop && k != TConflict
+}
+
+// Width returns the byte width of a scalar lattice point (pointers are 4
+// bytes on the 32-bit target), and 0 for everything else.
+func (t *Type) Width() uint32 {
+	switch t.Kind0() {
+	case TInt8:
+		return 1
+	case TInt16:
+		return 2
+	case TInt32, TPtr:
+		return 4
+	}
+	return 0
+}
+
+func (t *Type) String() string {
+	switch t.Kind0() {
+	case TTop:
+		return "top"
+	case TConflict:
+		return "conflict"
+	case TInt8, TInt16, TInt32:
+		return t.Kind.String()
+	case TPtr:
+		if t.Elem == nil {
+			return "ptr"
+		}
+		return fmt.Sprintf("ptr(%s)", t.Elem)
+	case TArray:
+		return fmt.Sprintf("array(%s,%d)", t.Elem, t.Count)
+	case TStruct:
+		var b strings.Builder
+		b.WriteString("struct{")
+		for i, f := range t.Fields {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d:%s", f.Off, f.Type)
+		}
+		b.WriteByte('}')
+		return b.String()
+	}
+	return t.Kind.String()
+}
+
+// MarshalJSON renders the type as a small object tree with the kind as a
+// string, e.g. {"kind":"array","elem":{"kind":"int32"},"count":3}.
+func (t *Type) MarshalJSON() ([]byte, error) {
+	m := map[string]any{"kind": t.Kind0().String()}
+	if t != nil {
+		switch t.Kind {
+		case TPtr:
+			if t.Elem != nil {
+				m["elem"] = t.Elem
+			}
+		case TArray:
+			m["elem"] = t.Elem
+			m["count"] = t.Count
+		case TStruct:
+			m["fields"] = t.Fields
+		}
+	}
+	return json.Marshal(m)
+}
+
+// Leaf is one scalar cell of a flattened type: a byte range at an offset
+// from the enclosing object's start, with the only property the dynamic
+// facts can witness about its contents — whether it holds a pointer.
+type Leaf struct {
+	Off  uint32 // byte offset from the object start
+	Size uint32 // cell width in bytes
+	Ptr  bool   // the cell holds a pointer
+}
+
+// Leaves flattens the type to its scalar cells in offset order. Top and
+// conflict flatten to nothing (they claim nothing).
+func (t *Type) Leaves() []Leaf {
+	var out []Leaf
+	t.appendLeaves(&out, 0)
+	sort.Slice(out, func(i, j int) bool { return out[i].Off < out[j].Off })
+	return out
+}
+
+func (t *Type) appendLeaves(out *[]Leaf, base uint32) {
+	switch t.Kind0() {
+	case TInt8, TInt16, TInt32:
+		*out = append(*out, Leaf{Off: base, Size: t.Width()})
+	case TPtr:
+		*out = append(*out, Leaf{Off: base, Size: 4, Ptr: true})
+	case TArray:
+		sz := t.Elem.ByteSize()
+		for i := uint32(0); i < t.Count; i++ {
+			t.Elem.appendLeaves(out, base+i*sz)
+		}
+	case TStruct:
+		for _, f := range t.Fields {
+			f.Type.appendLeaves(out, base+f.Off)
+		}
+	}
+}
+
+// ByteSize returns the type's storage footprint: scalar width for
+// leaves, count×elem for arrays, and last-field end for structs (the
+// ground-truth emitter bakes trailing padding into the field offsets, so
+// struct sizes used in scoring come from the enclosing Var instead).
+func (t *Type) ByteSize() uint32 {
+	switch t.Kind0() {
+	case TArray:
+		return t.Count * t.Elem.ByteSize()
+	case TStruct:
+		var end uint32
+		for _, f := range t.Fields {
+			if e := f.Off + f.Type.ByteSize(); e > end {
+				end = e
+			}
+		}
+		return end
+	default:
+		return t.Width()
+	}
+}
+
+// AdmitsAccess reports whether a concrete size-byte access at byte
+// offset off (from the object's start) lands exactly on one of the
+// type's scalar leaves. Uncommitted types admit everything — they claim
+// nothing. This is the width contract the differential validator checks
+// against real traced accesses.
+func (t *Type) AdmitsAccess(off, size int64) bool {
+	if !t.Committed() {
+		return true
+	}
+	for _, l := range t.Leaves() {
+		if int64(l.Off) == off && int64(l.Size) == size {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeMatches scores one recovered claim against the ground truth: the
+// claim must be committed and the two leaf sets must be equal —
+// same cell offsets, same widths, same pointerness, no extra or missing
+// cells. Padding never appears as a leaf, so padded structs compare by
+// their real members; pointee types never appear in leaves, so they are
+// reported but not scored.
+func TypeMatches(claim, truth *Type) bool {
+	if !claim.Committed() {
+		return false
+	}
+	cl, tl := claim.Leaves(), truth.Leaves()
+	if len(cl) != len(tl) || len(cl) == 0 {
+		return false
+	}
+	for i := range cl {
+		if cl[i] != tl[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TypedVar is one stack object with its type (recovered or
+// ground-truth).
+type TypedVar struct {
+	Var
+	Type *Type // the object's type (nil/top = no claim)
+}
+
+func (v TypedVar) String() string {
+	return fmt.Sprintf("%s: %s", v.Var, v.Type)
+}
+
+// TypedFrame is the typed layout of one function's stack frame.
+type TypedFrame struct {
+	Func string     // owning function
+	Vars []TypedVar // typed stack objects, sorted by offset
+}
+
+// Sort orders the variables by offset (stable by name within equal
+// offsets), mirroring Frame.Sort.
+func (f *TypedFrame) Sort() {
+	sort.SliceStable(f.Vars, func(i, j int) bool {
+		if f.Vars[i].Offset != f.Vars[j].Offset {
+			return f.Vars[i].Offset < f.Vars[j].Offset
+		}
+		return f.Vars[i].Name < f.Vars[j].Name
+	})
+}
+
+// TypedProgram maps function names to typed frames.
+type TypedProgram struct {
+	Frames map[string]*TypedFrame // typed frames keyed by function name
+}
+
+// NewTypedProgram returns an empty typed-layout table.
+func NewTypedProgram() *TypedProgram {
+	return &TypedProgram{Frames: make(map[string]*TypedFrame)}
+}
+
+// Add records a typed frame, replacing any previous frame for the same
+// function.
+func (p *TypedProgram) Add(f *TypedFrame) { p.Frames[f.Func] = f }
+
+// Frame returns the typed frame for a function, or nil.
+func (p *TypedProgram) Frame(fn string) *TypedFrame { return p.Frames[fn] }
+
+// FuncNames returns the function names in sorted order.
+func (p *TypedProgram) FuncNames() []string {
+	out := make([]string, 0, len(p.Frames))
+	for n := range p.Frames {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TypeAccuracy aggregates a typed-layout comparison. Claims are counted
+// only on recovered slots whose byte range exactly matches a
+// ground-truth slot — positional accuracy is Figure 7's metric; this one
+// isolates the type question on top of it.
+type TypeAccuracy struct {
+	// TruthSlots is the number of ground-truth slots considered.
+	TruthSlots int
+	// Claims counts committed recovered types on layout-matched slots.
+	Claims int
+	// Correct counts claims whose leaf set equals the ground truth's.
+	Correct int
+}
+
+// Add accumulates another accuracy record.
+func (a *TypeAccuracy) Add(o TypeAccuracy) {
+	a.TruthSlots += o.TruthSlots
+	a.Claims += o.Claims
+	a.Correct += o.Correct
+}
+
+// Precision is the fraction of committed type claims that are correct
+// (1 when nothing was claimed).
+func (a TypeAccuracy) Precision() float64 {
+	if a.Claims == 0 {
+		return 1
+	}
+	return float64(a.Correct) / float64(a.Claims)
+}
+
+// Recall is the fraction of ground-truth slots that were correctly
+// typed (1 when the truth has no slots).
+func (a TypeAccuracy) Recall() float64 {
+	if a.TruthSlots == 0 {
+		return 1
+	}
+	return float64(a.Correct) / float64(a.TruthSlots)
+}
+
+// CompareTypedFrame scores one function's recovered typed frame against
+// the ground truth (recovered may be nil: everything untyped).
+func CompareTypedFrame(truth, recovered *TypedFrame) TypeAccuracy {
+	var acc TypeAccuracy
+	acc.TruthSlots = len(truth.Vars)
+	if recovered == nil {
+		return acc
+	}
+	for _, tv := range truth.Vars {
+		for _, rv := range recovered.Vars {
+			if rv.Offset != tv.Offset || rv.Size != tv.Size {
+				continue
+			}
+			if rv.Type.Committed() {
+				acc.Claims++
+				if TypeMatches(rv.Type, tv.Type) {
+					acc.Correct++
+				}
+			}
+			break
+		}
+	}
+	return acc
+}
+
+// CompareTyped scores every function of truth against the recovered
+// typed program, mirroring Compare.
+func CompareTyped(truth, recovered *TypedProgram) TypeAccuracy {
+	var acc TypeAccuracy
+	for name, tf := range truth.Frames {
+		var rf *TypedFrame
+		if recovered != nil {
+			rf = recovered.Frame(name)
+		}
+		acc.Add(CompareTypedFrame(tf, rf))
+	}
+	return acc
+}

@@ -322,50 +322,88 @@ func (f *fnGen) sp0Offset(l loc) int32 {
 	return l.off - int32(4*len(f.saved)) - f.frameSize
 }
 
+// truthType lowers a mini-C type to the recovered-type lattice for the
+// typed ground-truth side-table: int→int32, char→int8, pointers (incl.
+// function pointers) → ptr(T), arrays and structs structurally. Void
+// (which cannot be a local's type) falls back to top.
+func truthType(t *minicc.Type) *layout.Type {
+	switch t.Kind {
+	case minicc.TInt:
+		return layout.Int32
+	case minicc.TChar:
+		return layout.Int8
+	case minicc.TPtr:
+		return layout.PtrTo(truthType(t.Elem))
+	case minicc.TFnPtr:
+		return layout.PtrTo(nil)
+	case minicc.TArray:
+		return layout.ArrayOf(truthType(t.Elem), uint32(t.Len))
+	case minicc.TStruct:
+		fields := make([]layout.TField, 0, len(t.Struct.Fields))
+		for _, fl := range t.Struct.Fields {
+			fields = append(fields, layout.TField{Off: fl.Offset, Type: truthType(fl.Type)})
+		}
+		return layout.StructOf(fields)
+	}
+	return layout.Top
+}
+
 // recordTruth emits the ground-truth frame for this function: every
 // stack-resident local plus the saved-register and expression-spill slots,
 // matching what LLVM's Stack Frame Layout analysis lists (register-
 // allocated scalars are not stack objects). Spill slots are appended by
-// finishTruth once code generation knows them.
-func (f *fnGen) recordTruth() *layout.Frame {
+// finishTruth once code generation knows them. The typed side-table gets
+// the same slots with their declared types (saved-register and spill
+// slots are int32: they hold one machine word).
+func (f *fnGen) recordTruth() (*layout.Frame, *layout.TypedFrame) {
 	fr := &layout.Frame{Func: f.fn.Name}
+	tf := &layout.TypedFrame{Func: f.fn.Name}
+	add := func(v layout.Var, t *layout.Type) {
+		fr.Vars = append(fr.Vars, v)
+		tf.Vars = append(tf.Vars, layout.TypedVar{Var: v, Type: t})
+	}
 	for _, v := range f.fn.Locals {
 		l := f.locs[v]
 		if l.inReg {
 			continue
 		}
-		fr.Vars = append(fr.Vars, layout.Var{
+		add(layout.Var{
 			Name:   v.Name,
 			Offset: f.sp0Offset(l),
 			Size:   v.Type.Size(),
-		})
+		}, truthType(v.Type))
 	}
 	// Saved-register slots.
 	off := int32(0)
 	if f.prof.FramePointer {
-		fr.Vars = append(fr.Vars, layout.Var{Name: "__sav_ebp", Offset: -4, Size: 4})
+		add(layout.Var{Name: "__sav_ebp", Offset: -4, Size: 4}, layout.Int32)
 		off = -4
 	}
-	for i, r := range f.saved {
-		_ = i
+	for _, r := range f.saved {
 		off -= 4
-		fr.Vars = append(fr.Vars, layout.Var{Name: "__sav_" + r.String(), Offset: off, Size: 4})
+		add(layout.Var{Name: "__sav_" + r.String(), Offset: off, Size: 4}, layout.Int32)
 	}
-	return fr
+	return fr, tf
 }
 
 // finishTruth adds the expression-temporary slots and registers the frame.
 // Slots that double as outgoing call arguments are call plumbing and stay
 // out of the layout (both sides of the Figure 7 comparison treat them so).
-func (f *fnGen) finishTruth(fr *layout.Frame) {
+func (f *fnGen) finishTruth(fr *layout.Frame, tf *layout.TypedFrame) {
 	for off := range f.tempSlots {
 		if f.argSlots[off] {
 			continue
 		}
 		fr.Vars = append(fr.Vars, layout.Var{Name: "__spill", Offset: off, Size: 4})
+		tf.Vars = append(tf.Vars, layout.TypedVar{
+			Var:  layout.Var{Name: "__spill", Offset: off, Size: 4},
+			Type: layout.Int32,
+		})
 	}
 	fr.Sort()
+	tf.Sort()
 	f.b().Truth(fr)
+	f.b().TypedTruth(tf)
 }
 
 // frameMem returns the current memory operand for a stack-resident
@@ -391,8 +429,8 @@ func (f *fnGen) spToArgBase() int32 {
 
 func (f *fnGen) emit() error {
 	f.assignLocations()
-	fr := f.recordTruth()
-	defer f.finishTruth(fr)
+	fr, tf := f.recordTruth()
+	defer f.finishTruth(fr, tf)
 	b := f.b()
 	b.Func(f.fn.Name)
 	f.epilogue = f.g.newLabel(f.fn.Name + "_ret")

@@ -39,6 +39,10 @@ type Image struct {
 	// Truth is the optional ground-truth layout side-table. Only the
 	// evaluation reads it.
 	Truth *layout.Program
+	// TypedTruth is the optional typed ground-truth side-table (the
+	// compiler's declared slot types, the analogue of DWARF type info).
+	// Only the evaluation reads it.
+	TypedTruth *layout.TypedProgram
 	// Name labels the image for diagnostics.
 	Name string
 }
@@ -109,6 +113,7 @@ func (im *Image) Strip() *Image {
 	out := *im
 	out.Syms = nil
 	out.Truth = nil
+	out.TypedTruth = nil
 	return &out
 }
 

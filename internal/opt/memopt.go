@@ -350,6 +350,10 @@ type PipelineOpts struct {
 	// It is a factory rather than a fixed oracle because every round
 	// rewrites the IR the oracle's facts are keyed on.
 	Oracle func(*ir.Func) AliasOracle
+	// Typed, when non-nil, supplies the per-function typed-slot partition
+	// consumed by SplitSlots. Returning a nil TypedInfo skips the
+	// function.
+	Typed func(*ir.Func) TypedInfo
 }
 
 // Pipeline runs the full optimizer to a fixpoint (bounded), mirroring the
@@ -379,6 +383,14 @@ func PipelineWithDebug(m *ir.Module, o PipelineOpts, check func(pass string) err
 	}
 	for round := 0; round < 8; round++ {
 		changed := 0
+		if o.Typed != nil {
+			for _, f := range m.Funcs {
+				changed += SplitSlots(f, o.Typed(f))
+			}
+			if err := step("split"); err != nil {
+				return promoted, err
+			}
+		}
 		if !o.NoMem2Reg {
 			for _, f := range m.Funcs {
 				changed += Mem2RegLog(f, promoted)

@@ -1,0 +1,141 @@
+package opt
+
+import (
+	"testing"
+
+	"wytiwyg/internal/ir"
+)
+
+// fakeTyped maps allocas to fixed partitions.
+type fakeTyped map[*ir.Value][][2]int64
+
+func (ft fakeTyped) SlotPartition(a *ir.Value) [][2]int64 { return ft[a] }
+
+// buildStructFunc builds: an 8-byte slot written at +0 and +4, both
+// fields then loaded and added into the return value. Baseline mem2reg
+// cannot promote the slot (it is wider than a word); the typed partition
+// splits it into two scalars.
+func buildStructFunc(m *ir.Module) (*ir.Func, *ir.Value) {
+	f := m.NewFunc("f", 0x1000)
+	f.NumRet = 1
+	b := f.NewBlock(0)
+	s := f.NewValue(ir.OpAlloca)
+	s.AllocSize = 8
+	s.Align = 4
+	s.Name = "s"
+	s.Const = -8
+	b.Append(s)
+	k1 := f.NewValue(ir.OpConst)
+	k1.Const = 11
+	b.Append(k1)
+	st0 := f.NewValue(ir.OpStore, s, k1)
+	st0.Size = 4
+	b.Append(st0)
+	k4 := f.NewValue(ir.OpConst)
+	k4.Const = 4
+	b.Append(k4)
+	a4 := f.NewValue(ir.OpAdd, s, k4)
+	b.Append(a4)
+	k2 := f.NewValue(ir.OpConst)
+	k2.Const = 22
+	b.Append(k2)
+	st1 := f.NewValue(ir.OpStore, a4, k2)
+	st1.Size = 4
+	b.Append(st1)
+	l0 := f.NewValue(ir.OpLoad, s)
+	l0.Size = 4
+	b.Append(l0)
+	l1 := f.NewValue(ir.OpLoad, a4)
+	l1.Size = 4
+	b.Append(l1)
+	sum := f.NewValue(ir.OpAdd, l0, l1)
+	b.Append(sum)
+	b.Append(f.NewValue(ir.OpRet, sum))
+	return f, s
+}
+
+// TestSplitSlots: a verified two-field partition splits the slot, and
+// the children promote where the parent could not.
+func TestSplitSlots(t *testing.T) {
+	m := ir.NewModule("t")
+	f, s := buildStructFunc(m)
+	info := fakeTyped{s: {{0, 4}, {4, 4}}}
+	if n := SplitSlots(f, info); n != 1 {
+		t.Fatalf("SplitSlots = %d, want 1", n)
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Insts {
+			if v == s {
+				t.Fatalf("parent alloca survived the split")
+			}
+		}
+	}
+	if n := Mem2Reg(f); n != 2 {
+		t.Errorf("Mem2Reg after split = %d, want 2", n)
+	}
+}
+
+// TestSplitSlotsVetoes: escapes and off-field accesses veto the rewrite.
+func TestSplitSlotsVetoes(t *testing.T) {
+	mk := func(mut func(f *ir.Func, s *ir.Value)) (fn *ir.Func, slot *ir.Value) {
+		m := ir.NewModule("t")
+		fn, slot = buildStructFunc(m)
+		if mut != nil {
+			mut(fn, slot)
+		}
+		return
+	}
+
+	// Address stored to memory: the slot escapes.
+	f, s := mk(func(f *ir.Func, s *ir.Value) {
+		b := f.Blocks[0]
+		p := f.NewValue(ir.OpAlloca)
+		p.AllocSize = 4
+		p.Const = -12
+		st := f.NewValue(ir.OpStore, p, s)
+		st.Size = 4
+		// Insert before the terminator.
+		b.Insts = append(b.Insts[:len(b.Insts)-1], p, st, b.Insts[len(b.Insts)-1])
+	})
+	if n := SplitSlots(f, fakeTyped{s: {{0, 4}, {4, 4}}}); n != 0 {
+		t.Errorf("escaping slot split anyway (n=%d)", n)
+	}
+
+	// Access straddling the claimed field boundary: the use walk rejects
+	// the partition even though the type pass claimed it.
+	f, s = mk(nil)
+	if n := SplitSlots(f, fakeTyped{s: {{0, 2}, {2, 6}}}); n != 0 {
+		t.Errorf("mismatched partition split anyway (n=%d)", n)
+	}
+
+	// Malformed (overlapping) partition.
+	f, s = mk(nil)
+	if n := SplitSlots(f, fakeTyped{s: {{0, 4}, {2, 4}}}); n != 0 {
+		t.Errorf("overlapping partition split anyway (n=%d)", n)
+	}
+}
+
+// TestPipelineTypedPromotesMore: the full optimizer pipeline with the
+// typed partition promotes strictly more slots than without it.
+func TestPipelineTypedPromotesMore(t *testing.T) {
+	count := func(typed bool) int {
+		m := ir.NewModule("t")
+		f, s := buildStructFunc(m)
+		m.Entry = f
+		o := PipelineOpts{}
+		if typed {
+			info := fakeTyped{s: {{0, 4}, {4, 4}}}
+			o.Typed = func(*ir.Func) TypedInfo { return info }
+		}
+		prog := PipelineWith(m, o)
+		n := 0
+		for _, fr := range prog.Frames {
+			n += len(fr.Vars)
+		}
+		return n
+	}
+	base, typed := count(false), count(true)
+	if typed <= base {
+		t.Errorf("typed promotions = %d, baseline = %d; want strictly more", typed, base)
+	}
+}

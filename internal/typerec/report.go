@@ -1,0 +1,125 @@
+package typerec
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"wytiwyg/internal/layout"
+)
+
+// LayoutSlots returns the function's local-area stack objects with
+// their inferred types, sorted by offset — the same slot filter as the
+// recovered layout (negative sp0 offsets, call plumbing excluded).
+func (r *FuncResult) LayoutSlots() []layout.TypedVar {
+	var out []layout.TypedVar
+	for _, a := range r.allocas {
+		if a.Const >= 0 || strings.HasPrefix(a.Name, "cp_") {
+			continue
+		}
+		out = append(out, layout.TypedVar{
+			Var:  layout.Var{Name: a.Name, Offset: a.Const, Size: a.AllocSize},
+			Type: r.Slots[a],
+		})
+	}
+	f := layout.TypedFrame{Func: r.fn.Name, Vars: out}
+	f.Sort()
+	return f.Vars
+}
+
+// TypedLayout assembles the per-function results into the recovered
+// typed layout, the subject of the type precision/recall comparison.
+func TypedLayout(results []*FuncResult) *layout.TypedProgram {
+	prog := layout.NewTypedProgram()
+	for _, r := range results {
+		prog.Add(&layout.TypedFrame{Func: r.fn.Name, Vars: r.LayoutSlots()})
+	}
+	return prog
+}
+
+// SlotReport is one typed slot in the report.
+type SlotReport struct {
+	// Name is the recovered object name.
+	Name string `json:"name"`
+	// Offset is the sp0-relative start offset.
+	Offset int32 `json:"offset"`
+	// Size is the object size in bytes.
+	Size uint32 `json:"size"`
+	// Type is the rendered inferred type.
+	Type string `json:"type"`
+}
+
+// FrameReport is one function's typed frame in the report.
+type FrameReport struct {
+	// Func is the function name.
+	Func string `json:"func"`
+	// Slots lists the typed local-area objects, sorted by offset.
+	Slots []SlotReport `json:"slots"`
+	// Heap is the rendered heap element type, when one was inferred.
+	Heap string `json:"heap,omitempty"`
+}
+
+// Report is the machine-readable typed-frame report of one module — the
+// payload of `wytiwyg types` and the typed part of the determinism
+// fingerprint.
+type Report struct {
+	// Funcs lists the typed frames in module function order.
+	Funcs []FrameReport `json:"funcs"`
+	// TypedSlots counts slots with a committed type.
+	TypedSlots int `json:"typed_slots"`
+	// TotalSlots counts all layout slots considered.
+	TotalSlots int `json:"total_slots"`
+	// Conflicts counts the irreconcilable-evidence events.
+	Conflicts int `json:"conflicts"`
+}
+
+// BuildReport renders the per-function results (in module function
+// order) into the report.
+func BuildReport(results []*FuncResult) *Report {
+	rep := &Report{}
+	for _, r := range results {
+		fr := FrameReport{Func: r.fn.Name}
+		for _, v := range r.LayoutSlots() {
+			fr.Slots = append(fr.Slots, SlotReport{
+				Name: v.Name, Offset: v.Offset, Size: v.Size,
+				Type: v.Type.String(),
+			})
+			rep.TotalSlots++
+			if v.Type.Committed() {
+				rep.TypedSlots++
+			}
+		}
+		if r.Heap.Committed() {
+			fr.Heap = r.Heap.String()
+		}
+		rep.Funcs = append(rep.Funcs, fr)
+		rep.Conflicts += len(r.Conflicts)
+	}
+	return rep
+}
+
+// JSON renders the report as indented JSON.
+func (rep *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}
+
+// String renders the report as the decompiler-ish text listing of
+// `wytiwyg types`.
+func (rep *Report) String() string {
+	var b strings.Builder
+	for _, fr := range rep.Funcs {
+		if len(fr.Slots) == 0 && fr.Heap == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "func %s:\n", fr.Func)
+		for _, s := range fr.Slots {
+			fmt.Fprintf(&b, "  %s@[%d,%d): %s\n", s.Name, s.Offset, s.Offset+int32(s.Size), s.Type)
+		}
+		if fr.Heap != "" {
+			fmt.Fprintf(&b, "  heap: %s\n", fr.Heap)
+		}
+	}
+	fmt.Fprintf(&b, "typed %d of %d slot(s), %d conflict(s)\n",
+		rep.TypedSlots, rep.TotalSlots, rep.Conflicts)
+	return b.String()
+}

@@ -1,0 +1,241 @@
+package typerec
+
+import (
+	"wytiwyg/internal/ir"
+	"wytiwyg/internal/layout"
+)
+
+// Unify propagates type evidence across call boundaries: every slot,
+// parameter and return gets a type variable, call sites bind argument
+// terms to parameter variables (an argument proven to be &slot links
+// the parameter's pointee variable to the slot's), and a union-find
+// merges the evidence. The pass only ever refines: a slot whose local
+// inference committed keeps it untouched; only top slots adopt a
+// unified type, and only when it exactly fits the slot's size. All
+// iteration is in module/block/instruction order, so the outcome is
+// deterministic and independent of the worker count that produced the
+// per-function results.
+func Unify(mod *ir.Module, results []*FuncResult) {
+	u := newUnifier(results)
+	u.bindCalls()
+	u.adopt()
+}
+
+// unifier is the union-find over type variables with per-class bindings.
+type unifier struct {
+	results []*FuncResult
+	byFn    map[*ir.Func]*FuncResult
+
+	parent  []int
+	rank    []int
+	binding []*layout.Type // concrete evidence per class root
+	elemOf  []int          // pointee variable of a pointer class (-1 none)
+}
+
+func newUnifier(results []*FuncResult) *unifier {
+	u := &unifier{results: results, byFn: make(map[*ir.Func]*FuncResult, len(results))}
+	for _, r := range results {
+		u.byFn[r.fn] = r
+		r.slotVar = make(map[*ir.Value]int, len(r.allocas))
+		for _, a := range r.allocas {
+			r.slotVar[a] = u.newVar(r.local[a])
+		}
+		r.paramVar = make([]int, len(r.paramElem))
+		for i, pe := range r.paramElem {
+			r.paramVar[i] = u.newVar(pe)
+		}
+		var ret *layout.Type
+		if r.retPtr {
+			ret = layout.PtrTo(nil)
+		}
+		r.retVar = u.newVar(ret)
+	}
+	return u
+}
+
+func (u *unifier) newVar(t *layout.Type) int {
+	id := len(u.parent)
+	u.parent = append(u.parent, id)
+	u.rank = append(u.rank, 0)
+	u.binding = append(u.binding, t)
+	u.elemOf = append(u.elemOf, -1)
+	return id
+}
+
+func (u *unifier) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// union merges two classes and their evidence. Pointee links merge
+// recursively; the recursion terminates because every step strictly
+// reduces the number of classes.
+func (u *unifier) union(x, y int) {
+	rx, ry := u.find(x), u.find(y)
+	if rx == ry {
+		return
+	}
+	merged := mergeTypes(u.binding[rx], u.binding[ry])
+	ex, ey := u.elemOf[rx], u.elemOf[ry]
+	root, other := rx, ry
+	if u.rank[rx] < u.rank[ry] {
+		root, other = ry, rx
+	} else if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.parent[other] = root
+	u.binding[root] = merged
+	switch {
+	case ex >= 0 && ey >= 0:
+		u.elemOf[root] = ex
+		u.union(ex, ey)
+	case ex >= 0:
+		u.elemOf[root] = ex
+	case ey >= 0:
+		u.elemOf[root] = ey
+	}
+}
+
+// mergeTypes combines two pieces of evidence for one class. Top absorbs;
+// conflict sticks; pointer evidence beats int32 at the same width (a
+// cell that sometimes holds a pointer is a pointer cell); any other
+// committed disagreement keeps the earlier binding — cross-boundary
+// evidence refines, it never overrides or poisons.
+func mergeTypes(a, b *layout.Type) *layout.Type {
+	if !a.Committed() {
+		if a.Kind0() == layout.TConflict {
+			return a
+		}
+		return b
+	}
+	if !b.Committed() {
+		if b.Kind0() == layout.TConflict {
+			return b
+		}
+		return a
+	}
+	ak, bk := a.Kind0(), b.Kind0()
+	switch {
+	case ak == layout.TPtr && bk == layout.TInt32:
+		return a
+	case bk == layout.TPtr && ak == layout.TInt32:
+		return b
+	case ak == layout.TPtr && bk == layout.TPtr:
+		if a.Elem == nil {
+			return b
+		}
+		return a
+	}
+	return a
+}
+
+// bindCalls walks every call site in deterministic order and links
+// argument evidence to callee parameter variables, and call-result uses
+// to callee return variables.
+func (u *unifier) bindCalls() {
+	for _, r := range u.results {
+		addrUsed := make(map[*ir.Value]bool)
+		for _, b := range r.fn.Blocks {
+			for _, v := range b.Insts {
+				if v.Op == ir.OpLoad || v.Op == ir.OpStore {
+					addrUsed[v.Args[0]] = true
+				}
+			}
+		}
+		for _, b := range r.fn.Blocks {
+			for _, v := range b.Insts {
+				switch v.Op {
+				case ir.OpCall:
+					if v.Callee != nil {
+						u.bindCallee(r, u.byFn[v.Callee], v.Args)
+					}
+				case ir.OpCallInd:
+					for _, t := range v.Targets {
+						u.bindCallee(r, u.byFn[t], v.Args[1:])
+					}
+				case ir.OpExtract:
+					// A call result used as an address marks the callee's
+					// return a pointer.
+					if !addrUsed[v] || v.Idx != 0 {
+						continue
+					}
+					c := v.Args[0]
+					if c.Op == ir.OpCall && c.Callee != nil {
+						if cr := u.byFn[c.Callee]; cr != nil {
+							rt := u.find(cr.retVar)
+							u.binding[rt] = mergeTypes(u.binding[rt], layout.PtrTo(nil))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// bindCallee links one call site's arguments to the callee's parameter
+// variables: an argument proven to be exactly &slot makes the parameter
+// a pointer whose pointee variable is the slot's, and flows any
+// concrete pointee evidence (the callee's own access widths through the
+// parameter) into the slot's class.
+func (u *unifier) bindCallee(caller, callee *FuncResult, args []*ir.Value) {
+	if callee == nil {
+		return
+	}
+	for i, arg := range args {
+		if i >= len(callee.paramVar) {
+			break
+		}
+		base, s, ok := caller.fix.ValueSetOf(arg).FramePart()
+		if !ok {
+			continue
+		}
+		off, exact := s.Exact()
+		if !exact || off != 0 {
+			continue
+		}
+		sv, ok := caller.slotVar[base]
+		if !ok {
+			continue
+		}
+		pr := u.find(callee.paramVar[i])
+		u.binding[pr] = mergeTypes(u.binding[pr], layout.PtrTo(nil))
+		if u.elemOf[pr] < 0 {
+			u.elemOf[pr] = sv
+		} else {
+			u.union(u.elemOf[pr], sv)
+		}
+		pr = u.find(callee.paramVar[i])
+		if pt := u.binding[pr]; pt.Kind0() == layout.TPtr && pt.Elem != nil {
+			sr := u.find(sv)
+			u.binding[sr] = mergeTypes(u.binding[sr], pt.Elem)
+		}
+	}
+}
+
+// adopt writes the unified types back: a slot whose local inference is
+// top adopts its class's committed type when it exactly fits the slot's
+// byte size. Committed and conflicted local results are never touched,
+// and neither are tainted slots — an unattributable access in their own
+// function may hit them at a width the callee evidence never saw.
+func (u *unifier) adopt() {
+	for _, r := range u.results {
+		for _, a := range r.allocas {
+			if r.local[a].Kind0() != layout.TTop || r.tainted[a] {
+				continue
+			}
+			root := u.find(r.slotVar[a])
+			t := u.binding[root]
+			if t.Kind0() == layout.TPtr && t.Elem == nil && u.elemOf[root] >= 0 {
+				if et := u.binding[u.find(u.elemOf[root])]; et.Committed() {
+					t = layout.PtrTo(et)
+				}
+			}
+			if t.Committed() && t.ByteSize() == a.AllocSize {
+				r.Slots[a] = t
+			}
+		}
+	}
+}

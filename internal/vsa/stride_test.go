@@ -1,0 +1,145 @@
+package vsa
+
+import (
+	"testing"
+
+	"wytiwyg/internal/ir"
+)
+
+// TestStrideFactsExact: a singleton offset is an exact fact — Step 0,
+// Phase = the offset, bounded.
+func TestStrideFactsExact(t *testing.T) {
+	st, ok := StrideFacts(ConstSI(8))
+	if !ok {
+		t.Fatal("exact offset must produce facts")
+	}
+	want := Stride{Step: 0, Phase: 8, Lo: 8, Hi: 8, Bounded: true}
+	if st != want {
+		t.Errorf("StrideFacts({8}) = %+v, want %+v", st, want)
+	}
+}
+
+// TestStrideFactsSpan: an in-window strided span keeps both its
+// congruence and its extent.
+func TestStrideFactsSpan(t *testing.T) {
+	st, ok := StrideFacts(SpanSI(4, 36, 8))
+	if !ok {
+		t.Fatal("bounded span must produce facts")
+	}
+	want := Stride{Step: 8, Phase: 4, Lo: 4, Hi: 36, Bounded: true}
+	if st != want {
+		t.Errorf("StrideFacts(8[4,36]) = %+v, want %+v", st, want)
+	}
+}
+
+// TestStrideFactsWrap: a set that left the 32-bit window wraps to its
+// congruence class — the stride and residue survive, the extent does
+// not.
+func TestStrideFactsWrap(t *testing.T) {
+	st, ok := StrideFacts(SpanSI(4, 1<<33, 8))
+	if !ok {
+		t.Fatal("wrapped congruence class must still produce its residue")
+	}
+	if st.Bounded {
+		t.Errorf("wrapped set reported a trustworthy extent: %+v", st)
+	}
+	if st.Step != 8 || st.Phase != 4 {
+		t.Errorf("wrapped facts = step %d phase %d, want step 8 phase 4", st.Step, st.Phase)
+	}
+}
+
+// TestStrideFactsWrapNegativeAnchor: the residue of a negative anchor is
+// taken mod the step (offsets −8, −4, 0, 4… are ≡ 0 mod 4).
+func TestStrideFactsWrapNegativeAnchor(t *testing.T) {
+	st, ok := StrideFacts(SpanSI(-8, 1<<33, 4))
+	if !ok {
+		t.Fatal("wrapped class with a negative anchor must produce facts")
+	}
+	if st.Bounded || st.Step != 4 || st.Phase != 0 {
+		t.Errorf("facts = %+v, want unbounded step 4 phase 0", st)
+	}
+}
+
+// TestStrideFactsWrapSingleton: a singleton that wrapped past 2^32 is
+// still exactly one concrete word — norm folds it back into the window
+// and the fact is exact again.
+func TestStrideFactsWrapSingleton(t *testing.T) {
+	st, ok := StrideFacts(SpanSI(1<<32+12, 1<<32+12, 0))
+	if !ok {
+		t.Fatal("wrapped singleton must produce facts")
+	}
+	want := Stride{Step: 0, Phase: 12, Lo: 12, Hi: 12, Bounded: true}
+	if st != want {
+		t.Errorf("StrideFacts({2^32+12}) = %+v, want %+v", st, want)
+	}
+}
+
+// TestStrideFactsSaturated: fully saturated sets carry no anchor and
+// must refuse — Top directly, and via MulConst overflow.
+func TestStrideFactsSaturated(t *testing.T) {
+	if _, ok := StrideFacts(TopSI); ok {
+		t.Error("TopSI must not produce stride facts")
+	}
+	ovf := SpanSI(1, 1<<30, 1).MulConst(1 << 40) // int64 overflow → Top
+	if _, ok := StrideFacts(ovf); ok {
+		t.Errorf("overflowed product %v must not produce stride facts", ovf)
+	}
+}
+
+// TestStrideOfLoop drives the oracle accessor end to end on the
+// interleaved-field loop of TestOracleLoopStride: after widening, the
+// two field streams keep exact congruences (phases 0 and 4 mod 8) with
+// no trustworthy extent, while a direct exact access stays bounded.
+func TestStrideOfLoop(t *testing.T) {
+	_, f, entry := mkFunc("f")
+	header := f.NewBlock(0)
+	body := f.NewBlock(0)
+	exit := f.NewBlock(0)
+	edge(entry, header)
+	edge(header, body)
+	edge(header, exit)
+	edge(body, header)
+
+	a := alloca(f, entry, "a", 64, -64)
+	i0 := konst(f, entry, 0)
+	direct := f.NewValue(ir.OpAdd, a, konst(f, entry, 12))
+	entry.Append(direct)
+	entry.Append(f.NewValue(ir.OpStore, direct, konst(f, entry, 7)))
+	entry.Append(f.NewValue(ir.OpJmp))
+
+	phi := f.NewValue(ir.OpPhi, i0, nil)
+	header.AddPhi(phi)
+	cond := konst(f, header, 1)
+	header.Append(f.NewValue(ir.OpBr, cond))
+
+	addr0 := f.NewValue(ir.OpAdd, a, phi)
+	body.Append(addr0)
+	body.Append(f.NewValue(ir.OpStore, addr0, konst(f, body, 1)))
+	addr1 := f.NewValue(ir.OpAdd, addr0, konst(f, body, 4))
+	body.Append(addr1)
+	body.Append(f.NewValue(ir.OpStore, addr1, konst(f, body, 2)))
+	inext := f.NewValue(ir.OpAdd, phi, konst(f, body, 8))
+	body.Append(inext)
+	phi.Args[1] = inext
+	body.Append(f.NewValue(ir.OpJmp))
+
+	exit.Append(f.NewValue(ir.OpRet, konst(f, exit, 0)))
+
+	o := NewOracle(f)
+	st, ok := o.StrideOf(addr0)
+	if !ok || st.Base != a {
+		t.Fatalf("StrideOf(addr0) = %+v,%v; want base a", st, ok)
+	}
+	if st.Bounded || st.Step != 8 || st.Phase != 0 {
+		t.Errorf("addr0 = %+v, want unbounded step 8 phase 0", st)
+	}
+	st1, ok := o.StrideOf(addr1)
+	if !ok || st1.Step != 8 || st1.Phase != 4 || st1.Bounded {
+		t.Errorf("addr1 = %+v,%v; want unbounded step 8 phase 4", st1, ok)
+	}
+	std, ok := o.StrideOf(direct)
+	want := Stride{Base: a, Step: 0, Phase: 12, Lo: 12, Hi: 12, Bounded: true}
+	if !ok || std != want {
+		t.Errorf("StrideOf(direct) = %+v,%v; want %+v", std, ok, want)
+	}
+}

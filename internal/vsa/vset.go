@@ -100,6 +100,29 @@ func (v ValueSet) NumPart() (SI, bool) {
 	return s, ok
 }
 
+// HeapPart returns the offset set into the heap summary, if the set
+// points into the heap and nothing else.
+func (v ValueSet) HeapPart() (SI, bool) {
+	if v.top || len(v.parts) != 1 {
+		return SI{}, false
+	}
+	s, ok := v.parts[HeapRegion]
+	return s, ok
+}
+
+// HasPointerPart reports whether the set includes a frame or heap
+// region — positive evidence that the value is (at least sometimes) a
+// pointer. Top reports false: an unconstrained value carries no
+// evidence either way.
+func (v ValueSet) HasPointerPart() bool {
+	for r := range v.parts {
+		if r.Kind != RegNum {
+			return true
+		}
+	}
+	return false
+}
+
 // FramePart returns the single frame region and offsets, if the set points
 // into exactly one stack object and nothing else.
 func (v ValueSet) FramePart() (*ir.Value, SI, bool) {
