@@ -70,6 +70,9 @@ check_bench() {
     go run ./cmd/benchjson -types -o /tmp/wytiwyg-bench-smoke.json
     go run ./cmd/benchjson -check -o /tmp/wytiwyg-bench-smoke.json
     go run ./cmd/benchjson -check -o BENCH_interp.json
+    go run ./cmd/benchjson -serve -o /tmp/wytiwyg-bench-serve.json
+    go run ./cmd/benchjson -check -o /tmp/wytiwyg-bench-serve.json
+    go run ./cmd/benchjson -check -o BENCH_serve.json
 }
 step "bench smoke" check_bench
 
@@ -98,5 +101,55 @@ check_stream() {
         -count=1 ./internal/core/ ./internal/stream/ ./internal/par/
 }
 step "streaming smoke" check_stream
+
+# Serve smoke: the recompilation daemon end to end. Start a daemon on a
+# throwaway unix socket and cache, submit the same binary twice, and check
+# (a) the repeat submission is answered warm from the shared cache, and
+# (b) both the cold and the warm payloads are byte-identical to the same
+# job run in-process (`submit -local`) — the determinism invariant
+# observed at the serving surface. Then drain gracefully.
+check_serve() {
+    go build -o /tmp/wytiwyg-ci ./cmd/wytiwyg
+    d=$(mktemp -d /tmp/wytiwyg-ci-serve.XXXXXX)
+    sock="unix:$d/d.sock"
+    /tmp/wytiwyg-ci serve -addr "$sock" -cache-dir "$d/cache" >"$d/serve.log" 2>&1 &
+    pid=$!
+    trap 'kill "$pid" 2>/dev/null || true; rm -rf "$d"' EXIT
+    i=0
+    until /tmp/wytiwyg-ci submit -addr "$sock" -ping >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "serve smoke: daemon never became ready" >&2
+            cat "$d/serve.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    /tmp/wytiwyg-ci submit -addr "$sock" -bench mcf -json >"$d/cold.json" 2>"$d/cold.err"
+    /tmp/wytiwyg-ci submit -addr "$sock" -bench mcf -json >"$d/warm.json" 2>"$d/warm.err"
+    if ! grep -q '^stats: warm' "$d/warm.err"; then
+        echo "serve smoke: repeat submission was not served warm" >&2
+        cat "$d/warm.err" >&2
+        exit 1
+    fi
+    /tmp/wytiwyg-ci submit -local -bench mcf -json >"$d/local.json" 2>/dev/null
+    if ! diff "$d/cold.json" "$d/warm.json" || ! diff "$d/cold.json" "$d/local.json"; then
+        echo "serve smoke: daemon payload differs between cold/warm/local runs" >&2
+        exit 1
+    fi
+    /tmp/wytiwyg-ci submit -addr "$sock" -shutdown >/dev/null
+    i=0
+    while kill -0 "$pid" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "serve smoke: daemon did not exit after shutdown" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    trap - EXIT
+    rm -rf "$d"
+}
+step "serve smoke" check_serve
 
 echo "ci: all checks passed"

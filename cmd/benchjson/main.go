@@ -56,6 +56,13 @@
 // Table 1 extension): unsanitized vs sanitized vs sanitized-with-VSA-guard-
 // elision cycle counts, merged into the artifact's "guards" section.
 //
+// With -serve the tool measures the recompilation daemon (internal/serve):
+// each program is submitted twice against a freshly started daemon with an
+// empty cache — the cold submission runs the full pipeline, the warm repeat
+// is answered from the shared response cache — and the cold/warm latencies,
+// speedup and hit rates land in the artifact's "serve" section
+// (conventionally BENCH_serve.json).
+//
 // Usage:
 //
 //	go test -bench=. -count=5 ./... | benchjson -mode full -o BENCH_interp.json
@@ -66,6 +73,7 @@
 //	benchjson -static -o BENCH_interp.json
 //	benchjson -guards -o BENCH_interp.json
 //	benchjson -stream -o BENCH_stream.json
+//	benchjson -serve -o BENCH_serve.json
 package main
 
 import (
@@ -112,6 +120,7 @@ type File struct {
 	Static   []StaticSection    `json:"static,omitempty"`   // cold-code recovery measurements
 	Stream   []StreamSection    `json:"stream,omitempty"`   // streaming-pipeline measurements
 	Guards   []GuardSection     `json:"guards,omitempty"`   // sanitizer guard-elision measurements
+	Serve    []ServeSection     `json:"serve,omitempty"`    // recompilation-daemon measurements
 }
 
 // readArtifact loads an existing artifact, or an empty one if absent.
@@ -148,6 +157,7 @@ func main() {
 	staticFlag := flag.Bool("static", false, "measure static cold-code recovery (candidates, admissions, analysis cost) instead of reading bench output")
 	streamFlag := flag.Bool("stream", false, "measure the streaming pipeline (wall clock, record traffic, trace/refine overlap) instead of reading bench output")
 	guardsFlag := flag.Bool("guards", false, "measure sanitizer overhead with and without VSA guard elision instead of reading bench output")
+	serveFlag := flag.Bool("serve", false, "measure the recompilation daemon (cold vs warm latency, hit rates) instead of reading bench output")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -183,6 +193,11 @@ func main() {
 		return
 	case *guardsFlag:
 		if err := writeGuards(*out); err != nil {
+			fail(err)
+		}
+		return
+	case *serveFlag:
+		if err := writeServe(*out); err != nil {
 			fail(err)
 		}
 		return
@@ -250,6 +265,11 @@ func checkArtifact(path string) error {
 	var f File
 	if err := json.Unmarshal(data, &f); err != nil {
 		return fmt.Errorf("not valid JSON: %v", err)
+	}
+	// A serve-only artifact (conventionally BENCH_serve.json) carries no
+	// benchmark sections; validate just the daemon measurements.
+	if len(f.Current) == 0 && len(f.Serve) > 0 {
+		return checkServeSections(f.Serve)
 	}
 	if f.Mode != "full" && f.Mode != "smoke" {
 		return fmt.Errorf(`missing or unknown "mode" %q (want "full" or "smoke")`, f.Mode)
@@ -328,6 +348,32 @@ func checkArtifact(path string) error {
 		}
 		if sec.Elided > sec.Guards {
 			return fmt.Errorf("guards %s: elided %d exceeds recognized %d", sec.Program, sec.Elided, sec.Guards)
+		}
+	}
+	return checkServeSections(f.Serve)
+}
+
+// checkServeSections validates a "serve" section: the warm path must
+// actually be warm — below the cold latency, fully cache-served — or the
+// artifact is advertising a daemon that does nothing.
+func checkServeSections(secs []ServeSection) error {
+	for _, sec := range secs {
+		if sec.Program == "" {
+			return fmt.Errorf("serve section entry missing program")
+		}
+		if sec.ColdMs <= 0 || sec.WarmMs <= 0 {
+			return fmt.Errorf("serve %s: non-positive latency (cold %v, warm %v)",
+				sec.Program, sec.ColdMs, sec.WarmMs)
+		}
+		if sec.WarmMs >= sec.ColdMs {
+			return fmt.Errorf("serve %s: warm latency %.2fms is not below cold %.2fms",
+				sec.Program, sec.WarmMs, sec.ColdMs)
+		}
+		if sec.WarmHitRate != 1 {
+			return fmt.Errorf("serve %s: warm hit rate %v, want 1", sec.Program, sec.WarmHitRate)
+		}
+		if sec.FuncMisses <= 0 {
+			return fmt.Errorf("serve %s: cold run reports no function computations", sec.Program)
 		}
 	}
 	return nil

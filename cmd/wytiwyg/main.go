@@ -9,6 +9,15 @@
 //	wytiwyg -bench hmmer [-profile gcc44-O3] [-j 8] [-stream] [-cache] [-timings] [-vsa] [-types]
 //	wytiwyg lint [-src prog.c | -bench hmmer | -all] [-json] [-j 8] [-cache] [-vsa] [-types]
 //	wytiwyg types [-src prog.c | -bench hmmer] [-json] [-truth] [-j 8]
+//	wytiwyg serve [-addr unix:/tmp/wytiwyg.sock] [-cache-dir DIR] [-j 8] [-workers 4]
+//	wytiwyg submit [-addr ...] -kind lift|lint|recompile [-src prog.c | -bench hmmer] [-json] [-local]
+//	wytiwyg submit [-addr ...] -ping | -stats | -shutdown
+//
+// The serve subcommand runs the pipeline as a long-lived daemon behind a
+// local HTTP API (unix socket by default) with a shared on-disk cache;
+// submit is its client. `submit -local` runs the identical job
+// in-process and prints a byte-identical payload — see internal/serve
+// and DESIGN.md §15.
 //
 // Steps and outputs mirror the paper's Figure 4: the tool reports the trace
 // size, recovered functions, refined signatures, recovered stack layout and
@@ -72,6 +81,12 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "types" {
 		os.Exit(typesMain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(serveMain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "submit" {
+		os.Exit(submitMain(os.Args[2:]))
 	}
 	srcPath := flag.String("src", "", "mini-C source file to recompile")
 	benchName := flag.String("bench", "", "built-in benchmark name (alternative to -src)")

@@ -1,0 +1,77 @@
+package main
+
+// The serve subcommand: run the recompilation daemon. It wraps the same
+// pipeline the one-shot commands use behind a local HTTP API (unix
+// socket by default), multiplexes jobs onto a bounded worker pool, and
+// shares the content-addressed cache across requests; see
+// internal/serve and DESIGN.md §15.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"wytiwyg/internal/serve"
+)
+
+// defaultSocket is the address `wytiwyg serve` listens on and `wytiwyg
+// submit` dials when -addr is not given.
+func defaultSocket() string {
+	return "unix:" + filepath.Join(os.TempDir(), "wytiwyg.sock")
+}
+
+// listen resolves an -addr value into a listener: "unix:/path" for a
+// unix socket (removing a stale socket file first), anything else as a
+// TCP host:port.
+func listen(addr string) (net.Listener, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		if info, err := os.Stat(path); err == nil && info.Mode()&os.ModeSocket != 0 {
+			os.Remove(path)
+		}
+		return net.Listen("unix", path)
+	}
+	return net.Listen("tcp", addr)
+}
+
+func serveMain(args []string) int {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", defaultSocket(), "listen address: unix:/path/to.sock or host:port")
+	cacheDir := fs.String("cache-dir", "", "shared cache directory ($WYTIWYG_CACHE or the user cache directory by default)")
+	jobs := fs.Int("j", 0, "per-pipeline refinement worker pool size (0 = one per CPU)")
+	workers := fs.Int("workers", 0, "concurrently executing jobs (0 = one per CPU)")
+	drain := fs.Duration("drain", time.Minute, "how long a signal-initiated shutdown waits for in-flight jobs")
+	fs.Parse(args)
+
+	cache := openCache(true, *cacheDir)
+	l, err := listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wytiwyg serve: %v\n", err)
+		return 1
+	}
+	srv := serve.New(serve.Config{Cache: cache, Jobs: *jobs, Workers: *workers})
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "wytiwyg serve: draining")
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	fmt.Printf("wytiwyg serve: listening on %s (cache %s)\n", *addr, cache.Dir())
+	if err := srv.Serve(l); err != nil {
+		fmt.Fprintf(os.Stderr, "wytiwyg serve: %v\n", err)
+		return 1
+	}
+	fmt.Println("wytiwyg serve: drained, exiting")
+	return 0
+}

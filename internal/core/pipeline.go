@@ -240,6 +240,17 @@ type Pipeline struct {
 	// function name with the causing error.
 	Degraded map[string]error
 
+	// FuncCacheHits counts the functions whose content-addressed cache key
+	// hit during this run (their per-function results were reused instead
+	// of recomputed). Unlike the shared Cache handle's Stats — which
+	// aggregate every concurrent pipeline sharing the handle — these
+	// counters are per-run, which is what a daemon needs to report an
+	// honest per-request hit rate for incremental re-lifts.
+	FuncCacheHits int
+	// FuncCacheMisses counts the functions whose key missed and whose
+	// results were computed and recorded this run (see FuncCacheHits).
+	FuncCacheMisses int
+
 	// Times records per-stage wall-clock costs in execution order.
 	Times []StageTime
 
@@ -702,6 +713,13 @@ func (p *Pipeline) lintFuncs() {
 	})
 	for i, f := range funcs {
 		p.Report.Merge(&reps[i])
+		if p.Cache != nil {
+			if hit[i] {
+				p.FuncCacheHits++
+			} else {
+				p.FuncCacheMisses++
+			}
+		}
 		if p.Cache != nil && !hit[i] {
 			var vars []layout.Var
 			if fr := p.Recovered.Frame(f.Name); fr != nil {

@@ -10,6 +10,13 @@
 // directory; a corrupted or truncated entry is indistinguishable from a
 // miss (it is deleted and recomputed), so the cache can never make a run
 // fail — only faster.
+//
+// The directory may be shared: by concurrent requests inside one daemon,
+// by several processes, and by binaries built at different envelope
+// format versions. Entries are written atomically (temp file + rename,
+// world-readable), foreign-version entries are left in place and treated
+// as plain misses, and corrupt-entry removal is quarantine-based so it
+// can never delete an entry a concurrent put just renamed into place.
 package refcache
 
 import (
@@ -22,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"wytiwyg/internal/analysis"
 	"wytiwyg/internal/layout"
@@ -77,6 +85,11 @@ type Stats struct {
 	// Corrupt counts entries that existed but failed to decode (each was
 	// removed and counted as a miss too).
 	Corrupt int
+	// Foreign counts entries written under a different envelope format
+	// version. They are someone else's valid data — a shared cache
+	// directory may serve binaries built at several format versions — so
+	// each is counted as a miss and left untouched on disk.
+	Foreign int
 }
 
 func (s Stats) String() string {
@@ -90,6 +103,11 @@ type Cache struct {
 
 	mu    sync.Mutex
 	stats Stats
+
+	// onCorrupt, when non-nil, runs after a corrupt entry is detected and
+	// before it is quarantined — a test seam for interleaving a concurrent
+	// put into the removal window.
+	onCorrupt func()
 }
 
 // version is the on-disk envelope format version. It protects the JSON
@@ -128,9 +146,54 @@ func (c *Cache) path(k Key) string {
 	return filepath.Join(c.dir, name[:2], name[2:]+".json")
 }
 
+// decodeState classifies one on-disk entry's bytes.
+type decodeState int
+
+const (
+	// decodeOK: our format version and the payload decoded into out.
+	decodeOK decodeState = iota
+	// decodeForeign: a well-formed envelope carrying a different format
+	// version — valid data belonging to another binary's cache schema.
+	decodeForeign
+	// decodeCorrupt: truncated, non-JSON, or a same-version payload that
+	// does not decode.
+	decodeCorrupt
+)
+
+// decode classifies data and, on decodeOK, fills out.
+func decode(data []byte, out any) decodeState {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return decodeCorrupt
+	}
+	if env.Version != version {
+		return decodeForeign
+	}
+	if err := json.Unmarshal(env.Payload, out); err != nil {
+		return decodeCorrupt
+	}
+	return decodeOK
+}
+
 // get decodes the entry for k into out. Any failure — absent file,
-// unreadable file, corrupt JSON, foreign format version — is a miss;
-// corrupt entries are removed so they are recomputed and rewritten.
+// unreadable file, corrupt JSON, foreign format version — is a miss.
+//
+// Only a corrupt entry is ever removed, and never a foreign-version one:
+// in a shared cache directory a foreign version means a binary with a
+// different envelope schema owns the entry, and deleting it would let an
+// old binary destroy a new binary's valid results (and vice versa).
+//
+// Removal itself must not race with a concurrent put of the same key:
+// between reading garbage and unlinking the path, another process can
+// rename a freshly computed valid entry into place, and a plain
+// os.Remove would then delete good data. The entry is therefore removed
+// by renaming it aside to a unique quarantine name first — rename is
+// atomic, so the quarantined file is exactly the file that will be
+// deleted — and re-checked there: if the quarantined bytes turn out
+// valid (the race happened; we grabbed the new entry), it is renamed
+// back into place and served as a hit. Entries are content-addressed, so
+// any two valid files for the same key are interchangeable and the
+// restore can never clobber better data.
 func (c *Cache) get(k Key, out any) bool {
 	p := c.path(k)
 	data, err := os.ReadFile(p)
@@ -138,17 +201,46 @@ func (c *Cache) get(k Key, out any) bool {
 		c.count(func(s *Stats) { s.Misses++ })
 		return false
 	}
-	var env envelope
-	if err := json.Unmarshal(data, &env); err == nil && env.Version == version {
-		if err := json.Unmarshal(env.Payload, out); err == nil {
+	switch decode(data, out) {
+	case decodeOK:
+		c.count(func(s *Stats) { s.Hits++ })
+		return true
+	case decodeForeign:
+		c.count(func(s *Stats) { s.Misses++; s.Foreign++ })
+		return false
+	}
+	if c.onCorrupt != nil {
+		c.onCorrupt()
+	}
+	q := fmt.Sprintf("%s.bad-%d-%d", p, os.Getpid(), quarantineSeq.Add(1))
+	if os.Rename(p, q) != nil {
+		// The entry vanished or moved under us — someone else already
+		// handled it; nothing of ours to clean up.
+		c.count(func(s *Stats) { s.Misses++; s.Corrupt++ })
+		return false
+	}
+	if data, err := os.ReadFile(q); err == nil {
+		switch decode(data, out) {
+		case decodeOK:
+			// A concurrent put won the race: restore the valid entry and
+			// serve it.
+			os.Rename(q, p)
 			c.count(func(s *Stats) { s.Hits++ })
 			return true
+		case decodeForeign:
+			os.Rename(q, p)
+			c.count(func(s *Stats) { s.Misses++; s.Foreign++ })
+			return false
 		}
 	}
-	os.Remove(p)
+	os.Remove(q)
 	c.count(func(s *Stats) { s.Misses++; s.Corrupt++ })
 	return false
 }
+
+// quarantineSeq makes quarantine names unique within a process; the pid
+// in the name separates processes sharing the directory.
+var quarantineSeq atomic.Int64
 
 // put stores v under k. Entries are written to a temporary file and
 // renamed into place so readers never observe a half-written entry.
@@ -170,10 +262,14 @@ func (c *Cache) put(k Key, v any) error {
 		return fmt.Errorf("refcache: %w", err)
 	}
 	_, werr := tmp.Write(data)
+	// os.CreateTemp creates the file 0600; a shared multi-user cache
+	// directory needs world-readable entries, or every other user's gets
+	// are misses and they recompute (and re-put) what is already there.
+	merr := tmp.Chmod(0o644)
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || merr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("refcache: write: %w", errors.Join(werr, cerr))
+		return fmt.Errorf("refcache: write: %w", errors.Join(werr, merr, cerr))
 	}
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		os.Remove(tmp.Name())
@@ -207,16 +303,37 @@ func (c *Cache) GetProgram(k Key) (*ProgramEntry, bool) {
 // PutProgram stores a program-level entry.
 func (c *Cache) PutProgram(k Key, e *ProgramEntry) error { return c.put(k, e) }
 
-// Len counts the entries currently on disk (test and tooling helper).
-func (c *Cache) Len() int {
+// GetJSON looks up an arbitrary JSON-encodable entry (the serve daemon
+// stores whole response payloads this way). The caller owns the key's
+// domain tag; the same envelope versioning and corruption handling apply.
+func (c *Cache) GetJSON(k Key, out any) bool { return c.get(k, out) }
+
+// PutJSON stores an arbitrary JSON-encodable entry under k.
+func (c *Cache) PutJSON(k Key, v any) error { return c.put(k, v) }
+
+// Len counts the entries currently on disk (test and tooling helper). A
+// directory that cannot be walked reports the first error alongside the
+// partial count — silently swallowing it would present an undercount as
+// an exact answer.
+func (c *Cache) Len() (int, error) {
 	n := 0
+	var first error
 	filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
-		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			return nil
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
 			n++
 		}
 		return nil
 	})
-	return n
+	if first != nil {
+		return n, fmt.Errorf("refcache: walk: %w", first)
+	}
+	return n, nil
 }
 
 func (c *Cache) count(f func(*Stats)) {

@@ -3,6 +3,7 @@ package refcache
 import (
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -47,8 +48,8 @@ func TestFuncEntryRoundTrip(t *testing.T) {
 	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 || s.Puts != 1 || s.Corrupt != 0 {
 		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 put", s)
 	}
-	if c.Len() != 1 {
-		t.Errorf("Len = %d, want 1", c.Len())
+	if n, err := c.Len(); n != 1 || err != nil {
+		t.Errorf("Len = %d, %v, want 1, nil", n, err)
 	}
 }
 
@@ -153,19 +154,22 @@ func TestCorruptEntryRecovered(t *testing.T) {
 	}
 }
 
-// An entry written by a future (or past) format version is unreadable by
-// construction and must be treated as corrupt, not misdecoded.
-func TestForeignVersionTreatedAsCorrupt(t *testing.T) {
+// An entry written by a future (or past) format version is another
+// binary's valid data: it must read as a plain miss and SURVIVE the get.
+// (The old behaviour deleted it — an older binary sharing a daemon's
+// cache directory would destroy a newer binary's entries on every
+// lookup.)
+func TestForeignVersionSurvivesGet(t *testing.T) {
 	c, err := Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
 	k := NewKey("func", []byte("x"))
-	if err := c.PutFunc(k, testFuncEntry()); err != nil {
-		t.Fatal(err)
-	}
 	data, err := json.Marshal(envelope{Version: version + 1, Payload: []byte(`{}`)})
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(c.path(k)), 0o755); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(c.path(k), data, 0o644); err != nil {
@@ -174,8 +178,22 @@ func TestForeignVersionTreatedAsCorrupt(t *testing.T) {
 	if _, ok := c.GetFunc(k); ok {
 		t.Fatal("foreign-version entry served as a hit")
 	}
-	if s := c.Stats(); s.Corrupt != 1 {
-		t.Errorf("stats = %+v, want Corrupt 1", s)
+	if s := c.Stats(); s.Foreign != 1 || s.Corrupt != 0 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want Foreign 1, Corrupt 0, Misses 1", s)
+	}
+	got, err := os.ReadFile(c.path(k))
+	if err != nil {
+		t.Fatalf("foreign-version entry deleted by get: %v", err)
+	}
+	if string(got) != string(data) {
+		t.Error("foreign-version entry rewritten by get")
+	}
+	// A second get behaves identically — the entry keeps surviving.
+	if _, ok := c.GetFunc(k); ok {
+		t.Fatal("foreign-version entry served as a hit on the second get")
+	}
+	if s := c.Stats(); s.Foreign != 2 {
+		t.Errorf("stats = %+v, want Foreign 2", s)
 	}
 }
 

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a running daemon. The zero value is unusable; Dial
+// builds one.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Dial returns a client for addr. Two address forms are accepted, the
+// same ones `wytiwyg serve -addr` listens on: "unix:/path/to.sock" for a
+// unix socket, anything else as a TCP host:port.
+func Dial(addr string) *Client {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return &Client{
+			// The host in the URL is a placeholder: every connection goes
+			// through the socket dialer.
+			base: "http://wytiwyg",
+			hc: &http.Client{Transport: &http.Transport{
+				DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+					var d net.Dialer
+					return d.DialContext(ctx, "unix", path)
+				},
+			}},
+		}
+	}
+	if strings.HasPrefix(addr, ":") {
+		addr = "localhost" + addr
+	}
+	return &Client{base: "http://" + addr, hc: &http.Client{}}
+}
+
+// Submit sends one job and returns the daemon's response. A response
+// carrying an application-level error comes back as (resp, nil); the
+// error return is for transport and protocol failures.
+func (c *Client) Submit(job *Job) (*Response, error) {
+	body, err := json.Marshal(job)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode job: %w", err)
+	}
+	httpResp, err := c.hc.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("serve: submit: %w", err)
+	}
+	defer httpResp.Body.Close()
+	var resp Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("serve: decode response (HTTP %d): %w", httpResp.StatusCode, err)
+	}
+	return &resp, nil
+}
+
+// Stats fetches the daemon-level counter snapshot.
+func (c *Client) Stats() (*ServerStats, error) {
+	httpResp, err := c.hc.Get(c.base + "/v1/stats")
+	if err != nil {
+		return nil, fmt.Errorf("serve: stats: %w", err)
+	}
+	defer httpResp.Body.Close()
+	var st ServerStats
+	if err := json.NewDecoder(httpResp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("serve: decode stats: %w", err)
+	}
+	return &st, nil
+}
+
+// Health checks the daemon is up.
+func (c *Client) Health() error {
+	httpResp, err := c.hc.Get(c.base + "/v1/health")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, httpResp.Body)
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: health: HTTP %d", httpResp.StatusCode)
+	}
+	return nil
+}
+
+// WaitReady polls Health until the daemon answers or the timeout
+// expires (the ci smoke and tests race daemon startup).
+func (c *Client) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		err := c.Health()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("serve: daemon not ready after %v: %w", timeout, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Shutdown asks the daemon to drain and exit.
+func (c *Client) Shutdown() error {
+	httpResp, err := c.hc.Post(c.base+"/v1/shutdown", "application/json", nil)
+	if err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	io.Copy(io.Discard, httpResp.Body)
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: shutdown: HTTP %d", httpResp.StatusCode)
+	}
+	return nil
+}

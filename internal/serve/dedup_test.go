@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wytiwyg/internal/core"
+)
+
+// Single-flight dedup: N concurrent submissions of the same job must run
+// the pipeline exactly once and all receive byte-identical responses.
+//
+// The test is made deterministic rather than probabilistic: the stage
+// observer parks the leader at the first trace start, the test waits
+// until all other submissions have registered as joiners of that flight,
+// and only then releases the leader. Every follower is therefore
+// guaranteed to be in the join path — none can sneak in after the leader
+// finishes and be served warm instead.
+func TestSingleFlightDedup(t *testing.T) {
+	const n = 6
+	var traceStarts atomic.Int64
+	release := make(chan struct{})
+	obs := func(e core.StageEvent) {
+		if e.Stage == "trace" && e.Action == "start" {
+			traceStarts.Add(1)
+			<-release
+		}
+	}
+	c, srv, done := startServer(t, Config{Observer: obs})
+
+	job := &Job{Kind: KindLint, Bench: "mcf"}
+	if err := job.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	digest := job.Digest()
+
+	var wg sync.WaitGroup
+	resps := make([]*Response, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = c.Submit(&Job{Kind: KindLint, Bench: "mcf"})
+		}(i)
+	}
+
+	// Wait for the leader to park, then for every follower to join its
+	// flight, then let the pipeline proceed.
+	deadline := time.Now().Add(10 * time.Second)
+	for traceStarts.Load() == 0 || srv.group.joiners(digest) < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("followers never joined: %d trace starts, %d joiners",
+				traceStarts.Load(), srv.group.joiners(digest))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := traceStarts.Load(); got != 1 {
+		t.Errorf("pipeline executed %d times, want exactly 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("submission %d: %v", i, errs[i])
+		}
+		if resps[i].Error != "" {
+			t.Fatalf("submission %d: %s", i, resps[i].Error)
+		}
+	}
+	want := payloadJSON(t, resps[0].Payload)
+	for i := 1; i < n; i++ {
+		if got := payloadJSON(t, resps[i].Payload); got != want {
+			t.Errorf("submission %d payload differs from submission 0:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+	st := srv.Stats()
+	if st.Requests != n || st.Executed != 1 || st.DedupJoins != n-1 {
+		t.Errorf("server stats = %+v, want %d requests, 1 executed, %d joins", st, n, n-1)
+	}
+	stopServer(t, c, done)
+}

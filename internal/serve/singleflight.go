@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flight is one in-progress computation that later arrivals can join.
+type flight struct {
+	done   chan struct{} // closed when resp is ready
+	resp   *Response     // the shared result, set before done closes
+	joined atomic.Int64  // arrivals currently waiting on done
+}
+
+// Group is the request-level single-flight map: concurrent Do calls with
+// the same key run fn once and all receive the identical response. This
+// is what keeps N clients submitting the same binary at the same moment
+// from running N pipelines — the in-flight computation is itself a cache
+// entry that just hasn't finished being written yet.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// Do returns fn()'s response for key, joining an in-flight call when one
+// exists. The second result reports whether this call joined rather than
+// led. fn runs outside the group lock, so slow computations never block
+// unrelated keys.
+func (g *Group) Do(key string, fn func() *Response) (*Response, bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		f.joined.Add(1)
+		g.mu.Unlock()
+		<-f.done
+		return f.resp, true
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.resp = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.resp, false
+}
+
+// joiners reports how many arrivals are currently waiting on key's
+// in-flight computation (0 when none is in flight). Tests synchronize on
+// it to make dedup assertions deterministic.
+func (g *Group) joiners(key string) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f.joined.Load()
+	}
+	return 0
+}
